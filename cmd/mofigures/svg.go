@@ -1,0 +1,119 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"movingdb/internal/geom"
+	"movingdb/internal/spatial"
+)
+
+// Minimal SVG rendering for the spatial figures: regions as filled
+// paths (holes via the even-odd rule), lines as strokes, points as
+// dots. Used with -svg to write one file per figure snapshot.
+
+type svgCanvas struct {
+	b        strings.Builder
+	min, max geom.Point
+}
+
+func newSVG() *svgCanvas {
+	return &svgCanvas{min: geom.Pt(1e300, 1e300), max: geom.Pt(-1e300, -1e300)}
+}
+
+func (c *svgCanvas) grow(p geom.Point) {
+	c.min.X = min(c.min.X, p.X)
+	c.min.Y = min(c.min.Y, p.Y)
+	c.max.X = max(c.max.X, p.X)
+	c.max.Y = max(c.max.Y, p.Y)
+}
+
+func (c *svgCanvas) region(r spatial.Region, fill, stroke string) {
+	for _, f := range r.Faces() {
+		var d strings.Builder
+		ring := func(verts []geom.Point) {
+			for i, p := range verts {
+				c.grow(p)
+				cmd := "L"
+				if i == 0 {
+					cmd = "M"
+				}
+				fmt.Fprintf(&d, "%s %.3f %.3f ", cmd, p.X, -p.Y)
+			}
+			d.WriteString("Z ")
+		}
+		ring(f.Outer.Vertices())
+		for _, h := range f.Holes {
+			ring(h.Vertices())
+		}
+		fmt.Fprintf(&c.b, `<path d="%s" fill="%s" fill-rule="evenodd" stroke="%s" stroke-width="0.15"/>`+"\n",
+			strings.TrimSpace(d.String()), fill, stroke)
+	}
+}
+
+func (c *svgCanvas) line(l spatial.Line, stroke string) {
+	for _, s := range l.Segments() {
+		c.grow(s.Left)
+		c.grow(s.Right)
+		fmt.Fprintf(&c.b, `<line x1="%.3f" y1="%.3f" x2="%.3f" y2="%.3f" stroke="%s" stroke-width="0.15"/>`+"\n",
+			s.Left.X, -s.Left.Y, s.Right.X, -s.Right.Y, stroke)
+	}
+}
+
+func (c *svgCanvas) point(p geom.Point, fill string) {
+	c.grow(p)
+	fmt.Fprintf(&c.b, `<circle cx="%.3f" cy="%.3f" r="0.25" fill="%s"/>`+"\n", p.X, -p.Y, fill)
+}
+
+func (c *svgCanvas) write(path string) error {
+	pad := 1.0
+	w := c.max.X - c.min.X + 2*pad
+	h := c.max.Y - c.min.Y + 2*pad
+	if w <= 0 || h <= 0 {
+		w, h = 10, 10
+	}
+	doc := fmt.Sprintf(`<svg xmlns="http://www.w3.org/2000/svg" viewBox="%.3f %.3f %.3f %.3f" width="480">`+"\n",
+		c.min.X-pad, -c.max.Y-pad, w, h) + c.b.String() + "</svg>\n"
+	return os.WriteFile(path, []byte(doc), 0o644)
+}
+
+// writeSVGs renders the spatial figures into dir: the Figure 2 line
+// value, the Figure 3 region, and snapshots of the Figure 6 uregion.
+func writeSVGs(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	// Figure 2 line value.
+	{
+		c := newSVG()
+		c.line(figure2Line(), "#1f77b4")
+		if err := c.write(filepath.Join(dir, "figure2_line.svg")); err != nil {
+			return err
+		}
+	}
+	// Figure 3 region.
+	{
+		c := newSVG()
+		c.region(figure3Region(), "#9ecae1", "#08519c")
+		if err := c.write(filepath.Join(dir, "figure3_region.svg")); err != nil {
+			return err
+		}
+	}
+	// Figure 6 uregion snapshots.
+	ur := figure6URegion()
+	for _, tt := range []float64{0, 2, 3.5} {
+		r, ok := ur.EvalAt(instant(tt))
+		if !ok {
+			continue
+		}
+		c := newSVG()
+		c.region(r, "#a1d99b", "#006d2c")
+		name := fmt.Sprintf("figure6_uregion_t%g.svg", tt)
+		if err := c.write(filepath.Join(dir, name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

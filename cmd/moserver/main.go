@@ -1,0 +1,61 @@
+// moserver serves a generated moving objects database over HTTP:
+//
+//	GET /objects                      tracked objects
+//	GET /atinstant?t=120              positions at an instant
+//	GET /window?x1=&y1=&x2=&y2=&t1=&t2=   indexed window query
+//	GET /query?q=SELECT+...           the Section 2 SQL dialect
+//
+// Example:
+//
+//	moserver -addr :8080 &
+//	curl 'localhost:8080/query?q=SELECT+airline,id+FROM+planes+LIMIT+3'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"movingdb/internal/db"
+	"movingdb/internal/moving"
+	"movingdb/internal/server"
+	"movingdb/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	n := flag.Int("n", 50, "number of flights")
+	storms := flag.Int("storms", 2, "number of storms")
+	seed := flag.Int64("seed", 2000, "workload seed")
+	flag.Parse()
+
+	g := workload.New(*seed)
+	planes := db.NewRelation("planes", db.Schema{
+		{Name: "airline", Type: db.TString},
+		{Name: "id", Type: db.TString},
+		{Name: "flight", Type: db.TMPoint},
+	})
+	var ids []string
+	var objects []moving.MPoint
+	for _, f := range g.Flights(*n, 200) {
+		planes.MustInsert(db.Tuple{f.Airline, f.ID, f.Flight})
+		ids = append(ids, f.ID)
+		objects = append(objects, f.Flight)
+	}
+	stormRel := db.NewRelation("storms", db.Schema{
+		{Name: "name", Type: db.TString},
+		{Name: "extent", Type: db.TMRegion},
+	})
+	names := []string{"Klaus", "Lothar", "Kyrill", "Xynthia"}
+	for i := 0; i < *storms; i++ {
+		stormRel.MustInsert(db.Tuple{names[i%len(names)], g.Storm(0, 40, 10, 6)})
+	}
+
+	s, err := server.New(db.Catalog{"planes": planes, "storms": stormRel}, ids, objects)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("moving objects DB: %d flights, %d storms\nlistening on http://%s\n", *n, *storms, *addr)
+	log.Fatal(http.ListenAndServe(*addr, s.Handler()))
+}

@@ -1,0 +1,42 @@
+// motables regenerates the type system tables of the paper from the
+// typesys registry: Table 1 (abstract type system), Table 2 (discrete
+// type system) and Table 3 (abstract↔discrete correspondence), plus the
+// operation signatures with temporal lifting applied.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"movingdb/internal/typesys"
+)
+
+func main() {
+	ops := flag.Bool("ops", false, "also list operation signatures (with lifting)")
+	flag.Parse()
+
+	fmt.Println("Table 1: Signature describing the abstract type system")
+	fmt.Println("-------------------------------------------------------")
+	fmt.Print(typesys.Abstract().FormatTable())
+	fmt.Printf("(%d generated types)\n\n", len(typesys.Abstract().Types()))
+
+	fmt.Println("Table 2: Signature describing the discrete type system")
+	fmt.Println("-------------------------------------------------------")
+	fmt.Print(typesys.Discrete().FormatTable())
+	fmt.Printf("(%d generated types)\n\n", len(typesys.Discrete().Types()))
+
+	fmt.Println("Table 3: Correspondence between abstract and discrete temporal types")
+	fmt.Println("---------------------------------------------------------------------")
+	fmt.Print(typesys.FormatTable3())
+
+	if *ops {
+		fmt.Println("\nOperations (registered signatures, lifting applied)")
+		fmt.Println("----------------------------------------------------")
+		for _, op := range typesys.StandardOps().Ops() {
+			fmt.Printf("%s\n", op.Name)
+			for _, sig := range op.Sigs {
+				fmt.Printf("    %s\n", sig)
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Flights: the running example of Section 2 of the paper, executed end
+// to end on the mini relational engine — a planes relation with an
+// mpoint attribute, the "Lufthansa flights longer than L" selection, and
+// the "pairs of planes closer than d" spatio-temporal join.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"movingdb/internal/db"
+	"movingdb/internal/moving"
+	"movingdb/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 40, "number of flights")
+	seed := flag.Int64("seed", 2000, "workload seed")
+	minLen := flag.Float64("minlen", 500, "trajectory length threshold (query 1)")
+	maxDist := flag.Float64("maxdist", 25, "closest approach threshold (query 2)")
+	flag.Parse()
+
+	// planes(airline: string, id: string, flight: mpoint)
+	planes := db.NewRelation("planes", db.Schema{
+		{Name: "airline", Type: db.TString},
+		{Name: "id", Type: db.TString},
+		{Name: "flight", Type: db.TMPoint},
+	})
+	for _, f := range workload.New(*seed).Flights(*n, 200) {
+		planes.MustInsert(db.Tuple{f.Airline, f.ID, f.Flight})
+	}
+	fmt.Printf("planes%v with %d tuples\n\n", planes.Schema, planes.Len())
+
+	// Query 1:
+	//   SELECT airline, id FROM planes
+	//   WHERE airline = "Lufthansa" AND length(trajectory(flight)) > minlen
+	fmt.Printf("Q1: Lufthansa flights with trajectory longer than %.0f\n", *minLen)
+	q1 := planes.Select(func(t db.Tuple) bool {
+		return db.Get[string](planes, t, "airline") == "Lufthansa" &&
+			db.Get[moving.MPoint](planes, t, "flight").Trajectory().Length() > *minLen
+	})
+	res1, err := q1.Project("airline", "id")
+	if err != nil {
+		panic(err)
+	}
+	for _, t := range res1.Scan() {
+		fl := q1.Select(func(u db.Tuple) bool { return db.Get[string](q1, u, "id") == t[1] }).Scan()[0]
+		mp := db.Get[moving.MPoint](q1, fl, "flight")
+		fmt.Printf("  %-10s %-6s length=%.1f\n", t[0], t[1], mp.Length())
+	}
+	fmt.Printf("  (%d rows)\n\n", res1.Len())
+
+	// Query 2 (spatio-temporal join):
+	//   SELECT p.airline, p.id, q.airline, q.id FROM planes p, planes q
+	//   WHERE val(initial(atmin(distance(p.flight, q.flight)))) < maxdist
+	fmt.Printf("Q2: pairs of planes that came closer than %.0f\n", *maxDist)
+	pairs := 0
+	for i, a := range planes.Scan() {
+		for j, b := range planes.Scan() {
+			if i >= j {
+				continue
+			}
+			pa := db.Get[moving.MPoint](planes, a, "flight")
+			pb := db.Get[moving.MPoint](planes, b, "flight")
+			d := pa.Distance(pb)
+			first, ok := d.AtMin().Initial()
+			if !ok || first.Val >= *maxDist {
+				continue
+			}
+			pairs++
+			fmt.Printf("  %-10s %-6s ~ %-10s %-6s  min distance %.2f at t=%.1f\n",
+				a[0], a[1], b[0], b[1], first.Val, float64(first.Inst))
+		}
+	}
+	fmt.Printf("  (%d pairs)\n", pairs)
+}

@@ -1,0 +1,47 @@
+// Quickstart: build a moving point from trajectory samples, snapshot it,
+// project it into space, and intersect it with a region — the smallest
+// useful tour of the moving objects API.
+package main
+
+import (
+	"fmt"
+
+	"movingdb"
+)
+
+func main() {
+	// A delivery van, sampled four times over an hour (time in seconds).
+	van, err := movingdb.MPointFromSamples([]movingdb.Sample{
+		{T: 0, P: movingdb.Pt(0, 0)},
+		{T: 900, P: movingdb.Pt(3, 4)},
+		{T: 2400, P: movingdb.Pt(3, 10)},
+		{T: 3600, P: movingdb.Pt(9, 10)},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// atinstant: where was the van halfway through?
+	fmt.Println("position at t=1800:", van.AtInstant(1800))
+
+	// deftime and projection into space.
+	fmt.Println("defined during:   ", van.DefTime())
+	fmt.Printf("trajectory length: %.2f km\n", van.Length())
+
+	// Speed is a moving real; take its maximum.
+	if mx, at, ok := van.Speed().Max(); ok {
+		fmt.Printf("fastest leg:       %.4f km/s at t=%v\n", mx, at)
+	}
+
+	// A (static) delivery zone; when was the van inside?
+	zone, err := movingdb.PolygonRegion(movingdb.Ring(2, 2, 12, 2, 12, 12, 2, 12))
+	if err != nil {
+		panic(err)
+	}
+	inside := van.InsideRegion(zone)
+	fmt.Println("inside the zone:  ", inside.WhenTrue())
+
+	// Restrict the movement to that time and measure it.
+	inZone := van.When(inside)
+	fmt.Printf("distance in zone:  %.2f km\n", inZone.Length())
+}

@@ -1,0 +1,82 @@
+// Wildlife: tracking a herd as a moving point set (mpoints) together
+// with individually tracked animals (mpoint) — exercising upoints units,
+// the lifted count aggregate, distance comparisons between moving reals
+// (LessThan on √quadratics), and region interaction.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"movingdb/internal/geom"
+	"movingdb/internal/moving"
+	"movingdb/internal/spatial"
+	"movingdb/internal/temporal"
+	"movingdb/internal/units"
+	"movingdb/internal/workload"
+)
+
+func main() {
+	seed := flag.Int64("seed", 12, "workload seed")
+	flag.Parse()
+	g := workload.New(*seed)
+
+	// A herd of three animals moving in loose formation: one upoints
+	// unit per observation window; one animal joins late.
+	mkMotion := func(t0 temporal.Instant, p0 geom.Point, t1 temporal.Instant, p1 geom.Point) units.MPoint {
+		m, err := units.MPointThrough(t0, p0, t1, p1)
+		if err != nil {
+			panic(err)
+		}
+		return m
+	}
+	a1 := mkMotion(0, geom.Pt(100, 100), 100, geom.Pt(200, 150))
+	a2 := mkMotion(0, geom.Pt(110, 95), 100, geom.Pt(210, 145))
+	a3 := mkMotion(50, geom.Pt(140, 140), 100, geom.Pt(205, 160))
+	herd := moving.MustMPoints(
+		units.MustUPoints(temporal.RightHalfOpen(0, 50), a1, a2),
+		units.MustUPoints(temporal.Closed(50, 100), a1, a2, a3),
+	)
+	count := herd.Count()
+	fmt.Println("herd size over time:")
+	for _, u := range count.M.Units() {
+		fmt.Printf("  %v: %v animals\n", u.Iv, u.V)
+	}
+	snap, _ := herd.AtInstant(75)
+	fmt.Printf("positions at t=75: %v\n\n", snap)
+
+	// Two individually collared wolves; when is wolf A closer to the den
+	// than wolf B? (LessThan on two moving distances — √quadratics.)
+	den := geom.Pt(500, 500)
+	wolfA := g.RandomTrajectory(0, 20, 5, 3)
+	wolfB := g.RandomTrajectory(0, 20, 5, 3)
+	dA := wolfA.DistanceToPoint(den)
+	dB := wolfB.DistanceToPoint(den)
+	closer, ok := dA.LessThan(dB)
+	if !ok {
+		panic("distance comparison not representable")
+	}
+	fmt.Printf("wolf A closer to the den than wolf B for %.1f of %.1f time units\n",
+		closer.TrueDuration(), wolfA.DefTime().Duration())
+	if mn, at, ok := dA.Min(); ok {
+		fmt.Printf("wolf A closest approach to den: %.1f at t=%.1f\n\n", mn, float64(at))
+	}
+
+	// A protected reserve: which part of the herd's joint trajectory
+	// lies inside it? (line clipped to region)
+	reserve := spatial.MustPolygonRegion(spatial.Ring(150, 100, 260, 100, 260, 200, 150, 200))
+	traj := herd.Trajectory()
+	inReserve := traj.ClippedToRegion(reserve)
+	fmt.Printf("herd trajectory: %.1f total, %.1f inside the reserve\n",
+		traj.Length(), inReserve.Length())
+
+	// Two storm systems: do they ever collide? (lifted intersects)
+	s1 := g.Storm(0, 24, 10, 10)
+	s2 := g.Storm(0, 24, 10, 10)
+	meet := s1.Intersects(s2)
+	if meet.Sometimes() {
+		fmt.Printf("storm systems overlap during %v\n", meet.WhenTrue())
+	} else {
+		fmt.Println("storm systems never overlap")
+	}
+}

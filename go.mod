@@ -1,0 +1,3 @@
+module movingdb
+
+go 1.22

@@ -1,0 +1,221 @@
+package base
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueUndef(t *testing.T) {
+	u := Undef[int64]()
+	if u.Defined() {
+		t.Error("Undef is defined")
+	}
+	if _, ok := u.Get(); ok {
+		t.Error("Get on undef succeeded")
+	}
+	if u.String() != "undef" {
+		t.Errorf("String = %q", u.String())
+	}
+	d := Def[int64](42)
+	if !d.Defined() || d.MustGet() != 42 {
+		t.Error("Def roundtrip failed")
+	}
+	if d.Equal(u) || !d.Equal(Def[int64](42)) {
+		t.Error("Equal wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet on undef did not panic")
+		}
+	}()
+	u.MustGet()
+}
+
+func TestValueKinds(t *testing.T) {
+	if Def("abc").String() != "abc" {
+		t.Error("StringVal format")
+	}
+	if Def(true).String() != "true" {
+		t.Error("BoolVal format")
+	}
+	if Def(3.5).String() != "3.5" {
+		t.Error("RealVal format")
+	}
+}
+
+func TestIntervalValidation(t *testing.T) {
+	if _, err := NewInterval[int64](5, 2, true, true); err == nil {
+		t.Error("reversed interval accepted")
+	}
+	if _, err := NewInterval[int64](2, 2, false, true); err == nil {
+		t.Error("half-open degenerate accepted")
+	}
+	iv := ClosedInterval[int64](1, 5)
+	if !iv.Contains(1) || !iv.Contains(5) || iv.Contains(0) || iv.Contains(6) {
+		t.Error("Contains wrong")
+	}
+	half := MustInterval[int64](1, 5, false, true)
+	if half.Contains(1) || !half.Contains(5) {
+		t.Error("closure flags ignored")
+	}
+}
+
+func TestDiscreteAdjacency(t *testing.T) {
+	a := ClosedInterval[int64](1, 2)
+	b := ClosedInterval[int64](3, 4)
+	if !a.Adjacent(b, IntSucc) {
+		t.Error("[1,2] and [3,4] adjacent over int")
+	}
+	if a.Adjacent(b, nil) {
+		t.Error("[1,2] and [3,4] not adjacent over a dense domain")
+	}
+	c := ClosedInterval[int64](4, 5)
+	if b.Disjoint(c) {
+		t.Error("[3,4] and [4,5] share 4")
+	}
+}
+
+func TestRangeCanonicalDense(t *testing.T) {
+	r, err := NewRange(
+		MustInterval(0.0, 2.0, true, false),
+		MustInterval(2.0, 4.0, true, true),
+		MustInterval(6.0, 7.0, true, true),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("canonical = %v", r)
+	}
+	if r.Intervals()[0] != ClosedInterval(0.0, 4.0) {
+		t.Errorf("merged = %v", r.Intervals()[0])
+	}
+	if err := r.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestRangeCanonicalDiscrete(t *testing.T) {
+	r, err := NewDiscreteRange(IntSucc,
+		ClosedInterval[int64](1, 2),
+		ClosedInterval[int64](3, 4), // adjacent over int: merge
+		ClosedInterval[int64](10, 12),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("canonical = %v", r)
+	}
+	if r.Intervals()[0] != ClosedInterval[int64](1, 4) {
+		t.Errorf("merged = %v", r.Intervals()[0])
+	}
+	if err := r.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestRangeContains(t *testing.T) {
+	r, _ := NewRange(
+		MustInterval(0.0, 2.0, true, false),
+		ClosedInterval(5.0, 7.0),
+	)
+	cases := []struct {
+		v    float64
+		want bool
+	}{{-1, false}, {0, true}, {1.5, true}, {2, false}, {3, false}, {5, true}, {7, true}, {8, false}}
+	for _, c := range cases {
+		if got := r.Contains(c.v); got != c.want {
+			t.Errorf("Contains(%v) = %v", c.v, got)
+		}
+	}
+	if mn, ok := r.Min(); !ok || mn != 0 {
+		t.Error("Min wrong")
+	}
+	if mx, ok := r.Max(); !ok || mx != 7 {
+		t.Error("Max wrong")
+	}
+}
+
+func TestRangeSetOps(t *testing.T) {
+	r, _ := NewRange(ClosedInterval(0.0, 4.0))
+	s, _ := NewRange(ClosedInterval(2.0, 6.0), ClosedInterval(8.0, 9.0))
+	u := r.Union(s)
+	if u.Len() != 2 || u.Intervals()[0] != ClosedInterval(0.0, 6.0) {
+		t.Errorf("union = %v", u)
+	}
+	i := r.Intersect(s)
+	if i.Len() != 1 || i.Intervals()[0] != ClosedInterval(2.0, 4.0) {
+		t.Errorf("intersect = %v", i)
+	}
+	// Open/closed boundary handling in intersection.
+	a, _ := NewRange(MustInterval(0.0, 2.0, true, false))
+	b, _ := NewRange(ClosedInterval(2.0, 3.0))
+	if !a.Intersect(b).IsEmpty() {
+		t.Errorf("[0,2) ∩ [2,3] = %v", a.Intersect(b))
+	}
+}
+
+func TestRangeStringRange(t *testing.T) {
+	r, err := NewRange(ClosedInterval("apple", "cherry"), ClosedInterval("kiwi", "mango"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Contains("banana") || r.Contains("grape") || !r.Contains("kiwi") {
+		t.Error("string range membership wrong")
+	}
+}
+
+func TestRangeEqualCanonical(t *testing.T) {
+	r1, _ := NewRange(MustInterval(0.0, 1.0, true, false), ClosedInterval(1.0, 2.0))
+	r2, _ := NewRange(ClosedInterval(0.0, 2.0))
+	if !r1.Equal(r2) {
+		t.Errorf("canonical forms differ: %v vs %v", r1, r2)
+	}
+}
+
+func TestRangeSetOpsProperty(t *testing.T) {
+	mk := func(raw []int8) Range[float64] {
+		var ivs []Interval[float64]
+		for k := 0; k+1 < len(raw); k += 2 {
+			s, e := float64(raw[k]), float64(raw[k+1])
+			if s > e {
+				s, e = e, s
+			}
+			ivs = append(ivs, ClosedInterval(s, e))
+		}
+		r, _ := NewRange(ivs...)
+		return r
+	}
+	f := func(raw1, raw2 []int8, probe int8) bool {
+		r, s := mk(raw1), mk(raw2)
+		v := float64(probe)
+		inR, inS := r.Contains(v), s.Contains(v)
+		if r.Union(s).Contains(v) != (inR || inS) {
+			return false
+		}
+		if r.Intersect(s).Contains(v) != (inR && inS) {
+			return false
+		}
+		return r.Union(s).Validate() == nil && r.Intersect(s).Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntSuccOverflow(t *testing.T) {
+	if _, ok := IntSucc(int64(^uint64(0) >> 1)); ok {
+		t.Error("IntSucc at MaxInt64 must fail")
+	}
+	if s, ok := IntSucc(41); !ok || s != 42 {
+		t.Error("IntSucc(41) wrong")
+	}
+}
+
+func TestIntime(t *testing.T) {
+	p := Intime[float64]{Inst: 3, Val: 1.5}
+	if p.String() != "(3, 1.5)" {
+		t.Errorf("String = %q", p.String())
+	}
+}

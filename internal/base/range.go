@@ -1,0 +1,327 @@
+package base
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"strings"
+
+	"movingdb/internal/temporal"
+)
+
+// Ordered captures the base domains the range constructor accepts:
+// every type in BASE ∪ TIME carries a total order.
+type Ordered interface {
+	~int64 | ~float64 | ~string
+}
+
+// Note on discrete domains: the paper's r-adjacent predicate has an
+// extra clause for discrete domains such as int, where [1,2] and [3,4]
+// are adjacent because no value lies between 2 and 3. Discreteness is
+// expressed here by a successor function; dense domains have none.
+
+// Interval is an interval over an ordered base domain with closure
+// flags, the carrier set Interval(S) of Section 3.2.3.
+type Interval[T Ordered] struct {
+	Start, End T
+	LC, RC     bool
+}
+
+// ErrInvalidRange reports a violation of the range carrier set
+// constraints.
+var ErrInvalidRange = errors.New("base: invalid range")
+
+// NewInterval validates and returns an interval over an ordered domain.
+func NewInterval[T Ordered](s, e T, lc, rc bool) (Interval[T], error) {
+	if e < s {
+		return Interval[T]{}, fmt.Errorf("%w: start %v after end %v", ErrInvalidRange, s, e)
+	}
+	if s == e && !(lc && rc) {
+		return Interval[T]{}, fmt.Errorf("%w: degenerate interval at %v must be closed", ErrInvalidRange, s)
+	}
+	return Interval[T]{Start: s, End: e, LC: lc, RC: rc}, nil
+}
+
+// MustInterval is like NewInterval but panics on invalid input.
+func MustInterval[T Ordered](s, e T, lc, rc bool) Interval[T] {
+	iv, err := NewInterval(s, e, lc, rc)
+	if err != nil {
+		panic(err)
+	}
+	return iv
+}
+
+// ClosedInterval returns [s, e].
+func ClosedInterval[T Ordered](s, e T) Interval[T] { return MustInterval(s, e, true, true) }
+
+// Contains reports whether v lies in the interval.
+func (i Interval[T]) Contains(v T) bool {
+	if v < i.Start || v > i.End {
+		return false
+	}
+	if v == i.Start && !i.LC {
+		return false
+	}
+	if v == i.End && !i.RC {
+		return false
+	}
+	return true
+}
+
+// RDisjoint implements the paper's r-disjoint predicate.
+func (i Interval[T]) RDisjoint(u Interval[T]) bool {
+	return i.End < u.Start || (i.End == u.Start && !(i.RC && u.LC))
+}
+
+// Disjoint reports whether i and u share no value.
+func (i Interval[T]) Disjoint(u Interval[T]) bool { return i.RDisjoint(u) || u.RDisjoint(i) }
+
+// rAdjacent implements r-adjacent including the discrete-domain clause:
+// succ, if non-nil, returns the successor of a domain value (e.g. x+1
+// for int), enabling [1,2] and [3,4] to be recognised as adjacent.
+func (i Interval[T]) rAdjacent(u Interval[T], succ func(T) (T, bool)) bool {
+	if !i.Disjoint(u) {
+		return false
+	}
+	if i.End == u.Start && (i.RC || u.LC) {
+		return true
+	}
+	if succ != nil && i.RC && u.LC {
+		if s, ok := succ(i.End); ok && s == u.Start {
+			return true
+		}
+	}
+	return false
+}
+
+// Adjacent reports whether i and u are adjacent; succ may be nil for
+// dense domains.
+func (i Interval[T]) Adjacent(u Interval[T], succ func(T) (T, bool)) bool {
+	return i.rAdjacent(u, succ) || u.rAdjacent(i, succ)
+}
+
+// String renders the interval in bracket notation.
+func (i Interval[T]) String() string {
+	lb, rb := "(", ")"
+	if i.LC {
+		lb = "["
+	}
+	if i.RC {
+		rb = "]"
+	}
+	return fmt.Sprintf("%s%v, %v%s", lb, i.Start, i.End, rb)
+}
+
+// Range is the range(α) type: a canonical finite set of disjoint,
+// non-adjacent intervals over an ordered base domain. For discrete
+// domains, construct it with NewDiscreteRange so that the
+// discreteness-aware adjacency merging applies.
+type Range[T Ordered] struct {
+	ivs  []Interval[T]
+	succ func(T) (T, bool)
+}
+
+// IntSucc is the successor function of the int domain.
+func IntSucc(x int64) (int64, bool) {
+	if x == int64(^uint64(0)>>1) {
+		return 0, false
+	}
+	return x + 1, true
+}
+
+// NewRange builds a canonical range over a dense domain (real, string,
+// instant), merging overlapping or adjacent intervals.
+func NewRange[T Ordered](ivs ...Interval[T]) (Range[T], error) {
+	return newRange(nil, ivs)
+}
+
+// NewDiscreteRange builds a canonical range over a discrete domain using
+// succ for adjacency (e.g. IntSucc for range(int)).
+func NewDiscreteRange[T Ordered](succ func(T) (T, bool), ivs ...Interval[T]) (Range[T], error) {
+	return newRange(succ, ivs)
+}
+
+func newRange[T Ordered](succ func(T) (T, bool), ivs []Interval[T]) (Range[T], error) {
+	for _, iv := range ivs {
+		if _, err := NewInterval(iv.Start, iv.End, iv.LC, iv.RC); err != nil {
+			return Range[T]{}, err
+		}
+	}
+	work := make([]Interval[T], len(ivs))
+	copy(work, ivs)
+	slices.SortFunc(work, func(a, b Interval[T]) int {
+		switch {
+		case a.Start < b.Start:
+			return -1
+		case a.Start > b.Start:
+			return 1
+		case a.LC && !b.LC:
+			return -1
+		case !a.LC && b.LC:
+			return 1
+		case a.End < b.End:
+			return -1
+		case a.End > b.End:
+			return 1
+		}
+		return 0
+	})
+	var out []Interval[T]
+	for _, iv := range work {
+		if n := len(out); n > 0 {
+			prev := out[n-1]
+			if !prev.Disjoint(iv) || prev.Adjacent(iv, succ) {
+				merged := prev
+				if iv.Start < merged.Start {
+					merged.Start, merged.LC = iv.Start, iv.LC
+				} else if iv.Start == merged.Start {
+					merged.LC = merged.LC || iv.LC
+				}
+				if iv.End > merged.End {
+					merged.End, merged.RC = iv.End, iv.RC
+				} else if iv.End == merged.End {
+					merged.RC = merged.RC || iv.RC
+				}
+				// Discrete adjacency across a gap ([1,2]+[3,4]) keeps
+				// both endpoints closed and spans the union.
+				out[n-1] = merged
+				continue
+			}
+		}
+		out = append(out, iv)
+	}
+	return Range[T]{ivs: out, succ: succ}, nil
+}
+
+// Intervals returns the canonical interval sequence (shared; read-only).
+func (r Range[T]) Intervals() []Interval[T] { return r.ivs }
+
+// Len returns the number of intervals.
+func (r Range[T]) Len() int { return len(r.ivs) }
+
+// IsEmpty reports whether the range contains no value.
+func (r Range[T]) IsEmpty() bool { return len(r.ivs) == 0 }
+
+// Contains reports whether v lies in the range (binary search).
+func (r Range[T]) Contains(v T) bool {
+	lo, hi := 0, len(r.ivs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		iv := r.ivs[mid]
+		switch {
+		case iv.Contains(v):
+			return true
+		case v < iv.Start || (v == iv.Start && !iv.LC):
+			hi = mid
+		default:
+			lo = mid + 1
+		}
+	}
+	return false
+}
+
+// Min returns the smallest element or infimum; ok is false when empty.
+func (r Range[T]) Min() (T, bool) {
+	var zero T
+	if len(r.ivs) == 0 {
+		return zero, false
+	}
+	return r.ivs[0].Start, true
+}
+
+// Max returns the largest element or supremum; ok is false when empty.
+func (r Range[T]) Max() (T, bool) {
+	var zero T
+	if len(r.ivs) == 0 {
+		return zero, false
+	}
+	return r.ivs[len(r.ivs)-1].End, true
+}
+
+// Union returns the set union of r and s.
+func (r Range[T]) Union(s Range[T]) Range[T] {
+	all := make([]Interval[T], 0, len(r.ivs)+len(s.ivs))
+	all = append(all, r.ivs...)
+	all = append(all, s.ivs...)
+	out, err := newRange(pickSucc(r, s), all)
+	if err != nil {
+		panic(fmt.Sprintf("base: union of canonical ranges failed: %v", err))
+	}
+	return out
+}
+
+// Intersect returns the set intersection of r and s.
+func (r Range[T]) Intersect(s Range[T]) Range[T] {
+	var out []Interval[T]
+	i, j := 0, 0
+	for i < len(r.ivs) && j < len(s.ivs) {
+		a, b := r.ivs[i], s.ivs[j]
+		lo := max(a.Start, b.Start)
+		hi := min(a.End, b.End)
+		lc := a.Contains(lo) && b.Contains(lo)
+		rc := a.Contains(hi) && b.Contains(hi)
+		if lo < hi || (lo == hi && lc && rc) {
+			out = append(out, Interval[T]{Start: lo, End: hi, LC: lc, RC: rc})
+		}
+		if a.End < b.End || (a.End == b.End && !a.RC) {
+			i++
+		} else {
+			j++
+		}
+	}
+	return Range[T]{ivs: out, succ: pickSucc(r, s)}
+}
+
+func pickSucc[T Ordered](r, s Range[T]) func(T) (T, bool) {
+	if r.succ != nil {
+		return r.succ
+	}
+	return s.succ
+}
+
+// Equal reports value equality; canonical representations make this a
+// slice comparison.
+func (r Range[T]) Equal(s Range[T]) bool { return slices.Equal(r.ivs, s.ivs) }
+
+// Validate checks canonicity (for values read back from storage).
+func (r Range[T]) Validate() error {
+	for k, iv := range r.ivs {
+		if _, err := NewInterval(iv.Start, iv.End, iv.LC, iv.RC); err != nil {
+			return err
+		}
+		if k > 0 {
+			prev := r.ivs[k-1]
+			if !prev.RDisjoint(iv) {
+				return fmt.Errorf("%w: intervals %v and %v overlap or are unordered", ErrInvalidRange, prev, iv)
+			}
+			if prev.Adjacent(iv, r.succ) {
+				return fmt.Errorf("%w: intervals %v and %v adjacent", ErrInvalidRange, prev, iv)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the range as "{[a, b], (c, d)}".
+func (r Range[T]) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for k, iv := range r.ivs {
+		if k > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(iv.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Intime is the intime(α) type constructor: a pair of a time instant and
+// a value (Section 3.2.3).
+type Intime[T any] struct {
+	Inst temporal.Instant
+	Val  T
+}
+
+// String formats the pair as "(t, v)".
+func (p Intime[T]) String() string { return fmt.Sprintf("(%v, %v)", p.Inst, p.Val) }

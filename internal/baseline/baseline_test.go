@@ -1,0 +1,91 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"movingdb/internal/temporal"
+	"movingdb/internal/workload"
+)
+
+// The baseline exists to be compared against; these tests pin down that
+// it computes the same answers as the sliced implementation, so the
+// benchmark ratios measure representation cost, not different work.
+
+func TestAtInstantAgreesMPoint(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		mp := workload.New(seed).RandomTrajectory(0, 40, 10, 2)
+		np := FromMPoint(mp)
+		for k := -5; k <= 90; k++ {
+			tt := temporal.Instant(float64(k) * 4.7)
+			want := mp.AtInstant(tt)
+			got, ok := np.AtInstant(tt)
+			if ok != want.Defined() {
+				t.Fatalf("seed %d t=%v: defined %v vs %v", seed, tt, ok, want.Defined())
+			}
+			if ok && got != want.P {
+				t.Fatalf("seed %d t=%v: %v vs %v", seed, tt, got, want.P)
+			}
+		}
+	}
+}
+
+func TestAtInstantAgreesMRegion(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		mr := workload.New(seed).Storm(0, 30, 10, 10)
+		nr := FromMRegion(mr)
+		for k := 0; k <= 60; k++ {
+			tt := temporal.Instant(float64(k)*5 + 0.37)
+			want, okW := mr.AtInstant(tt)
+			got, okG := nr.AtInstant(tt)
+			if okW != okG {
+				t.Fatalf("seed %d t=%v: defined %v vs %v", seed, tt, okG, okW)
+			}
+			if okW && math.Abs(got.Area()-want.Area()) > 1e-9 {
+				t.Fatalf("seed %d t=%v: area %v vs %v", seed, tt, got.Area(), want.Area())
+			}
+		}
+	}
+}
+
+func TestInsideAgrees(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := workload.New(seed)
+		mp := g.RandomTrajectory(0, 40, 10, 2)
+		mr := g.Storm(0, 40, 10, 10)
+		sliced := mp.Inside(mr)
+		naive := FromMPoint(mp).Inside(FromMRegion(mr))
+		// The true-period sets must agree (representations may split
+		// pieces differently at touch instants; the semantics may not).
+		ws, wn := sliced.WhenTrue(), naive.WhenTrue()
+		if math.Abs(ws.Duration()-wn.Duration()) > 1e-6 {
+			t.Fatalf("seed %d: inside duration %v vs %v", seed, ws.Duration(), wn.Duration())
+		}
+		for k := 0; k <= 200; k++ {
+			tt := temporal.Instant(float64(k) * 2.003)
+			if ws.Contains(tt) != wn.Contains(tt) {
+				t.Fatalf("seed %d t=%v: membership disagrees", seed, tt)
+			}
+		}
+	}
+}
+
+func TestInterleaveKeepsAll(t *testing.T) {
+	in := []int{0, 1, 2, 3, 4, 5, 6}
+	out := interleave(in)
+	if len(out) != len(in) {
+		t.Fatalf("lost elements: %v", out)
+	}
+	seen := map[int]bool{}
+	for _, v := range out {
+		seen[v] = true
+	}
+	for _, v := range in {
+		if !seen[v] {
+			t.Fatalf("missing %d", v)
+		}
+	}
+	if out[0] == in[0] && out[1] == in[1] && out[2] == in[2] {
+		t.Error("interleave did not reorder")
+	}
+}

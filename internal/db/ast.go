@@ -1,0 +1,96 @@
+package db
+
+import "fmt"
+
+// expr is a parsed expression node.
+type expr interface {
+	fmt.Stringer
+}
+
+type numLit struct{ v float64 }
+
+func (e numLit) String() string { return fmt.Sprintf("%g", e.v) }
+
+type strLit struct{ v string }
+
+func (e strLit) String() string { return fmt.Sprintf("%q", e.v) }
+
+type boolLit struct{ v bool }
+
+func (e boolLit) String() string { return fmt.Sprintf("%v", e.v) }
+
+// colRef is a column reference, optionally qualified by a relation
+// alias: "flight" or "p.flight".
+type colRef struct {
+	qualifier string // "" when unqualified
+	name      string
+}
+
+func (e colRef) String() string {
+	if e.qualifier == "" {
+		return e.name
+	}
+	return e.qualifier + "." + e.name
+}
+
+// call is an operation application, e.g. length(trajectory(flight)).
+type call struct {
+	fn   string
+	args []expr
+}
+
+func (e call) String() string {
+	s := e.fn + "("
+	for i, a := range e.args {
+		if i > 0 {
+			s += ", "
+		}
+		s += a.String()
+	}
+	return s + ")"
+}
+
+// binop is a comparison, boolean connective or arithmetic operation.
+type binop struct {
+	op   string // < > <= >= = <> AND OR + - * /
+	l, r expr
+}
+
+func (e binop) String() string { return fmt.Sprintf("(%s %s %s)", e.l, e.op, e.r) }
+
+type notop struct{ e expr }
+
+func (e notop) String() string { return fmt.Sprintf("(NOT %s)", e.e) }
+
+type negop struct{ e expr }
+
+func (e negop) String() string { return fmt.Sprintf("(-%s)", e.e) }
+
+// selectItem is one projection of the SELECT list.
+type selectItem struct {
+	e     expr
+	alias string // "" → derived name
+}
+
+// fromItem is one relation in the FROM list with an optional alias.
+type fromItem struct {
+	rel   string
+	alias string
+}
+
+// orderItem is one ORDER BY key.
+type orderItem struct {
+	e    expr
+	desc bool
+}
+
+// selectStmt is a parsed query.
+type selectStmt struct {
+	items   []selectItem
+	star    bool
+	from    []fromItem
+	where   expr // nil when absent
+	groupBy []colRef
+	orderBy []orderItem
+	limit   int // -1 when absent
+}

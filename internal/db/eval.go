@@ -1,0 +1,728 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"movingdb/internal/base"
+	"movingdb/internal/moving"
+	"movingdb/internal/spatial"
+	"movingdb/internal/temporal"
+)
+
+// TIReal is the internal intime(real) type produced by initial/final; it
+// can be consumed by val/inst but not stored in a result relation.
+const TIReal AttrType = 100
+
+// ErrType reports a type error in a query.
+var ErrType = errors.New("db: type error")
+
+// ErrNoFunction reports an unknown operation name.
+var ErrNoFunction = errors.New("db: unknown operation")
+
+// Undef is the undefined value ⊥ of the model at the query level:
+// operations on nowhere-defined moving values yield it, and it
+// propagates strictly through expressions; any comparison involving ⊥
+// is false (the SQL NULL discipline, which matches the abstract model's
+// treatment of undefined).
+type Undef struct{}
+
+func (Undef) String() string { return "undef" }
+
+// Catalog names the relations a query may reference.
+type Catalog map[string]*Relation
+
+// overload is one signature of a query-language operation together with
+// its implementation.
+type overload struct {
+	args []AttrType
+	ret  AttrType
+	fn   func(args []any) (any, error)
+}
+
+// funcTable registers the operations of the model for the query
+// language; it mirrors the signatures of Section 2 (and the typesys
+// registry) on the discrete types.
+var funcTable = map[string][]overload{}
+
+func register(name string, args []AttrType, ret AttrType, fn func([]any) (any, error)) {
+	funcTable[name] = append(funcTable[name], overload{args: args, ret: ret, fn: fn})
+}
+
+func init() {
+	// Projection into space and measures.
+	register("trajectory", []AttrType{TMPoint}, TLine, func(a []any) (any, error) {
+		return a[0].(moving.MPoint).Trajectory(), nil
+	})
+	register("length", []AttrType{TLine}, TReal, func(a []any) (any, error) {
+		return a[0].(spatial.Line).Length(), nil
+	})
+	register("area", []AttrType{TRegion}, TReal, func(a []any) (any, error) {
+		return a[0].(spatial.Region).Area(), nil
+	})
+	register("area", []AttrType{TMRegion}, TMReal, func(a []any) (any, error) {
+		return a[0].(moving.MRegion).Area(), nil
+	})
+	register("perimeter", []AttrType{TRegion}, TReal, func(a []any) (any, error) {
+		return a[0].(spatial.Region).Perimeter(), nil
+	})
+
+	// Distance and speed.
+	register("distance", []AttrType{TMPoint, TMPoint}, TMReal, func(a []any) (any, error) {
+		return a[0].(moving.MPoint).Distance(a[1].(moving.MPoint)), nil
+	})
+	register("speed", []AttrType{TMPoint}, TMReal, func(a []any) (any, error) {
+		return a[0].(moving.MPoint).Speed(), nil
+	})
+	register("travelled", []AttrType{TMPoint}, TReal, func(a []any) (any, error) {
+		return a[0].(moving.MPoint).TravelledDistance(), nil
+	})
+
+	// Aggregations over moving reals.
+	register("atmin", []AttrType{TMReal}, TMReal, func(a []any) (any, error) {
+		return a[0].(moving.MReal).AtMin(), nil
+	})
+	register("atmax", []AttrType{TMReal}, TMReal, func(a []any) (any, error) {
+		return a[0].(moving.MReal).AtMax(), nil
+	})
+	register("min", []AttrType{TMReal}, TReal, func(a []any) (any, error) {
+		v, _, ok := a[0].(moving.MReal).Min()
+		if !ok {
+			return Undef{}, nil
+		}
+		return v, nil
+	})
+	register("max", []AttrType{TMReal}, TReal, func(a []any) (any, error) {
+		v, _, ok := a[0].(moving.MReal).Max()
+		if !ok {
+			return Undef{}, nil
+		}
+		return v, nil
+	})
+	register("integral", []AttrType{TMReal}, TReal, func(a []any) (any, error) {
+		return a[0].(moving.MReal).Integral(), nil
+	})
+
+	// Interaction with time.
+	register("initial", []AttrType{TMReal}, TIReal, func(a []any) (any, error) {
+		p, ok := a[0].(moving.MReal).Initial()
+		if !ok {
+			return Undef{}, nil
+		}
+		return p, nil
+	})
+	register("final", []AttrType{TMReal}, TIReal, func(a []any) (any, error) {
+		p, ok := a[0].(moving.MReal).Final()
+		if !ok {
+			return Undef{}, nil
+		}
+		return p, nil
+	})
+	register("val", []AttrType{TIReal}, TReal, func(a []any) (any, error) {
+		return a[0].(base.Intime[float64]).Val, nil
+	})
+	register("inst", []AttrType{TIReal}, TReal, func(a []any) (any, error) {
+		return float64(a[0].(base.Intime[float64]).Inst), nil
+	})
+	register("deftime", []AttrType{TMPoint}, TPeriods, func(a []any) (any, error) {
+		return a[0].(moving.MPoint).DefTime(), nil
+	})
+	register("duration", []AttrType{TPeriods}, TReal, func(a []any) (any, error) {
+		return a[0].(temporal.Periods).Duration(), nil
+	})
+	register("duration", []AttrType{TMBool}, TReal, func(a []any) (any, error) {
+		return a[0].(moving.MBool).TrueDuration(), nil
+	})
+	register("when", []AttrType{TMPoint, TMBool}, TMPoint, func(a []any) (any, error) {
+		return a[0].(moving.MPoint).When(a[1].(moving.MBool)), nil
+	})
+	// Predicates.
+	register("inside", []AttrType{TMPoint, TMRegion}, TMBool, func(a []any) (any, error) {
+		return a[0].(moving.MPoint).Inside(a[1].(moving.MRegion)), nil
+	})
+	register("inside", []AttrType{TMPoint, TRegion}, TMBool, func(a []any) (any, error) {
+		return a[0].(moving.MPoint).InsideRegion(a[1].(spatial.Region)), nil
+	})
+	register("intersects", []AttrType{TMRegion, TMRegion}, TMBool, func(a []any) (any, error) {
+		return a[0].(moving.MRegion).Intersects(a[1].(moving.MRegion)), nil
+	})
+	register("intersects", []AttrType{TRegion, TRegion}, TBool, func(a []any) (any, error) {
+		return a[0].(spatial.Region).IntersectsRegion(a[1].(spatial.Region)), nil
+	})
+	register("union", []AttrType{TRegion, TRegion}, TRegion, func(a []any) (any, error) {
+		return a[0].(spatial.Region).Union(a[1].(spatial.Region))
+	})
+	register("intersection", []AttrType{TRegion, TRegion}, TRegion, func(a []any) (any, error) {
+		return a[0].(spatial.Region).Intersection(a[1].(spatial.Region))
+	})
+	register("difference", []AttrType{TRegion, TRegion}, TRegion, func(a []any) (any, error) {
+		return a[0].(spatial.Region).Difference(a[1].(spatial.Region))
+	})
+	register("sometimes", []AttrType{TMBool}, TBool, func(a []any) (any, error) {
+		return a[0].(moving.MBool).Sometimes(), nil
+	})
+	register("always", []AttrType{TMBool}, TBool, func(a []any) (any, error) {
+		return a[0].(moving.MBool).Always(), nil
+	})
+	register("present", []AttrType{TMPoint, TReal}, TBool, func(a []any) (any, error) {
+		return a[0].(moving.MPoint).Present(temporal.Instant(a[1].(float64))), nil
+	})
+}
+
+// binding resolves column references during typing and evaluation.
+type binding struct {
+	alias string
+	rel   *Relation
+}
+
+type queryEnv struct {
+	binds []binding
+	// tuple values per from-item, set during evaluation.
+	tuples []Tuple
+}
+
+// resolve finds the from-item and column index of a reference.
+func (q *queryEnv) resolve(c colRef) (int, int, error) {
+	found := -1
+	col := -1
+	for bi, b := range q.binds {
+		if c.qualifier != "" && b.alias != c.qualifier {
+			continue
+		}
+		if i := b.rel.Schema.Index(c.name); i >= 0 {
+			if found >= 0 {
+				return 0, 0, fmt.Errorf("%w: ambiguous column %q", ErrType, c)
+			}
+			found, col = bi, i
+		}
+	}
+	if found < 0 {
+		return 0, 0, fmt.Errorf("%w: unknown column %q", ErrType, c)
+	}
+	return found, col, nil
+}
+
+// typeOf statically types an expression.
+func (q *queryEnv) typeOf(e expr) (AttrType, error) {
+	switch ex := e.(type) {
+	case numLit:
+		return TReal, nil
+	case strLit:
+		return TString, nil
+	case boolLit:
+		return TBool, nil
+	case colRef:
+		bi, ci, err := q.resolve(ex)
+		if err != nil {
+			return 0, err
+		}
+		return q.binds[bi].rel.Schema[ci].Type, nil
+	case negop:
+		t, err := q.typeOf(ex.e)
+		if err != nil {
+			return 0, err
+		}
+		if t != TReal && t != TInt {
+			return 0, fmt.Errorf("%w: cannot negate %s", ErrType, t)
+		}
+		return t, nil
+	case notop:
+		t, err := q.typeOf(ex.e)
+		if err != nil {
+			return 0, err
+		}
+		if t != TBool {
+			return 0, fmt.Errorf("%w: NOT needs bool, got %s", ErrType, t)
+		}
+		return TBool, nil
+	case binop:
+		lt, err := q.typeOf(ex.l)
+		if err != nil {
+			return 0, err
+		}
+		rt, err := q.typeOf(ex.r)
+		if err != nil {
+			return 0, err
+		}
+		switch ex.op {
+		case "AND", "OR":
+			if lt != TBool || rt != TBool {
+				return 0, fmt.Errorf("%w: %s needs bools", ErrType, ex.op)
+			}
+			return TBool, nil
+		case "+", "-", "*", "/":
+			if lt != TReal || rt != TReal {
+				return 0, fmt.Errorf("%w: arithmetic needs reals, got %s and %s", ErrType, lt, rt)
+			}
+			return TReal, nil
+		default: // comparisons
+			if lt != rt {
+				return 0, fmt.Errorf("%w: comparing %s with %s", ErrType, lt, rt)
+			}
+			switch lt {
+			case TReal, TInt, TString, TBool:
+				return TBool, nil
+			}
+			return 0, fmt.Errorf("%w: cannot compare values of type %s", ErrType, lt)
+		}
+	case call:
+		argTypes := make([]AttrType, len(ex.args))
+		for i, a := range ex.args {
+			if _, star := a.(starArg); star {
+				return 0, fmt.Errorf("%w: * is only valid in count(*) of an aggregate query", ErrType)
+			}
+			t, err := q.typeOf(a)
+			if err != nil {
+				return 0, err
+			}
+			argTypes[i] = t
+		}
+		ov, err := lookupOverload(ex.fn, argTypes)
+		if err != nil {
+			return 0, err
+		}
+		return ov.ret, nil
+	case starArg:
+		return 0, fmt.Errorf("%w: * is only valid in count(*)", ErrType)
+	}
+	return 0, fmt.Errorf("%w: unhandled expression %v", ErrType, e)
+}
+
+func lookupOverload(name string, args []AttrType) (overload, error) {
+	ovs, ok := funcTable[strings.ToLower(name)]
+	if !ok {
+		return overload{}, fmt.Errorf("%w: %q", ErrNoFunction, name)
+	}
+	for _, ov := range ovs {
+		if len(ov.args) != len(args) {
+			continue
+		}
+		match := true
+		for i := range args {
+			if ov.args[i] != args[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return ov, nil
+		}
+	}
+	return overload{}, fmt.Errorf("%w: no overload of %q for %v", ErrType, name, args)
+}
+
+// eval evaluates an expression against the current tuples.
+func (q *queryEnv) eval(e expr) (any, error) {
+	switch ex := e.(type) {
+	case numLit:
+		return ex.v, nil
+	case strLit:
+		return ex.v, nil
+	case boolLit:
+		return ex.v, nil
+	case colRef:
+		bi, ci, err := q.resolve(ex)
+		if err != nil {
+			return nil, err
+		}
+		return q.tuples[bi][ci], nil
+	case negop:
+		v, err := q.eval(ex.e)
+		if err != nil {
+			return nil, err
+		}
+		switch n := v.(type) {
+		case float64:
+			return -n, nil
+		case int64:
+			return -n, nil
+		case Undef:
+			return n, nil
+		}
+		return nil, fmt.Errorf("%w: cannot negate %T", ErrType, v)
+	case notop:
+		v, err := q.eval(ex.e)
+		if err != nil {
+			return nil, err
+		}
+		if _, isU := v.(Undef); isU {
+			return Undef{}, nil
+		}
+		return !v.(bool), nil
+	case binop:
+		l, err := q.eval(ex.l)
+		if err != nil {
+			return nil, err
+		}
+		// Short circuit the connectives; ⊥ behaves like false for AND
+		// and is absorbed by a true OR branch.
+		if ex.op == "AND" {
+			if b, isB := l.(bool); isB && !b {
+				return false, nil
+			}
+			r, err := q.eval(ex.r)
+			if err != nil {
+				return nil, err
+			}
+			if isUndef(l) || isUndef(r) {
+				return Undef{}, nil
+			}
+			return l.(bool) && r.(bool), nil
+		}
+		if ex.op == "OR" {
+			if b, isB := l.(bool); isB && b {
+				return true, nil
+			}
+			r, err := q.eval(ex.r)
+			if err != nil {
+				return nil, err
+			}
+			if isUndef(l) || isUndef(r) {
+				return Undef{}, nil
+			}
+			return l.(bool) || r.(bool), nil
+		}
+		r, err := q.eval(ex.r)
+		if err != nil {
+			return nil, err
+		}
+		if isUndef(l) || isUndef(r) {
+			if ex.op == "+" || ex.op == "-" || ex.op == "*" || ex.op == "/" {
+				return Undef{}, nil
+			}
+			return false, nil // comparisons with ⊥ are false
+		}
+		switch ex.op {
+		case "+", "-", "*", "/":
+			lf, rf := l.(float64), r.(float64)
+			switch ex.op {
+			case "+":
+				return lf + rf, nil
+			case "-":
+				return lf - rf, nil
+			case "*":
+				return lf * rf, nil
+			default:
+				if rf == 0 {
+					return nil, fmt.Errorf("%w: division by zero", ErrType)
+				}
+				return lf / rf, nil
+			}
+		}
+		return compare(ex.op, l, r)
+	case call:
+		args := make([]any, len(ex.args))
+		argTypes := make([]AttrType, len(ex.args))
+		for i, a := range ex.args {
+			t, err := q.typeOf(a)
+			if err != nil {
+				return nil, err
+			}
+			argTypes[i] = t
+			v, err := q.eval(a)
+			if err != nil {
+				return nil, err
+			}
+			if _, isU := v.(Undef); isU {
+				return Undef{}, nil
+			}
+			args[i] = v
+		}
+		ov, err := lookupOverload(ex.fn, argTypes)
+		if err != nil {
+			return nil, err
+		}
+		return ov.fn(args)
+	}
+	return nil, fmt.Errorf("%w: unhandled expression %v", ErrType, e)
+}
+
+func isUndef(v any) bool {
+	_, ok := v.(Undef)
+	return ok
+}
+
+func compare(op string, l, r any) (any, error) {
+	var c int
+	switch lv := l.(type) {
+	case float64:
+		rv := r.(float64)
+		switch {
+		case lv < rv:
+			c = -1
+		case lv > rv:
+			c = 1
+		}
+	case int64:
+		rv := r.(int64)
+		switch {
+		case lv < rv:
+			c = -1
+		case lv > rv:
+			c = 1
+		}
+	case string:
+		rv := r.(string)
+		c = strings.Compare(lv, rv)
+	case bool:
+		rv := r.(bool)
+		switch {
+		case !lv && rv:
+			c = -1
+		case lv && !rv:
+			c = 1
+		}
+	default:
+		return nil, fmt.Errorf("%w: cannot compare %T", ErrType, l)
+	}
+	switch op {
+	case "<":
+		return c < 0, nil
+	case "<=":
+		return c <= 0, nil
+	case ">":
+		return c > 0, nil
+	case ">=":
+		return c >= 0, nil
+	case "=":
+		return c == 0, nil
+	case "<>":
+		return c != 0, nil
+	}
+	return nil, fmt.Errorf("%w: bad comparison %q", ErrSyntax, op)
+}
+
+// Query parses and executes a SELECT statement against the catalog and
+// returns the result relation. The dialect covers the paper's Section 2
+// examples: cross joins with aliases, the model's operations as
+// functions, and boolean/comparison/arithmetic expressions.
+func Query(cat Catalog, sql string) (*Relation, error) {
+	stmt, err := parseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	env := &queryEnv{}
+	for _, f := range stmt.from {
+		rel, ok := cat[f.rel]
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown relation %q", ErrSchema, f.rel)
+		}
+		env.binds = append(env.binds, binding{alias: f.alias, rel: rel})
+	}
+	// Expand * and build the output schema by static typing.
+	items := stmt.items
+	if stmt.star {
+		items = nil
+		for _, b := range env.binds {
+			for _, col := range b.rel.Schema {
+				ref := colRef{name: col.Name}
+				if len(env.binds) > 1 {
+					ref.qualifier = b.alias
+				}
+				items = append(items, selectItem{e: ref})
+			}
+		}
+	}
+	aggMode := len(stmt.groupBy) > 0
+	for _, it := range items {
+		has, err := env.containsAggregate(it.e)
+		if err != nil {
+			return nil, err
+		}
+		aggMode = aggMode || has
+	}
+	if aggMode {
+		if stmt.where != nil {
+			t, err := env.typeOf(stmt.where)
+			if err != nil {
+				return nil, err
+			}
+			if t != TBool {
+				return nil, fmt.Errorf("%w: WHERE must be bool, got %s", ErrType, t)
+			}
+		}
+		return runAggregate(env, stmt, items)
+	}
+	schema := make(Schema, 0, len(items))
+	names := map[string]int{}
+	for _, it := range items {
+		t, err := env.typeOf(it.e)
+		if err != nil {
+			return nil, err
+		}
+		if t == TIReal {
+			return nil, fmt.Errorf("%w: intime values cannot be selected; wrap with val() or inst()", ErrType)
+		}
+		name := it.alias
+		if name == "" {
+			name = it.e.String()
+		}
+		if _, dup := names[name]; dup {
+			name = fmt.Sprintf("%s#%d", name, len(schema))
+		}
+		names[name] = len(schema)
+		schema = append(schema, Column{Name: name, Type: t})
+	}
+	if stmt.where != nil {
+		t, err := env.typeOf(stmt.where)
+		if err != nil {
+			return nil, err
+		}
+		if t != TBool {
+			return nil, fmt.Errorf("%w: WHERE must be bool, got %s", ErrType, t)
+		}
+	}
+	// ORDER BY may reference output aliases; substitute them with the
+	// underlying expressions.
+	aliases := map[string]expr{}
+	for _, it := range items {
+		if it.alias != "" {
+			aliases[it.alias] = it.e
+		}
+	}
+	for k, ob := range stmt.orderBy {
+		if ref, isCol := ob.e.(colRef); isCol && ref.qualifier == "" {
+			if sub, ok := aliases[ref.name]; ok {
+				stmt.orderBy[k].e = sub
+			}
+		}
+	}
+	for _, ob := range stmt.orderBy {
+		t, err := env.typeOf(ob.e)
+		if err != nil {
+			return nil, err
+		}
+		switch t {
+		case TReal, TInt, TString, TBool:
+		default:
+			return nil, fmt.Errorf("%w: ORDER BY needs an orderable type, got %s", ErrType, t)
+		}
+	}
+	out := NewRelation("query", schema)
+	var sortKeys [][]any
+
+	// Cross product over the FROM relations.
+	env.tuples = make([]Tuple, len(env.binds))
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(env.binds) {
+			if stmt.where != nil {
+				keep, err := env.eval(stmt.where)
+				if err != nil {
+					return err
+				}
+				if b, isB := keep.(bool); !isB || !b {
+					return nil // ⊥ filters the row, like SQL NULL
+				}
+			}
+			row := make(Tuple, len(items))
+			for k, it := range items {
+				v, err := env.eval(it.e)
+				if err != nil {
+					return err
+				}
+				row[k] = v
+			}
+			if len(stmt.orderBy) > 0 {
+				keys := make([]any, len(stmt.orderBy))
+				for k, ob := range stmt.orderBy {
+					v, err := env.eval(ob.e)
+					if err != nil {
+						return err
+					}
+					keys[k] = v
+				}
+				sortKeys = append(sortKeys, keys)
+			}
+			return out.Insert(row)
+		}
+		for _, t := range env.binds[i].rel.Scan() {
+			env.tuples[i] = t
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	if len(stmt.orderBy) > 0 {
+		sortRelation(out, sortKeys, stmt.orderBy)
+	}
+	if stmt.limit >= 0 && stmt.limit < len(out.tuples) {
+		out.tuples = out.tuples[:stmt.limit]
+	}
+	return out, nil
+}
+
+// sortRelation stably sorts the result rows by the evaluated ORDER BY
+// keys; ⊥ keys sort last.
+func sortRelation(out *Relation, keys [][]any, order []orderItem) {
+	idx := make([]int, len(out.tuples))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for k, ob := range order {
+			c := cmpKeys(keys[idx[a]][k], keys[idx[b]][k])
+			if c == 0 {
+				continue
+			}
+			if ob.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	tuples := make([]Tuple, len(out.tuples))
+	for i, j := range idx {
+		tuples[i] = out.tuples[j]
+	}
+	out.tuples = tuples
+}
+
+func cmpKeys(a, b any) int {
+	if isUndef(a) || isUndef(b) {
+		switch {
+		case isUndef(a) && isUndef(b):
+			return 0
+		case isUndef(a):
+			return 1 // ⊥ last
+		default:
+			return -1
+		}
+	}
+	switch av := a.(type) {
+	case float64:
+		bv := b.(float64)
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		}
+	case int64:
+		bv := b.(int64)
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		}
+	case string:
+		return strings.Compare(av, b.(string))
+	case bool:
+		bv := b.(bool)
+		switch {
+		case !av && bv:
+			return -1
+		case av && !bv:
+			return 1
+		}
+	}
+	return 0
+}

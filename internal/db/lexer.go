@@ -1,0 +1,120 @@
+package db
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// The query language is the minimal SQL dialect the paper's Section 2
+// examples are written in: SELECT-FROM-WHERE over relations with moving
+// object attributes, expressions built from the model's operations
+// (length, trajectory, distance, atmin, initial, val, inside, ...).
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokComma
+	tokDot
+	tokLParen
+	tokRParen
+	tokOp      // < > <= >= = <>
+	tokArith   // + - * /
+	tokKeyword // SELECT FROM WHERE AND OR NOT AS TRUE FALSE
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true,
+	"AND": true, "OR": true, "NOT": true, "AS": true,
+	"TRUE": true, "FALSE": true,
+	"ORDER": true, "BY": true, "GROUP": true, "ASC": true, "DESC": true, "LIMIT": true,
+}
+
+// lex splits a query string into tokens.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := rune(src[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == ',':
+			toks = append(toks, token{kind: tokComma, text: ",", pos: i})
+			i++
+		case c == '.':
+			toks = append(toks, token{kind: tokDot, text: ".", pos: i})
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen, text: "(", pos: i})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen, text: ")", pos: i})
+			i++
+		case c == '+' || c == '*' || c == '/' || c == '-':
+			toks = append(toks, token{kind: tokArith, text: string(c), pos: i})
+			i++
+		case c == '<' || c == '>' || c == '=':
+			op := string(c)
+			if c == '<' && i+1 < len(src) && (src[i+1] == '=' || src[i+1] == '>') {
+				op += string(src[i+1])
+			} else if c == '>' && i+1 < len(src) && src[i+1] == '=' {
+				op += "="
+			}
+			toks = append(toks, token{kind: tokOp, text: op, pos: i})
+			i += len(op)
+		case c == '\'' || c == '"':
+			quote := byte(c)
+			j := i + 1
+			for j < len(src) && src[j] != quote {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("db: unterminated string at %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: src[i+1 : j], pos: i})
+			i = j + 1
+		case unicode.IsDigit(c):
+			j := i
+			for j < len(src) && (unicode.IsDigit(rune(src[j])) || src[j] == '.' ||
+				src[j] == 'e' || src[j] == 'E' ||
+				((src[j] == '+' || src[j] == '-') && j > i && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				j++
+			}
+			f, err := strconv.ParseFloat(src[i:j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("db: bad number %q at %d", src[i:j], i)
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[i:j], num: f, pos: i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			word := src[i:j]
+			if keywords[strings.ToUpper(word)] {
+				toks = append(toks, token{kind: tokKeyword, text: strings.ToUpper(word), pos: i})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: i})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("db: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(src)})
+	return toks, nil
+}

@@ -1,0 +1,111 @@
+package geom
+
+import (
+	"fmt"
+	"slices"
+)
+
+// HalfSegment stores a segment together with a flag selecting one of its
+// two endpoints as the dominating point. Each segment of a line or
+// region value is stored twice — once per endpoint — so that plane-sweep
+// algorithms meet every segment at both its left and its right end
+// (Section 4.1 of the paper, following the ROSE algebra implementation).
+type HalfSegment struct {
+	Seg Segment
+	// LeftDom selects the dominating point: true means Seg.Left
+	// dominates (this is the "left halfsegment"), false means Seg.Right.
+	LeftDom bool
+}
+
+// Dom returns the dominating point of the halfsegment.
+func (h HalfSegment) Dom() Point {
+	if h.LeftDom {
+		return h.Seg.Left
+	}
+	return h.Seg.Right
+}
+
+// Sec returns the secondary (non-dominating) endpoint.
+func (h HalfSegment) Sec() Point {
+	if h.LeftDom {
+		return h.Seg.Right
+	}
+	return h.Seg.Left
+}
+
+// String formats the halfsegment with its dominating point first.
+func (h HalfSegment) String() string { return fmt.Sprintf("[%v>%v]", h.Dom(), h.Sec()) }
+
+// Cmp implements the ROSE halfsegment order: halfsegments are ordered by
+// dominating point (lexicographically); among halfsegments with the same
+// dominating point, right halfsegments precede left ones; ties among
+// halfsegments of the same flag are broken by the counter-clockwise
+// angle of the secondary endpoint around the dominating point. This
+// order makes an array of halfsegments directly traversable by a
+// left-to-right plane sweep.
+func (h HalfSegment) Cmp(g HalfSegment) int {
+	if c := h.Dom().Cmp(g.Dom()); c != 0 {
+		return c
+	}
+	if h.LeftDom != g.LeftDom {
+		// Right halfsegments (segment lies to the left of the sweep
+		// line) come first so the sweep removes before it inserts.
+		if !h.LeftDom {
+			return -1
+		}
+		return 1
+	}
+	// Same dominating point and flag: order by rotation of the
+	// secondary point around the dominating point. For left
+	// halfsegments the segments extend to the right of the dominating
+	// point, for right halfsegments to the left; in both cases the
+	// orientation test gives a consistent angular order.
+	o := Orient(h.Dom(), h.Sec(), g.Sec())
+	switch {
+	case o > 0:
+		return -1
+	case o < 0:
+		return 1
+	}
+	// Collinear: shorter secondary distance first for determinism.
+	dh := h.Dom().Dist(h.Sec())
+	dg := g.Dom().Dist(g.Sec())
+	switch {
+	case dh < dg:
+		return -1
+	case dh > dg:
+		return 1
+	}
+	return 0
+}
+
+// Less reports whether h precedes g in the halfsegment order.
+func (h HalfSegment) Less(g HalfSegment) bool { return h.Cmp(g) < 0 }
+
+// HalfSegments expands a set of segments into its ordered halfsegment
+// sequence (two halfsegments per segment, sorted by Cmp).
+func HalfSegments(segs []Segment) []HalfSegment {
+	hs := make([]HalfSegment, 0, 2*len(segs))
+	for _, s := range segs {
+		hs = append(hs, HalfSegment{Seg: s, LeftDom: true}, HalfSegment{Seg: s, LeftDom: false})
+	}
+	SortHalfSegments(hs)
+	return hs
+}
+
+// SortHalfSegments sorts hs by the halfsegment order, in place.
+func SortHalfSegments(hs []HalfSegment) {
+	slices.SortFunc(hs, HalfSegment.Cmp)
+}
+
+// SegmentsOf extracts the segment set of an ordered halfsegment sequence,
+// taking each segment once (at its left halfsegment).
+func SegmentsOf(hs []HalfSegment) []Segment {
+	segs := make([]Segment, 0, len(hs)/2)
+	for _, h := range hs {
+		if h.LeftDom {
+			segs = append(segs, h.Seg)
+		}
+	}
+	return segs
+}

@@ -1,0 +1,56 @@
+package geom
+
+// Plumbline reports whether point p lies inside the area bounded by the
+// given segments, using the classic "plumbline" (ray casting) technique
+// referenced in Section 5.2 of the paper: count how many segments a
+// vertical ray from p downward (equivalently, upward) crosses; an odd
+// count means inside. The segment set must form the boundary of a
+// well-formed region (every cycle closed); points exactly on the
+// boundary are reported as inside.
+func Plumbline(p Point, segs []Segment) bool {
+	inside := false
+	for _, s := range segs {
+		if s.Contains(p) {
+			return true // boundary counts as inside (regions are closed sets)
+		}
+		if crossesBelow(p, s) {
+			inside = !inside
+		}
+	}
+	return inside
+}
+
+// crossesBelow reports whether segment s crosses the vertical ray going
+// straight down from p. Endpoint grazing is handled with the standard
+// half-open rule: a segment covers the half-open x-interval
+// [min(x), max(x)) of its endpoints, so shared vertices are counted
+// exactly once.
+func crossesBelow(p Point, s Segment) bool {
+	a, b := s.Left, s.Right
+	if a.X == b.X {
+		return false // vertical segments never cross a vertical ray properly
+	}
+	if !(min(a.X, b.X) <= p.X && p.X < max(a.X, b.X)) {
+		return false
+	}
+	// y-coordinate of the segment at x = p.X.
+	t := (p.X - a.X) / (b.X - a.X)
+	y := a.Y + t*(b.Y-a.Y)
+	return y < p.Y
+}
+
+// PlumblineCount returns the number of boundary segments strictly below
+// point p that a downward vertical ray crosses. It exposes the raw
+// count for tests and for callers that need the crossing parity and
+// boundary cases separately: onBoundary is true if p lies on a segment.
+func PlumblineCount(p Point, segs []Segment) (count int, onBoundary bool) {
+	for _, s := range segs {
+		if s.Contains(p) {
+			onBoundary = true
+		}
+		if crossesBelow(p, s) {
+			count++
+		}
+	}
+	return count, onBoundary
+}

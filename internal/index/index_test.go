@@ -1,0 +1,152 @@
+package index
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"movingdb/internal/geom"
+	"movingdb/internal/moving"
+	"movingdb/internal/temporal"
+	"movingdb/internal/workload"
+)
+
+func randomCubes(rng *rand.Rand, n int) []Entry {
+	out := make([]Entry, 0, n)
+	for i := 0; i < n; i++ {
+		x, y, t := rng.Float64()*100, rng.Float64()*100, rng.Float64()*100
+		w, h, d := rng.Float64()*10, rng.Float64()*10, rng.Float64()*10
+		out = append(out, Entry{
+			Cube: geom.Cube{
+				Rect: geom.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h},
+				MinT: t, MaxT: t + d,
+			},
+			ID: int64(i),
+		})
+	}
+	return out
+}
+
+func TestRTreeBuildAndValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 15, 16, 17, 300, 5000} {
+		tr := Build(randomCubes(rng, n))
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, tr.Len())
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if n > 0 && tr.Height() < 1 {
+			t.Fatalf("n=%d: height = %d", n, tr.Height())
+		}
+	}
+}
+
+func TestRTreeSearchMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	entries := randomCubes(rng, 2000)
+	tr := Build(entries)
+	for trial := 0; trial < 50; trial++ {
+		q := randomCubes(rng, 1)[0].Cube
+		got, _ := tr.Search(q, nil)
+		var want []int64
+		for _, e := range entries {
+			if e.Cube.Intersects(q) {
+				want = append(want, e.ID)
+			}
+		}
+		slices.Sort(got)
+		slices.Sort(want)
+		if !slices.Equal(got, want) {
+			t.Fatalf("trial %d: search %v != scan %v", trial, got, want)
+		}
+	}
+}
+
+func TestRTreePrunes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := Build(randomCubes(rng, 4096))
+	// A tiny query must visit far fewer nodes than the whole tree.
+	q := geom.Cube{Rect: geom.Rect{MinX: 50, MinY: 50, MaxX: 51, MaxY: 51}, MinT: 50, MaxT: 51}
+	_, visited := tr.Search(q, nil)
+	if visited >= len(tr.nodes) {
+		t.Fatalf("no pruning: visited %d of %d nodes", visited, len(tr.nodes))
+	}
+}
+
+func TestWindowQueryMatchesScan(t *testing.T) {
+	g := workload.New(8)
+	objects := make([]moving.MPoint, 40)
+	for i := range objects {
+		objects[i] = g.RandomTrajectory(0, 50, 10, 2)
+	}
+	ix := BuildMPointIndex(objects)
+	if err := ix.Tree().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 40; trial++ {
+		x, y := rng.Float64()*900, rng.Float64()*900
+		rect := geom.Rect{MinX: x, MinY: y, MaxX: x + 100, MaxY: y + 100}
+		t0 := temporal.Instant(rng.Float64() * 400)
+		iv := temporal.Closed(t0, t0+60)
+		got := ix.Window(rect, iv)
+		want := ScanWindow(objects, rect, iv)
+		if !slices.Equal(got, want) {
+			t.Fatalf("trial %d: index %v != scan %v", trial, got, want)
+		}
+	}
+}
+
+func TestWindowRefinementIsExact(t *testing.T) {
+	// An object whose bounding cube intersects the window but whose path
+	// never enters it: the diagonal of a square window's complement.
+	p, err := moving.MPointFromSamples([]moving.Sample{
+		{T: 0, P: geom.Pt(0, 10)},
+		{T: 10, P: geom.Pt(10, 0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := BuildMPointIndex([]moving.MPoint{p})
+	// Window in the lower-left corner: the cube [0,10]² intersects it,
+	// the diagonal path x+y=10 does not.
+	rect := geom.Rect{MinX: 0, MinY: 0, MaxX: 3, MaxY: 3}
+	if got := ix.Window(rect, temporal.Closed(0, 10)); len(got) != 0 {
+		t.Fatalf("false positive: %v", got)
+	}
+	// A window the path clips.
+	rect2 := geom.Rect{MinX: 4, MinY: 4, MaxX: 7, MaxY: 7}
+	if got := ix.Window(rect2, temporal.Closed(0, 10)); len(got) != 1 {
+		t.Fatalf("missed hit: %v", got)
+	}
+	// Same window, but a query interval before the crossing time
+	// (crossing happens around t ∈ [3, 7]).
+	if got := ix.Window(rect2, temporal.Closed(0, 2)); len(got) != 0 {
+		t.Fatalf("temporal refinement failed: %v", got)
+	}
+}
+
+func TestUnitInWindowEdgeCases(t *testing.T) {
+	rect := geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	// Static point inside.
+	if !unitInWindow(5, 0, 5, 0, rect, temporal.Closed(0, 10), temporal.Closed(2, 3)) {
+		t.Error("static inside missed")
+	}
+	// Static point outside.
+	if unitInWindow(50, 0, 5, 0, rect, temporal.Closed(0, 10), temporal.Closed(2, 3)) {
+		t.Error("static outside hit")
+	}
+	// Moving point entering after the query interval.
+	if unitInWindow(-100, 1, 5, 0, rect, temporal.Closed(0, 200), temporal.Closed(0, 50)) {
+		t.Error("late entry hit")
+	}
+	if !unitInWindow(-100, 1, 5, 0, rect, temporal.Closed(0, 200), temporal.Closed(100, 120)) {
+		t.Error("in-window interval missed")
+	}
+	// Disjoint unit and query intervals.
+	if unitInWindow(5, 0, 5, 0, rect, temporal.Closed(0, 10), temporal.Closed(20, 30)) {
+		t.Error("disjoint intervals hit")
+	}
+}

@@ -1,0 +1,226 @@
+// Package index provides a spatio-temporal index over the sliced
+// representation: an R-tree in (x, y, t) space over the bounding cubes
+// that the Section 4.2 data structures already store with every spatial
+// unit. The paper itself defers indexing to related work ([TSPM98] in
+// its bibliography); this package is the natural extension point a
+// moving objects DBMS needs for selections like "which objects crossed
+// window W during period P", and the benchmark harness uses it as an
+// ablation against full scans.
+package index
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"movingdb/internal/geom"
+)
+
+// Entry is one indexed item: a bounding cube and the caller's payload
+// identifier (object id, unit index, ...).
+type Entry struct {
+	Cube geom.Cube
+	ID   int64
+}
+
+// RTree is a static R-tree built by sort-tile-recursive (STR) bulk
+// loading. The tree is pointer-free in the spirit of the paper's data
+// structures: nodes live in one slice and reference their children by
+// index ranges.
+type RTree struct {
+	nodes   []node
+	entries []Entry
+	root    int
+	height  int
+}
+
+const fanout = 16
+
+type node struct {
+	cube geom.Cube
+	// leaf: entries[lo:hi]; inner: nodes[lo:hi].
+	lo, hi int
+	leaf   bool
+}
+
+// Build bulk-loads an R-tree over the entries using STR: sort by x,
+// tile into vertical slabs, sort each slab by y, tile again, sort runs
+// by t. The input slice is copied.
+func Build(entries []Entry) *RTree {
+	t := &RTree{entries: append([]Entry(nil), entries...)}
+	if len(t.entries) == 0 {
+		t.root = -1
+		return t
+	}
+	t.strSort()
+	// Leaves over runs of fanout entries.
+	var level []int
+	for lo := 0; lo < len(t.entries); lo += fanout {
+		hi := min(lo+fanout, len(t.entries))
+		cube := geom.EmptyCube()
+		for _, e := range t.entries[lo:hi] {
+			cube = cube.Union(e.Cube)
+		}
+		t.nodes = append(t.nodes, node{cube: cube, lo: lo, hi: hi, leaf: true})
+		level = append(level, len(t.nodes)-1)
+	}
+	t.height = 1
+	// Inner levels: children of one parent are contiguous by
+	// construction.
+	for len(level) > 1 {
+		var next []int
+		for lo := 0; lo < len(level); lo += fanout {
+			hi := min(lo+fanout, len(level))
+			cube := geom.EmptyCube()
+			for _, ni := range level[lo:hi] {
+				cube = cube.Union(t.nodes[ni].cube)
+			}
+			t.nodes = append(t.nodes, node{cube: cube, lo: level[lo], hi: level[hi-1] + 1, leaf: false})
+			next = append(next, len(t.nodes)-1)
+		}
+		level = next
+		t.height++
+	}
+	t.root = level[0]
+	return t
+}
+
+// strSort orders entries by the STR tiling.
+func (t *RTree) strSort() {
+	center := func(e Entry) (x, y, tm float64) {
+		return (e.Cube.Rect.MinX + e.Cube.Rect.MaxX) / 2,
+			(e.Cube.Rect.MinY + e.Cube.Rect.MaxY) / 2,
+			(e.Cube.MinT + e.Cube.MaxT) / 2
+	}
+	n := len(t.entries)
+	leaves := (n + fanout - 1) / fanout
+	sx := int(math.Ceil(math.Cbrt(float64(leaves))))
+	slabX := sx * sx * fanout // entries per x-slab
+	slabY := sx * fanout      // entries per (x, y)-slab
+
+	slices.SortFunc(t.entries, func(a, b Entry) int {
+		ax, _, _ := center(a)
+		bx, _, _ := center(b)
+		return cmpF(ax, bx)
+	})
+	for lo := 0; lo < n; lo += slabX {
+		hi := min(lo+slabX, n)
+		slices.SortFunc(t.entries[lo:hi], func(a, b Entry) int {
+			_, ay, _ := center(a)
+			_, by, _ := center(b)
+			return cmpF(ay, by)
+		})
+		for l2 := lo; l2 < hi; l2 += slabY {
+			h2 := min(l2+slabY, hi)
+			slices.SortFunc(t.entries[l2:h2], func(a, b Entry) int {
+				_, _, at := center(a)
+				_, _, bt := center(b)
+				return cmpF(at, bt)
+			})
+		}
+	}
+}
+
+func cmpF(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// Len returns the number of indexed entries.
+func (t *RTree) Len() int { return len(t.entries) }
+
+// Height returns the number of levels (0 for the empty tree).
+func (t *RTree) Height() int {
+	if t.root < 0 {
+		return 0
+	}
+	return t.height
+}
+
+// Search appends to out the IDs of all entries whose cubes intersect the
+// query cube and returns the result along with the number of nodes
+// visited (for the scan-vs-index ablation).
+func (t *RTree) Search(q geom.Cube, out []int64) ([]int64, int) {
+	if t.root < 0 {
+		return out, 0
+	}
+	visited := 0
+	var rec func(ni int)
+	rec = func(ni int) {
+		visited++
+		nd := t.nodes[ni]
+		if !nd.cube.Intersects(q) {
+			return
+		}
+		if nd.leaf {
+			for _, e := range t.entries[nd.lo:nd.hi] {
+				if e.Cube.Intersects(q) {
+					out = append(out, e.ID)
+				}
+			}
+			return
+		}
+		for c := nd.lo; c < nd.hi; c++ {
+			rec(c)
+		}
+	}
+	rec(t.root)
+	return out, visited
+}
+
+// Validate checks the structural invariants: every child cube is
+// contained in its parent's cube and entry ranges tile the entry slice.
+func (t *RTree) Validate() error {
+	if t.root < 0 {
+		if len(t.entries) != 0 {
+			return fmt.Errorf("index: empty tree with %d entries", len(t.entries))
+		}
+		return nil
+	}
+	covered := make([]bool, len(t.entries))
+	var rec func(ni int) error
+	rec = func(ni int) error {
+		nd := t.nodes[ni]
+		if nd.leaf {
+			for i := nd.lo; i < nd.hi; i++ {
+				if covered[i] {
+					return fmt.Errorf("index: entry %d in two leaves", i)
+				}
+				covered[i] = true
+				if !contains(nd.cube, t.entries[i].Cube) {
+					return fmt.Errorf("index: leaf cube does not cover entry %d", i)
+				}
+			}
+			return nil
+		}
+		for c := nd.lo; c < nd.hi; c++ {
+			if !contains(nd.cube, t.nodes[c].cube) {
+				return fmt.Errorf("index: node %d does not cover child %d", ni, c)
+			}
+			if err := rec(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(t.root); err != nil {
+		return err
+	}
+	for i, c := range covered {
+		if !c {
+			return fmt.Errorf("index: entry %d not reachable", i)
+		}
+	}
+	return nil
+}
+
+func contains(outer, inner geom.Cube) bool {
+	return outer.Rect.MinX <= inner.Rect.MinX && outer.Rect.MaxX >= inner.Rect.MaxX &&
+		outer.Rect.MinY <= inner.Rect.MinY && outer.Rect.MaxY >= inner.Rect.MaxY &&
+		outer.MinT <= inner.MinT && outer.MaxT >= inner.MaxT
+}

@@ -1,0 +1,277 @@
+// Package mapping implements the mapping(unit) type constructor of
+// Section 3.2.4: the sliced representation of a moving object as an
+// ordered array of temporal units with pairwise disjoint intervals,
+// where adjacent units must carry distinct unit functions (minimal,
+// unique representation). The array is ordered by unit interval, which
+// gives O(log n) instant lookup (binary search, Section 5.1) and O(n+m)
+// parallel traversal for binary operations (refinement partition,
+// Section 5.2).
+package mapping
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"strings"
+
+	"movingdb/internal/temporal"
+	"movingdb/internal/units"
+)
+
+// ErrInvalidMapping reports a violation of the mapping carrier set
+// constraints.
+var ErrInvalidMapping = errors.New("mapping: invalid sliced representation")
+
+// Mapping is a sliced representation over unit type U. The zero value is
+// the everywhere-undefined moving object.
+type Mapping[U units.Unit[U]] struct {
+	us []U
+}
+
+// New validates and builds a mapping from units: unit intervals must be
+// pairwise disjoint and adjacent units must differ in their unit
+// function. Units may be given in any order; they are sorted by
+// interval.
+func New[U units.Unit[U]](us ...U) (Mapping[U], error) {
+	work := make([]U, len(us))
+	copy(work, us)
+	slices.SortFunc(work, func(a, b U) int {
+		ia, ib := a.Interval(), b.Interval()
+		switch {
+		case ia.Start < ib.Start:
+			return -1
+		case ia.Start > ib.Start:
+			return 1
+		case ia.LC && !ib.LC:
+			return -1
+		case !ia.LC && ib.LC:
+			return 1
+		}
+		return 0
+	})
+	m := Mapping[U]{us: work}
+	if err := m.Validate(); err != nil {
+		return Mapping[U]{}, err
+	}
+	return m, nil
+}
+
+// Must is like New but panics on invalid input.
+func Must[U units.Unit[U]](us ...U) Mapping[U] {
+	m, err := New(us...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// FromOrdered wraps an already ordered and validated unit slice without
+// copying or checking; for trusted construction paths (storage decode
+// verifies separately, operations produce ordered output by
+// construction).
+func FromOrdered[U units.Unit[U]](us []U) Mapping[U] { return Mapping[U]{us: us} }
+
+// Validate checks the carrier set constraints of Section 3.2.4.
+func (m Mapping[U]) Validate() error {
+	for i, u := range m.us {
+		if err := u.Interval().Validate(); err != nil {
+			return fmt.Errorf("%w: unit %d: %v", ErrInvalidMapping, i, err)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := m.us[i-1]
+		pi, ci := prev.Interval(), u.Interval()
+		if !pi.RDisjoint(ci) {
+			return fmt.Errorf("%w: unit intervals %v and %v overlap or are out of order", ErrInvalidMapping, pi, ci)
+		}
+		if pi.Adjacent(ci) && prev.EqualFunc(u) {
+			return fmt.Errorf("%w: adjacent units %v and %v carry equal values", ErrInvalidMapping, pi, ci)
+		}
+	}
+	return nil
+}
+
+// Units returns the ordered unit array (shared; read-only).
+func (m Mapping[U]) Units() []U { return m.us }
+
+// Len returns the number of units.
+func (m Mapping[U]) Len() int { return len(m.us) }
+
+// IsEmpty reports whether the moving object is nowhere defined.
+func (m Mapping[U]) IsEmpty() bool { return len(m.us) == 0 }
+
+// FindUnit returns the index of the unit whose interval contains t, by
+// binary search; ok is false if t lies in no unit.
+func (m Mapping[U]) FindUnit(t temporal.Instant) (int, bool) {
+	lo, hi := 0, len(m.us)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		iv := m.us[mid].Interval()
+		switch {
+		case iv.Contains(t):
+			return mid, true
+		case t < iv.Start || (t == iv.Start && !iv.LC):
+			hi = mid
+		default:
+			lo = mid + 1
+		}
+	}
+	return lo, false
+}
+
+// UnitAt returns the unit whose interval contains t.
+func (m Mapping[U]) UnitAt(t temporal.Instant) (U, bool) {
+	var zero U
+	i, ok := m.FindUnit(t)
+	if !ok {
+		return zero, false
+	}
+	return m.us[i], true
+}
+
+// Present reports whether the moving object is defined at t.
+func (m Mapping[U]) Present(t temporal.Instant) bool {
+	_, ok := m.FindUnit(t)
+	return ok
+}
+
+// DefTime returns the set of time intervals at which the object is
+// defined (the domain projection of the abstract model).
+func (m Mapping[U]) DefTime() temporal.Periods {
+	ivs := make([]temporal.Interval, 0, len(m.us))
+	for _, u := range m.us {
+		ivs = append(ivs, u.Interval())
+	}
+	return temporal.MustPeriods(ivs...)
+}
+
+// Intervals returns the ordered unit intervals.
+func (m Mapping[U]) Intervals() []temporal.Interval {
+	ivs := make([]temporal.Interval, 0, len(m.us))
+	for _, u := range m.us {
+		ivs = append(ivs, u.Interval())
+	}
+	return ivs
+}
+
+// InitialUnit returns the first unit; ok is false for an empty mapping.
+func (m Mapping[U]) InitialUnit() (U, bool) {
+	var zero U
+	if len(m.us) == 0 {
+		return zero, false
+	}
+	return m.us[0], true
+}
+
+// FinalUnit returns the last unit; ok is false for an empty mapping.
+func (m Mapping[U]) FinalUnit() (U, bool) {
+	var zero U
+	if len(m.us) == 0 {
+		return zero, false
+	}
+	return m.us[len(m.us)-1], true
+}
+
+// AtPeriods restricts the moving object to the given time periods,
+// clipping units at period boundaries.
+func (m Mapping[U]) AtPeriods(p temporal.Periods) Mapping[U] {
+	var out []U
+	ri := temporal.Refine(m.Intervals(), p.Intervals())
+	for _, r := range ri {
+		if r.A >= 0 && r.B >= 0 {
+			out = appendMerged(out, m.us[r.A].WithInterval(r.Iv))
+		}
+	}
+	return Mapping[U]{us: out}
+}
+
+// appendMerged appends unit u, merging it into the previous unit when
+// the two are adjacent and carry the same unit function (the concat
+// operation of Section 5.2, O(1) per unit).
+func appendMerged[U units.Unit[U]](us []U, u U) []U {
+	if n := len(us); n > 0 {
+		prev := us[n-1]
+		pi, ci := prev.Interval(), u.Interval()
+		if pi.Adjacent(ci) && prev.EqualFunc(u) {
+			if merged, ok := pi.Union(ci); ok {
+				us[n-1] = prev.WithInterval(merged)
+				return us
+			}
+		}
+	}
+	return append(us, u)
+}
+
+// Concat merges two mappings whose definition times are in temporal
+// order (every unit of m before every unit of n, except that the last
+// unit of m may be adjacent to the first of n). It is the concat
+// operation used by the inside algorithm.
+func Concat[U units.Unit[U]](m, n Mapping[U]) (Mapping[U], error) {
+	out := make([]U, 0, len(m.us)+len(n.us))
+	out = append(out, m.us...)
+	for _, u := range n.us {
+		out = appendMerged(out, u)
+	}
+	res := Mapping[U]{us: out}
+	if err := res.Validate(); err != nil {
+		return Mapping[U]{}, err
+	}
+	return res, nil
+}
+
+// Builder accumulates units in temporal order, merging adjacent equal
+// units; it is the standard way for operations to assemble result
+// mappings in O(1) per appended unit.
+type Builder[U units.Unit[U]] struct {
+	us  []U
+	err error
+}
+
+// Append adds a unit that must start no earlier than the previous one
+// ends; violations are recorded and surfaced by Build.
+func (b *Builder[U]) Append(u U) {
+	if b.err != nil {
+		return
+	}
+	if n := len(b.us); n > 0 {
+		pi := b.us[n-1].Interval()
+		if !pi.RDisjoint(u.Interval()) {
+			b.err = fmt.Errorf("%w: unit %v appended after %v", ErrInvalidMapping, u.Interval(), pi)
+			return
+		}
+	}
+	b.us = appendMerged(b.us, u)
+}
+
+// Build returns the assembled mapping.
+func (b *Builder[U]) Build() (Mapping[U], error) {
+	if b.err != nil {
+		return Mapping[U]{}, b.err
+	}
+	return Mapping[U]{us: b.us}, nil
+}
+
+// MustBuild returns the assembled mapping and panics on an invalid
+// append sequence (which indicates a bug in the calling operation).
+func (b *Builder[U]) MustBuild() Mapping[U] {
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// String renders the mapping unit by unit.
+func (m Mapping[U]) String() string {
+	var b strings.Builder
+	b.WriteString("mapping[")
+	for i, u := range m.us {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%v", u)
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package moving
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"movingdb/internal/geom"
+	"movingdb/internal/temporal"
+)
+
+// This file is the ingestion path from recorded trajectories (e.g. GPS
+// logs) into the sliced representation: a CSV reader for (t, x, y)
+// observations and a Douglas–Peucker-style simplifier that reduces the
+// number of units while bounding the spatial error — the standard
+// preprocessing step before trajectories enter a moving objects
+// database.
+
+// ReadSamplesCSV reads observations from CSV data with rows "t,x,y"
+// (header rows are skipped if the first field does not parse as a
+// number). Samples must be in strictly increasing time order.
+func ReadSamplesCSV(r io.Reader) ([]Sample, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	cr.TrimLeadingSpace = true
+	var out []Sample
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("moving: csv line %d: %w", line+1, err)
+		}
+		line++
+		t, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			if line == 1 {
+				continue // header
+			}
+			return nil, fmt.Errorf("moving: csv line %d: bad time %q", line, rec[0])
+		}
+		x, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("moving: csv line %d: bad x %q", line, rec[1])
+		}
+		y, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("moving: csv line %d: bad y %q", line, rec[2])
+		}
+		out = append(out, Sample{T: temporal.Instant(t), P: geom.Pt(x, y)})
+	}
+	return out, nil
+}
+
+// SimplifySamples reduces a sample sequence with the Douglas–Peucker
+// recursion applied in (x, y, t) space: a sample is dropped only if its
+// position differs by less than eps from the linear interpolation of the
+// retained neighbours at the same instant, so the simplified moving
+// point deviates from the original by at most eps at every instant. The
+// first and last samples are always kept.
+func SimplifySamples(samples []Sample, eps float64) []Sample {
+	if len(samples) <= 2 {
+		return append([]Sample(nil), samples...)
+	}
+	keep := make([]bool, len(samples))
+	keep[0], keep[len(samples)-1] = true, true
+	var rec func(lo, hi int)
+	rec = func(lo, hi int) {
+		if hi-lo < 2 {
+			return
+		}
+		a, b := samples[lo], samples[hi]
+		worst, at := 0.0, -1
+		for i := lo + 1; i < hi; i++ {
+			s := samples[i]
+			// Interpolated position at s.T along the kept chord.
+			frac := float64(s.T-a.T) / float64(b.T-a.T)
+			interp := a.P.Add(b.P.Sub(a.P).Scale(frac))
+			if d := interp.Dist(s.P); d > worst {
+				worst, at = d, i
+			}
+		}
+		if worst > eps {
+			keep[at] = true
+			rec(lo, at)
+			rec(at, hi)
+		}
+	}
+	rec(0, len(samples)-1)
+	out := make([]Sample, 0, len(samples))
+	for i, k := range keep {
+		if k {
+			out = append(out, samples[i])
+		}
+	}
+	return out
+}
+
+// MPointFromCSV reads, optionally simplifies (eps > 0), and builds a
+// moving point in one step.
+func MPointFromCSV(r io.Reader, eps float64) (MPoint, error) {
+	samples, err := ReadSamplesCSV(r)
+	if err != nil {
+		return MPoint{}, err
+	}
+	if eps > 0 {
+		samples = SimplifySamples(samples, eps)
+	}
+	return MPointFromSamples(samples)
+}

@@ -1,0 +1,116 @@
+package moving
+
+import (
+	"strings"
+	"testing"
+
+	"math"
+	"math/rand"
+
+	"movingdb/internal/geom"
+	"movingdb/internal/temporal"
+)
+
+func TestReadSamplesCSV(t *testing.T) {
+	csv := "t,x,y\n0,0,0\n10,5,5\n20,10,0\n"
+	samples, err := ReadSamplesCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 || samples[1].P != geom.Pt(5, 5) {
+		t.Fatalf("samples = %v", samples)
+	}
+	// Headerless data works too.
+	samples, err = ReadSamplesCSV(strings.NewReader("0,1,2\n5,3,4\n"))
+	if err != nil || len(samples) != 2 {
+		t.Fatalf("headerless = %v, %v", samples, err)
+	}
+	// Bad field.
+	if _, err := ReadSamplesCSV(strings.NewReader("0,1,2\n5,x,4\n")); err == nil {
+		t.Error("bad x accepted")
+	}
+	// Wrong arity.
+	if _, err := ReadSamplesCSV(strings.NewReader("0,1\n")); err == nil {
+		t.Error("two-field row accepted")
+	}
+}
+
+func TestMPointFromCSV(t *testing.T) {
+	csv := "t,x,y\n0,0,0\n10,10,0\n20,10,10\n"
+	p, err := MPointFromCSV(strings.NewReader(csv), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.M.Len() != 2 || p.AtInstant(15).P != geom.Pt(10, 5) {
+		t.Fatalf("mpoint = %v", p)
+	}
+}
+
+func TestSimplifySamplesCollinear(t *testing.T) {
+	// Redundant samples exactly on a straight constant-speed leg are
+	// dropped entirely.
+	var samples []Sample
+	for i := 0; i <= 10; i++ {
+		samples = append(samples, Sample{T: temporal.Instant(i), P: geom.Pt(float64(i), 0)})
+	}
+	out := SimplifySamples(samples, 1e-9)
+	if len(out) != 2 {
+		t.Fatalf("collinear simplify kept %d samples", len(out))
+	}
+	if out[0] != samples[0] || out[1] != samples[10] {
+		t.Error("endpoints not preserved")
+	}
+	// A genuine corner survives.
+	samples[5].P = geom.Pt(5, 3)
+	out = SimplifySamples(samples, 0.5)
+	found := false
+	for _, s := range out {
+		if s.P == geom.Pt(5, 3) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("corner sample dropped")
+	}
+}
+
+func TestSimplifyErrorBound(t *testing.T) {
+	// The simplified moving point stays within eps of the original at
+	// every sampled instant — the guarantee the time-parameterised
+	// Douglas–Peucker gives.
+	rng := rand.New(rand.NewSource(13))
+	pos := geom.Pt(500, 500)
+	samples := []Sample{{T: 0, P: pos}}
+	for i := 1; i <= 200; i++ {
+		ang := rng.Float64() * 2 * math.Pi
+		step := rng.Float64() * 20
+		pos = pos.Add(geom.Pt(math.Cos(ang), math.Sin(ang)).Scale(step))
+		samples = append(samples, Sample{T: temporal.Instant(i * 10), P: pos})
+	}
+	orig, err0 := MPointFromSamples(samples)
+	if err0 != nil {
+		t.Fatal(err0)
+	}
+
+	const eps = 5.0
+	simp := SimplifySamples(samples, eps)
+	if len(simp) >= len(samples) {
+		t.Fatalf("no reduction: %d -> %d", len(samples), len(simp))
+	}
+	sp, err := MPointFromSamples(simp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= 2000; k++ {
+		tt := temporal.Instant(2000 * float64(k) / 2000)
+		a := orig.AtInstant(tt)
+		b := sp.AtInstant(tt)
+		if !a.Defined() || !b.Defined() {
+			t.Fatalf("undefined at %v", tt)
+		}
+		if d := a.P.Dist(b.P); d > eps+1e-9 {
+			t.Fatalf("error %v > eps at %v", d, tt)
+		}
+	}
+	t.Logf("simplified %d -> %d samples at eps=%v", len(samples), len(simp), eps)
+}

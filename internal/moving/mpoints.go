@@ -1,0 +1,122 @@
+package moving
+
+import (
+	"movingdb/internal/geom"
+	"movingdb/internal/mapping"
+	"movingdb/internal/spatial"
+	"movingdb/internal/temporal"
+	"movingdb/internal/units"
+)
+
+// MPoints is the moving points type: mapping(upoints) — a finite set of
+// points moving together (e.g. a group of animals tracked jointly).
+type MPoints struct {
+	M mapping.Mapping[units.UPoints]
+}
+
+// NewMPoints validates units and builds a moving point set.
+func NewMPoints(us ...units.UPoints) (MPoints, error) {
+	m, err := mapping.New(us...)
+	if err != nil {
+		return MPoints{}, err
+	}
+	return MPoints{M: m}, nil
+}
+
+// MustMPoints is like NewMPoints but panics on invalid input.
+func MustMPoints(us ...units.UPoints) MPoints {
+	m, err := NewMPoints(us...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// AtInstant returns the point set at instant t; ok is false when
+// undefined.
+func (p MPoints) AtInstant(t temporal.Instant) (spatial.Points, bool) {
+	u, ok := p.M.UnitAt(t)
+	if !ok {
+		return spatial.Points{}, false
+	}
+	return u.Eval(t), true
+}
+
+// DefTime returns the time domain.
+func (p MPoints) DefTime() temporal.Periods { return p.M.DefTime() }
+
+// AtPeriods restricts the moving point set to the given periods.
+func (p MPoints) AtPeriods(pr temporal.Periods) MPoints { return MPoints{M: p.M.AtPeriods(pr)} }
+
+// Trajectory returns the line parts of the spatial projection of all
+// member points.
+func (p MPoints) Trajectory() spatial.Line {
+	var segs []geom.Segment
+	for _, u := range p.M.Units() {
+		for _, m := range u.Ms {
+			a, b := m.Eval(u.Iv.Start), m.Eval(u.Iv.End)
+			if a != b {
+				if s, err := geom.NewSegment(a, b); err == nil {
+					segs = append(segs, s)
+				}
+			}
+		}
+	}
+	return spatial.MergeLine(segs...)
+}
+
+// String renders the moving point set.
+func (p MPoints) String() string { return p.M.String() }
+
+// MLine is the moving line type: mapping(uline) — e.g. an advancing
+// front such as a fire line or a moving network fragment.
+type MLine struct {
+	M mapping.Mapping[units.ULine]
+}
+
+// NewMLine validates units and builds a moving line.
+func NewMLine(us ...units.ULine) (MLine, error) {
+	m, err := mapping.New(us...)
+	if err != nil {
+		return MLine{}, err
+	}
+	return MLine{M: m}, nil
+}
+
+// MustMLine is like NewMLine but panics on invalid input.
+func MustMLine(us ...units.ULine) MLine {
+	m, err := NewMLine(us...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// AtInstant returns the line value at instant t, with boundary cleanup
+// at unit end points (merge-segs); ok is false when undefined.
+func (l MLine) AtInstant(t temporal.Instant) (spatial.Line, bool) {
+	u, ok := l.M.UnitAt(t)
+	if !ok {
+		return spatial.Line{}, false
+	}
+	return u.EvalAt(t)
+}
+
+// DefTime returns the time domain.
+func (l MLine) DefTime() temporal.Periods { return l.M.DefTime() }
+
+// AtPeriods restricts the moving line to the given periods.
+func (l MLine) AtPeriods(pr temporal.Periods) MLine { return MLine{M: l.M.AtPeriods(pr)} }
+
+// LengthAt returns the total segment length at instant t; ok is false
+// when undefined.
+func (l MLine) LengthAt(t temporal.Instant) (float64, bool) {
+	line, ok := l.AtInstant(t)
+	if !ok {
+		return 0, false
+	}
+	return line.Length(), true
+}
+
+// String renders the moving line.
+func (l MLine) String() string { return l.M.String() }

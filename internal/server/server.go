@@ -1,0 +1,186 @@
+// Package server exposes a moving objects database over HTTP — the
+// "data blade in a service" packaging a downstream user would deploy:
+// SQL queries against the catalog, atinstant snapshots of tracked
+// objects, and indexed spatio-temporal window queries. Responses are
+// JSON; all handlers are read-only.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"movingdb/internal/db"
+	"movingdb/internal/geom"
+	"movingdb/internal/index"
+	"movingdb/internal/moving"
+	"movingdb/internal/temporal"
+)
+
+// Server serves a catalog of relations plus an R-tree index over the
+// moving point objects of one designated relation/column.
+type Server struct {
+	Catalog db.Catalog
+	// Tracked objects for /atinstant and /window.
+	ObjectIDs []string
+	Objects   []moving.MPoint
+	idx       *index.MPointIndex
+}
+
+// New builds a server over the catalog; the tracked objects (parallel
+// id/value slices) feed the window index.
+func New(cat db.Catalog, ids []string, objects []moving.MPoint) (*Server, error) {
+	if len(ids) != len(objects) {
+		return nil, errors.New("server: ids and objects length mismatch")
+	}
+	return &Server{
+		Catalog:   cat,
+		ObjectIDs: ids,
+		Objects:   objects,
+		idx:       index.BuildMPointIndex(objects),
+	}, nil
+}
+
+// Handler returns the HTTP mux with all endpoints registered.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /query", s.handleQuery)
+	mux.HandleFunc("GET /atinstant", s.handleAtInstant)
+	mux.HandleFunc("GET /window", s.handleWindow)
+	mux.HandleFunc("GET /objects", s.handleObjects)
+	return mux
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// handleQuery executes ?q=<SELECT ...> and returns columns and rows.
+// Only scalar result columns are rendered; moving/spatial values are
+// summarised.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing q parameter"))
+		return
+	}
+	res, err := db.Query(s.Catalog, q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	cols := make([]string, len(res.Schema))
+	for i, c := range res.Schema {
+		cols[i] = fmt.Sprintf("%s:%s", c.Name, c.Type)
+	}
+	rows := make([][]any, 0, res.Len())
+	for _, t := range res.Scan() {
+		row := make([]any, len(t))
+		for i, v := range t {
+			row[i] = renderValue(v)
+		}
+		rows = append(rows, row)
+	}
+	writeJSON(w, map[string]any{"columns": cols, "rows": rows})
+}
+
+func renderValue(v any) any {
+	switch x := v.(type) {
+	case string, float64, bool, int64:
+		return x
+	case fmt.Stringer:
+		return x.String()
+	}
+	return fmt.Sprintf("%v", v)
+}
+
+// handleAtInstant returns the position of every tracked object defined
+// at ?t=.
+func (s *Server) handleAtInstant(w http.ResponseWriter, r *http.Request) {
+	t, err := floatParam(r, "t")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	type pos struct {
+		ID string  `json:"id"`
+		X  float64 `json:"x"`
+		Y  float64 `json:"y"`
+	}
+	var out []pos
+	for i, p := range s.Objects {
+		if v := p.AtInstant(temporal.Instant(t)); v.Defined() {
+			out = append(out, pos{ID: s.ObjectIDs[i], X: v.P.X, Y: v.P.Y})
+		}
+	}
+	writeJSON(w, map[string]any{"t": t, "positions": out})
+}
+
+// handleWindow answers ?x1=&y1=&x2=&y2=&t1=&t2= with the ids of objects
+// inside the window during the interval, via the R-tree with exact
+// refinement.
+func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
+	var vals [6]float64
+	for i, name := range []string{"x1", "y1", "x2", "y2", "t1", "t2"} {
+		v, err := floatParam(r, name)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		vals[i] = v
+	}
+	rect := geom.Rect{
+		MinX: min(vals[0], vals[2]), MinY: min(vals[1], vals[3]),
+		MaxX: max(vals[0], vals[2]), MaxY: max(vals[1], vals[3]),
+	}
+	if vals[5] < vals[4] {
+		writeErr(w, http.StatusBadRequest, errors.New("t2 before t1"))
+		return
+	}
+	iv := temporal.Closed(temporal.Instant(vals[4]), temporal.Instant(vals[5]))
+	hits := s.idx.Window(rect, iv)
+	ids := make([]string, 0, len(hits))
+	for _, oi := range hits {
+		ids = append(ids, s.ObjectIDs[oi])
+	}
+	writeJSON(w, map[string]any{"ids": ids})
+}
+
+// handleObjects lists the tracked objects with their definition times
+// and unit counts.
+func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
+	type obj struct {
+		ID    string  `json:"id"`
+		Units int     `json:"units"`
+		From  float64 `json:"from"`
+		To    float64 `json:"to"`
+	}
+	out := make([]obj, 0, len(s.Objects))
+	for i, p := range s.Objects {
+		lo, _ := p.DefTime().MinInstant()
+		hi, _ := p.DefTime().MaxInstant()
+		out = append(out, obj{ID: s.ObjectIDs[i], Units: p.M.Len(), From: float64(lo), To: float64(hi)})
+	}
+	writeJSON(w, map[string]any{"objects": out})
+}
+
+func floatParam(r *http.Request, name string) (float64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing %s parameter", name)
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %v", name, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"movingdb/internal/db"
+	"movingdb/internal/moving"
+	"movingdb/internal/workload"
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	g := workload.New(2000)
+	planes := db.NewRelation("planes", db.Schema{
+		{Name: "airline", Type: db.TString},
+		{Name: "id", Type: db.TString},
+		{Name: "flight", Type: db.TMPoint},
+	})
+	var ids []string
+	var objects []moving.MPoint
+	for _, f := range g.Flights(20, 100) {
+		planes.MustInsert(db.Tuple{f.Airline, f.ID, f.Flight})
+		ids = append(ids, f.ID)
+		objects = append(objects, f.Flight)
+	}
+	s, err := New(db.Catalog{"planes": planes}, ids, objects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func get(t *testing.T, h http.Handler, url string) (int, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad json from %s: %v (%s)", url, err, rec.Body.String())
+	}
+	return rec.Code, body
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	h := testServer(t).Handler()
+	code, body := get(t, h, "/query?q=SELECT+airline,+id,+length(trajectory(flight))+AS+len+FROM+planes+WHERE+airline+=+'Lufthansa'+ORDER+BY+len+DESC+LIMIT+3")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d: %v", code, body)
+	}
+	rows := body["rows"].([]any)
+	if len(rows) == 0 || len(rows) > 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	cols := body["columns"].([]any)
+	if cols[2].(string) != "len:real" {
+		t.Errorf("columns = %v", cols)
+	}
+	// Syntax error surfaces as 400 with a message.
+	code, body = get(t, h, "/query?q=SELECT")
+	if code != http.StatusBadRequest || body["error"] == "" {
+		t.Errorf("bad query: %d %v", code, body)
+	}
+	// Missing q.
+	code, _ = get(t, h, "/query")
+	if code != http.StatusBadRequest {
+		t.Errorf("missing q: %d", code)
+	}
+}
+
+func TestAtInstantEndpoint(t *testing.T) {
+	h := testServer(t).Handler()
+	code, body := get(t, h, "/atinstant?t=50")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	if _, ok := body["positions"]; !ok {
+		t.Fatalf("body = %v", body)
+	}
+	code, _ = get(t, h, "/atinstant?t=abc")
+	if code != http.StatusBadRequest {
+		t.Errorf("bad t: %d", code)
+	}
+}
+
+func TestWindowEndpoint(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	code, body := get(t, h, "/window?x1=0&y1=0&x2=1000&y2=1000&t1=0&t2=1000")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d: %v", code, body)
+	}
+	ids := body["ids"].([]any)
+	if len(ids) != len(s.Objects) {
+		t.Errorf("whole-world window found %d of %d", len(ids), len(s.Objects))
+	}
+	// Empty window far away.
+	_, body = get(t, h, "/window?x1=-500&y1=-500&x2=-400&y2=-400&t1=0&t2=1000")
+	if got, _ := body["ids"].([]any); len(got) != 0 {
+		t.Errorf("far window ids = %v", got)
+	}
+	// t2 < t1.
+	code, _ = get(t, h, "/window?x1=0&y1=0&x2=1&y2=1&t1=10&t2=0")
+	if code != http.StatusBadRequest {
+		t.Errorf("reversed interval: %d", code)
+	}
+	// Missing parameter.
+	code, _ = get(t, h, "/window?x1=0")
+	if code != http.StatusBadRequest {
+		t.Errorf("missing params: %d", code)
+	}
+}
+
+func TestObjectsEndpoint(t *testing.T) {
+	s := testServer(t)
+	code, body := get(t, s.Handler(), "/objects")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	objs := body["objects"].([]any)
+	if len(objs) != len(s.Objects) {
+		t.Errorf("objects = %d", len(objs))
+	}
+	first := objs[0].(map[string]any)
+	if first["units"].(float64) <= 0 {
+		t.Error("unit count missing")
+	}
+}
+
+func TestNewValidations(t *testing.T) {
+	if _, err := New(db.Catalog{}, []string{"a"}, nil); err == nil {
+		t.Error("mismatched ids accepted")
+	}
+}

@@ -1,0 +1,231 @@
+package spatial
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"strings"
+
+	"movingdb/internal/geom"
+)
+
+// Close builds a region value from a soup of boundary segments,
+// implementing the close operation described in Section 4.1: "algorithms
+// constructing region values generally compute the list of halfsegments
+// and then call a close operation offered by the region data type, which
+// determines the structure of faces and cycles".
+//
+// The structure is recovered in three steps: (1) trace the faces of the
+// planar subdivision induced by the segments using angular (rotation
+// system) traversal, (2) split each face walk at repeated vertices into
+// simple cycles and deduplicate, (3) compute the containment nesting of
+// the cycles — even depth makes an outer cycle, odd depth a hole of the
+// immediately containing cycle.
+//
+// Close assumes the segments form the boundary of some valid region
+// (that is what evaluating a valid uregion unit produces); it detects
+// gross violations such as odd vertex degrees or dangling edges, but a
+// full carrier set check is Region.Validate's job.
+func Close(segs []geom.Segment) (Region, error) {
+	if len(segs) == 0 {
+		return Region{}, nil
+	}
+	segs = dedupSegments(segs)
+
+	// Rotation system: neighbours of each vertex sorted by angle.
+	adj := make(map[geom.Point][]geom.Point, len(segs))
+	for _, s := range segs {
+		adj[s.Left] = append(adj[s.Left], s.Right)
+		adj[s.Right] = append(adj[s.Right], s.Left)
+	}
+	for v, ns := range adj {
+		if len(ns)%2 != 0 {
+			return Region{}, fmt.Errorf("%w: vertex %v has odd degree %d", ErrInvalidRegion, v, len(ns))
+		}
+		slices.SortFunc(ns, func(a, b geom.Point) int {
+			aa := math.Atan2(a.Y-v.Y, a.X-v.X)
+			ab := math.Atan2(b.Y-v.Y, b.X-v.X)
+			switch {
+			case aa < ab:
+				return -1
+			case aa > ab:
+				return 1
+			}
+			return 0
+		})
+	}
+
+	// Trace every directed edge exactly once; the next edge after
+	// arriving at v from u is the clockwise-next neighbour of v after u,
+	// which walks each subdivision face with its interior to the left.
+	type dedge struct{ u, v geom.Point }
+	used := make(map[dedge]bool, 2*len(segs))
+	nextFrom := func(u, v geom.Point) geom.Point {
+		ns := adj[v]
+		idx := -1
+		for i, w := range ns {
+			if w == u {
+				idx = i
+				break
+			}
+		}
+		// u is always a recorded neighbour of v.
+		return ns[(idx-1+len(ns))%len(ns)]
+	}
+
+	var cycles []Cycle
+	emitWalk := func(walk []geom.Point) error {
+		// Split the closed walk into simple cycles at repeated vertices.
+		index := make(map[geom.Point]int, len(walk))
+		var path []geom.Point
+		emit := func(ring []geom.Point) error {
+			if len(ring) < 3 {
+				return fmt.Errorf("%w: degenerate cycle through %v", ErrInvalidRegion, ring)
+			}
+			cycles = append(cycles, newCycleTrusted(ring))
+			return nil
+		}
+		for _, v := range walk {
+			if at, ok := index[v]; ok {
+				loop := path[at:]
+				if err := emit(loop); err != nil {
+					return err
+				}
+				for _, p := range loop {
+					delete(index, p)
+				}
+				path = path[:at]
+			}
+			index[v] = len(path)
+			path = append(path, v)
+		}
+		if len(path) > 0 {
+			return emit(path)
+		}
+		return nil
+	}
+
+	maxSteps := 2*len(segs) + 1
+	for _, s := range segs {
+		for _, start := range []dedge{{s.Left, s.Right}, {s.Right, s.Left}} {
+			if used[start] {
+				continue
+			}
+			var walk []geom.Point
+			cur := start
+			for steps := 0; ; steps++ {
+				if steps > maxSteps {
+					return Region{}, fmt.Errorf("%w: non-terminating face walk from %v", ErrInvalidRegion, start.u)
+				}
+				used[cur] = true
+				walk = append(walk, cur.u)
+				w := nextFrom(cur.u, cur.v)
+				cur = dedge{cur.v, w}
+				if cur == start {
+					break
+				}
+			}
+			if err := emitWalk(walk); err != nil {
+				return Region{}, err
+			}
+		}
+	}
+
+	// Deduplicate cycles: each appears once per incident subdivision
+	// face. The canonical ring form is orientation- and
+	// rotation-invariant, so a string of the vertex ring is a stable key.
+	seen := make(map[string]bool, len(cycles))
+	uniq := cycles[:0]
+	for _, c := range cycles {
+		k := ringKey(c.verts)
+		if !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, c)
+		}
+	}
+	cycles = uniq
+
+	return assembleFaces(cycles)
+}
+
+func ringKey(verts []geom.Point) string {
+	var b strings.Builder
+	for _, p := range verts {
+		fmt.Fprintf(&b, "%x,%x;", math.Float64bits(p.X), math.Float64bits(p.Y))
+	}
+	return b.String()
+}
+
+// assembleFaces nests a set of disjoint simple cycles into faces by
+// containment depth: even depth cycles become outer cycles, odd depth
+// cycles become holes of their immediate (depth−1) container.
+func assembleFaces(cycles []Cycle) (Region, error) {
+	n := len(cycles)
+	if n == 0 {
+		return Region{}, nil
+	}
+	// A probe point for each cycle that is never on another cycle's
+	// boundary (edge midpoints can only coincide with other boundaries
+	// if edges overlap, which valid regions exclude).
+	probes := make([]geom.Point, n)
+	for i, c := range cycles {
+		probes[i] = geom.MustSegment(c.verts[0], c.verts[1]).Midpoint()
+	}
+	depth := make([]int, n)
+	parent := make([]int, n) // container with depth == depth[i]−1
+	for i := range parent {
+		parent[i] = -1
+	}
+	type contains struct{ outer, inner int }
+	within := make(map[contains]bool)
+	for i := range cycles {
+		for j := range cycles {
+			if i == j {
+				continue
+			}
+			if cycles[i].ContainsPointStrict(probes[j]) {
+				within[contains{i, j}] = true
+				depth[j]++
+			}
+		}
+	}
+	for j := range cycles {
+		if depth[j] == 0 {
+			continue
+		}
+		for i := range cycles {
+			if within[contains{i, j}] && depth[i] == depth[j]-1 {
+				parent[j] = i
+				break
+			}
+		}
+		if parent[j] == -1 {
+			return Region{}, fmt.Errorf("%w: inconsistent cycle nesting", ErrInvalidRegion)
+		}
+	}
+
+	faceOf := make(map[int]*Face)
+	var order []int
+	for i := range cycles {
+		if depth[i]%2 == 0 {
+			faceOf[i] = &Face{Outer: cycles[i]}
+			order = append(order, i)
+		}
+	}
+	for j := range cycles {
+		if depth[j]%2 == 1 {
+			f := faceOf[parent[j]]
+			if f == nil {
+				return Region{}, fmt.Errorf("%w: hole cycle nested under another hole", ErrInvalidRegion)
+			}
+			f.Holes = append(f.Holes, cycles[j])
+		}
+	}
+	faces := make([]Face, 0, len(order))
+	for _, i := range order {
+		f := *faceOf[i]
+		f.Holes = sortHoles(f.Holes)
+		faces = append(faces, f)
+	}
+	return regionFromFacesTrusted(faces), nil
+}

@@ -1,0 +1,233 @@
+package spatial
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"slices"
+
+	"movingdb/internal/geom"
+)
+
+// Cycle is a simple polygon: the building block of regions
+// (Section 3.2.2). Vertices are stored as a ring in a canonical form —
+// counter-clockwise orientation, starting at the lexicographically
+// smallest vertex — so that equal cycles have equal representations.
+type Cycle struct {
+	verts []geom.Point
+}
+
+// ErrInvalidCycle reports a violation of the cycle carrier set
+// constraints.
+var ErrInvalidCycle = errors.New("spatial: invalid cycle")
+
+// NewCycle validates the vertex ring as a simple polygon and returns the
+// cycle in canonical form. The constraints follow the Cycle carrier set:
+// at least three segments, no properly intersecting and no touching
+// segments, every endpoint on exactly two segments, and a single
+// connected cycle (guaranteed here by construction from a ring).
+func NewCycle(verts ...geom.Point) (Cycle, error) {
+	c := Cycle{verts: canonicalRing(verts)}
+	if err := c.Validate(); err != nil {
+		return Cycle{}, err
+	}
+	return c, nil
+}
+
+// MustCycle is like NewCycle but panics on invalid input.
+func MustCycle(verts ...geom.Point) Cycle {
+	c, err := NewCycle(verts...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// newCycleTrusted builds a canonical cycle without the quadratic
+// simplicity check. It is used by Close on segment sets that stem from
+// an already-validated value (e.g. evaluating a uregion unit).
+func newCycleTrusted(verts []geom.Point) Cycle {
+	return Cycle{verts: canonicalRing(verts)}
+}
+
+// canonicalRing normalises a vertex ring: counter-clockwise orientation
+// and rotation so that the lexicographically smallest vertex comes
+// first. A trailing vertex equal to the first is dropped.
+func canonicalRing(verts []geom.Point) []geom.Point {
+	vs := make([]geom.Point, len(verts))
+	copy(vs, verts)
+	if n := len(vs); n > 1 && vs[0] == vs[n-1] {
+		vs = vs[:n-1]
+	}
+	if len(vs) == 0 {
+		return vs
+	}
+	if signedArea(vs) < 0 {
+		slices.Reverse(vs)
+	}
+	mi := 0
+	for i, p := range vs {
+		if p.Less(vs[mi]) {
+			mi = i
+		}
+	}
+	out := make([]geom.Point, 0, len(vs))
+	out = append(out, vs[mi:]...)
+	out = append(out, vs[:mi]...)
+	return out
+}
+
+// signedArea returns the shoelace signed area of the ring (positive for
+// counter-clockwise orientation).
+func signedArea(vs []geom.Point) float64 {
+	var a float64
+	for i, p := range vs {
+		q := vs[(i+1)%len(vs)]
+		a += p.Cross(q)
+	}
+	return a / 2
+}
+
+// Vertices returns the canonical vertex ring (shared; read-only).
+func (c Cycle) Vertices() []geom.Point { return c.verts }
+
+// Len returns the number of vertices (== number of segments).
+func (c Cycle) Len() int { return len(c.verts) }
+
+// Segments returns the edges of the cycle as canonical segments.
+func (c Cycle) Segments() []geom.Segment {
+	segs := make([]geom.Segment, 0, len(c.verts))
+	for i, p := range c.verts {
+		q := c.verts[(i+1)%len(c.verts)]
+		segs = append(segs, geom.MustSegment(p, q))
+	}
+	return segs
+}
+
+// Area returns the enclosed area (always non-negative in canonical
+// form).
+func (c Cycle) Area() float64 { return math.Abs(signedArea(c.verts)) }
+
+// Perimeter returns the total edge length.
+func (c Cycle) Perimeter() float64 {
+	var l float64
+	for i, p := range c.verts {
+		l += p.Dist(c.verts[(i+1)%len(c.verts)])
+	}
+	return l
+}
+
+// BBox returns the bounding box of the cycle.
+func (c Cycle) BBox() geom.Rect {
+	r := geom.EmptyRect()
+	for _, p := range c.verts {
+		r = r.ExtendPoint(p)
+	}
+	return r
+}
+
+// ContainsPoint reports whether p lies in the closed area bounded by the
+// cycle (boundary included).
+func (c Cycle) ContainsPoint(p geom.Point) bool {
+	return geom.Plumbline(p, c.Segments())
+}
+
+// ContainsPointStrict reports whether p lies strictly inside the cycle
+// (boundary excluded).
+func (c Cycle) ContainsPointStrict(p geom.Point) bool {
+	segs := c.Segments()
+	for _, s := range segs {
+		if s.Contains(p) {
+			return false
+		}
+	}
+	return geom.Plumbline(p, segs)
+}
+
+// EdgeInside reports whether cycle c is edge-inside cycle d: the
+// interior of c is a subset of the interior of d and no edges of c and d
+// overlap (the predicate used to place holes inside outer cycles).
+func (c Cycle) EdgeInside(d Cycle) bool {
+	cs, ds := c.Segments(), d.Segments()
+	for _, s := range cs {
+		for _, t := range ds {
+			if geom.PIntersect(s, t) || geom.Overlap(s, t) {
+				return false
+			}
+		}
+	}
+	// No crossings and no overlaps: c is entirely inside or outside d.
+	// Edge midpoints of c cannot lie on d's boundary (that would be an
+	// overlap or a touch through a vertex, and isolated touch points are
+	// always vertices), so a single midpoint probe decides.
+	return d.ContainsPoint(cs[0].Midpoint())
+}
+
+// EdgeDisjoint reports whether the interiors of c and d are disjoint and
+// no edges overlap. Touching in isolated points is allowed.
+func (c Cycle) EdgeDisjoint(d Cycle) bool {
+	cs, ds := c.Segments(), d.Segments()
+	for _, s := range cs {
+		for _, t := range ds {
+			if geom.PIntersect(s, t) || geom.Overlap(s, t) {
+				return false
+			}
+		}
+	}
+	if d.ContainsPointStrict(cs[0].Midpoint()) {
+		return false
+	}
+	if c.ContainsPointStrict(ds[0].Midpoint()) {
+		return false
+	}
+	return true
+}
+
+// Equal reports cycle equality via the canonical representation.
+func (c Cycle) Equal(d Cycle) bool { return slices.Equal(c.verts, d.verts) }
+
+// Validate checks the Cycle carrier set constraints: at least three
+// vertices, no repeated vertices, adjacent edges not collinear-
+// overlapping, and no proper intersection or touch between any two
+// edges.
+func (c Cycle) Validate() error {
+	n := len(c.verts)
+	if n < 3 {
+		return fmt.Errorf("%w: %d vertices", ErrInvalidCycle, n)
+	}
+	seen := make(map[geom.Point]bool, n)
+	for _, p := range c.verts {
+		if seen[p] {
+			return fmt.Errorf("%w: repeated vertex %v", ErrInvalidCycle, p)
+		}
+		seen[p] = true
+	}
+	segs := c.Segments()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s, t := segs[i], segs[j]
+			if geom.PIntersect(s, t) {
+				return fmt.Errorf("%w: edges %v and %v properly intersect", ErrInvalidCycle, s, t)
+			}
+			if geom.Touch(s, t) {
+				return fmt.Errorf("%w: edges %v and %v touch", ErrInvalidCycle, s, t)
+			}
+			if geom.Overlap(s, t) {
+				return fmt.Errorf("%w: edges %v and %v overlap", ErrInvalidCycle, s, t)
+			}
+			adjacent := j == i+1 || (i == 0 && j == n-1)
+			if !adjacent && geom.Meet(s, t) {
+				return fmt.Errorf("%w: non-adjacent edges %v and %v meet", ErrInvalidCycle, s, t)
+			}
+		}
+	}
+	if signedArea(c.verts) <= 0 {
+		return fmt.Errorf("%w: zero or negative area", ErrInvalidCycle)
+	}
+	return nil
+}
+
+// String renders the cycle as its vertex ring.
+func (c Cycle) String() string {
+	return fmt.Sprintf("cycle%v", c.verts)
+}

@@ -1,0 +1,257 @@
+package spatial
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"slices"
+	"strings"
+
+	"movingdb/internal/geom"
+)
+
+// Line is the discrete line type: a finite set of segments with no two
+// collinear overlapping segments (Section 3.2.2). Internally the value
+// is stored as the ordered halfsegment sequence of Section 4.1, giving a
+// unique representation (equality is array equality) and direct
+// plane-sweep traversal. The zero Line is the empty line.
+type Line struct {
+	hs []geom.HalfSegment
+	// Summary data kept in the root record (Section 4.1).
+	bbox   geom.Rect
+	length float64
+}
+
+// ErrInvalidLine reports a violation of the line carrier set constraint
+// (collinear overlapping segments).
+var ErrInvalidLine = errors.New("spatial: invalid line")
+
+// NewLine validates that no two segments are collinear and overlapping,
+// and returns the line. Use MergeLine to build a line from arbitrary
+// segments, merging overlaps instead of rejecting them.
+func NewLine(segs ...geom.Segment) (Line, error) {
+	segs = dedupSegments(segs)
+	if err := checkNoCollinearOverlap(segs); err != nil {
+		return Line{}, err
+	}
+	return lineFromSegments(segs), nil
+}
+
+// MustLine is like NewLine but panics on invalid input; for literals in
+// tests and examples.
+func MustLine(segs ...geom.Segment) Line {
+	l, err := NewLine(segs...)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// MergeLine builds a line value from an arbitrary segment soup by
+// merging collinear overlapping or adjacent segments into maximal ones
+// ("any set of line segments is also a line value", Figure 2(c)). It is
+// the constructor used by trajectory computation.
+func MergeLine(segs ...geom.Segment) Line {
+	return lineFromSegments(mergeByLine(segs))
+}
+
+func lineFromSegments(segs []geom.Segment) Line {
+	hs := geom.HalfSegments(segs)
+	bbox := geom.EmptyRect()
+	var length float64
+	for _, s := range segs {
+		bbox = bbox.Union(s.BBox())
+		length += s.Length()
+	}
+	return Line{hs: hs, bbox: bbox, length: length}
+}
+
+func dedupSegments(segs []geom.Segment) []geom.Segment {
+	work := make([]geom.Segment, len(segs))
+	copy(work, segs)
+	geom.SortSegments(work)
+	return slices.Compact(work)
+}
+
+// lineKey is a hashable normalised description of an infinite line in
+// the plane: a unit normal with canonical sign, and the offset, both
+// rounded so that segments produced from identical supporting lines hash
+// together. Near-collinear segments from different computations may
+// land in different buckets, in which case they are conservatively
+// treated as non-collinear.
+type lineKey struct {
+	nx, ny, c int64
+}
+
+const lineKeyScale = 1 << 30
+
+func keyOf(s geom.Segment) lineKey {
+	d := s.Dir()
+	n := geom.Pt(-d.Y, d.X)
+	l := n.Norm()
+	n = n.Scale(1 / l)
+	c := n.Dot(s.Left)
+	if n.X < 0 || (n.X == 0 && n.Y < 0) {
+		n = n.Scale(-1)
+		c = -c
+	}
+	return lineKey{
+		nx: int64(math.Round(n.X * lineKeyScale)),
+		ny: int64(math.Round(n.Y * lineKeyScale)),
+		c:  int64(math.Round(c * lineKeyScale)),
+	}
+}
+
+// mergeByLine groups segments by supporting line and merges overlapping
+// or meeting collinear segments into maximal ones, in O(n log n).
+func mergeByLine(segs []geom.Segment) []geom.Segment {
+	groups := make(map[lineKey][]geom.Segment)
+	for _, s := range segs {
+		k := keyOf(s)
+		groups[k] = append(groups[k], s)
+	}
+	out := make([]geom.Segment, 0, len(segs))
+	for _, g := range groups {
+		if len(g) == 1 {
+			out = append(out, g[0])
+			continue
+		}
+		// All segments in g share a supporting line: sort by left
+		// endpoint and merge a running segment.
+		geom.SortSegments(g)
+		cur := g[0]
+		for _, s := range g[1:] {
+			if geom.Collinear(cur, s) && (geom.Overlap(cur, s) || cur.Right == s.Left || cur.Contains(s.Left)) {
+				if cur.Right.Less(s.Right) {
+					cur.Right = s.Right
+				}
+			} else {
+				out = append(out, cur)
+				cur = s
+			}
+		}
+		out = append(out, cur)
+	}
+	geom.SortSegments(out)
+	return slices.Compact(out)
+}
+
+// checkNoCollinearOverlap verifies the line carrier set constraint in
+// O(n log n) by grouping segments on their supporting lines.
+func checkNoCollinearOverlap(segs []geom.Segment) error {
+	groups := make(map[lineKey][]geom.Segment)
+	for _, s := range segs {
+		groups[keyOf(s)] = append(groups[keyOf(s)], s)
+	}
+	for _, g := range groups {
+		if len(g) < 2 {
+			continue
+		}
+		geom.SortSegments(g)
+		for i := 1; i < len(g); i++ {
+			if geom.Collinear(g[i-1], g[i]) && geom.Overlap(g[i-1], g[i]) {
+				return fmt.Errorf("%w: overlapping collinear segments %v and %v", ErrInvalidLine, g[i-1], g[i])
+			}
+		}
+	}
+	return nil
+}
+
+// HalfSegments returns the ordered halfsegment sequence (shared;
+// read-only).
+func (l Line) HalfSegments() []geom.HalfSegment { return l.hs }
+
+// Segments returns the segment set in canonical order.
+func (l Line) Segments() []geom.Segment {
+	segs := geom.SegmentsOf(l.hs)
+	geom.SortSegments(segs)
+	return segs
+}
+
+// NumSegments returns the number of segments.
+func (l Line) NumSegments() int { return len(l.hs) / 2 }
+
+// IsEmpty reports whether the line has no segments.
+func (l Line) IsEmpty() bool { return len(l.hs) == 0 }
+
+// Length returns the total length of all segments (the length operation
+// of Section 2).
+func (l Line) Length() float64 { return l.length }
+
+// BBox returns the bounding box kept in the root record.
+func (l Line) BBox() geom.Rect { return l.bbox }
+
+// ContainsPoint reports whether p lies on some segment of the line.
+func (l Line) ContainsPoint(p geom.Point) bool {
+	if !l.bbox.ContainsPoint(p) {
+		return false
+	}
+	for _, h := range l.hs {
+		if h.LeftDom && h.Seg.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Intersects reports whether any segments of l and m share a point.
+func (l Line) Intersects(m Line) bool {
+	if !l.bbox.Intersects(m.bbox) {
+		return false
+	}
+	for _, h := range l.hs {
+		if !h.LeftDom {
+			continue
+		}
+		for _, g := range m.hs {
+			if !g.LeftDom {
+				continue
+			}
+			if k, _ := geom.Intersect(h.Seg, g.Seg); k != geom.IntersectNone {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DistToPoint returns the minimal distance from the line to p
+// (infinity for an empty line).
+func (l Line) DistToPoint(p geom.Point) float64 {
+	d := math.Inf(1)
+	for _, h := range l.hs {
+		if h.LeftDom {
+			d = min(d, h.Seg.DistToPoint(p))
+		}
+	}
+	return d
+}
+
+// Equal reports value equality; unique representation makes this a
+// slice comparison.
+func (l Line) Equal(m Line) bool { return slices.Equal(l.hs, m.hs) }
+
+// Validate re-checks the carrier set constraints and the halfsegment
+// order (for values decoded from storage).
+func (l Line) Validate() error {
+	for i := 1; i < len(l.hs); i++ {
+		if l.hs[i].Cmp(l.hs[i-1]) < 0 {
+			return fmt.Errorf("%w: halfsegments out of order at %d", ErrInvalidLine, i)
+		}
+	}
+	return checkNoCollinearOverlap(geom.SegmentsOf(l.hs))
+}
+
+// String renders the line as its canonical segment list.
+func (l Line) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, s := range l.Segments() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(s.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}

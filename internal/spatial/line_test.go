@@ -1,0 +1,114 @@
+package spatial
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"movingdb/internal/geom"
+)
+
+func TestNewLineValid(t *testing.T) {
+	l, err := NewLine(geom.Seg(0, 0, 1, 1), geom.Seg(1, 1, 2, 0), geom.Seg(0, 2, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumSegments() != 3 {
+		t.Errorf("NumSegments = %d", l.NumSegments())
+	}
+	wantLen := 2*math.Sqrt2 + 2
+	if math.Abs(l.Length()-wantLen) > 1e-12 {
+		t.Errorf("Length = %v, want %v", l.Length(), wantLen)
+	}
+	if err := l.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestNewLineRejectsOverlap(t *testing.T) {
+	_, err := NewLine(geom.Seg(0, 0, 2, 2), geom.Seg(1, 1, 3, 3))
+	if !errors.Is(err, ErrInvalidLine) {
+		t.Errorf("overlapping collinear segments accepted: %v", err)
+	}
+	// Crossing segments are fine — "any set of line segments is also a
+	// line value" (Figure 2c) as long as no collinear overlap exists.
+	if _, err := NewLine(geom.Seg(0, 0, 2, 2), geom.Seg(0, 2, 2, 0)); err != nil {
+		t.Errorf("crossing segments rejected: %v", err)
+	}
+	// Duplicates are deduplicated, not rejected.
+	l, err := NewLine(geom.Seg(0, 0, 1, 0), geom.Seg(0, 0, 1, 0))
+	if err != nil || l.NumSegments() != 1 {
+		t.Errorf("duplicate handling: %v, %v", l, err)
+	}
+}
+
+func TestMergeLine(t *testing.T) {
+	l := MergeLine(geom.Seg(0, 0, 2, 0), geom.Seg(1, 0, 4, 0), geom.Seg(4, 0, 5, 0), geom.Seg(0, 1, 1, 2))
+	if l.NumSegments() != 2 {
+		t.Fatalf("merged = %v", l)
+	}
+	segs := l.Segments()
+	if segs[0] != geom.Seg(0, 0, 5, 0) {
+		t.Errorf("merged horizontal = %v", segs[0])
+	}
+	if err := l.Validate(); err != nil {
+		t.Errorf("Validate after merge: %v", err)
+	}
+}
+
+func TestMergeLineDisjointCollinear(t *testing.T) {
+	l := MergeLine(geom.Seg(0, 0, 1, 0), geom.Seg(2, 0, 3, 0))
+	if l.NumSegments() != 2 {
+		t.Errorf("disjoint collinear merged: %v", l)
+	}
+}
+
+func TestLineQueries(t *testing.T) {
+	l := MustLine(geom.Seg(0, 0, 4, 0), geom.Seg(0, 2, 4, 2))
+	if !l.ContainsPoint(geom.Pt(2, 0)) || l.ContainsPoint(geom.Pt(2, 1)) {
+		t.Error("ContainsPoint wrong")
+	}
+	if got := l.DistToPoint(geom.Pt(2, 1)); got != 1 {
+		t.Errorf("DistToPoint = %v", got)
+	}
+	m := MustLine(geom.Seg(2, -1, 2, 1))
+	if !l.Intersects(m) {
+		t.Error("crossing lines do not intersect")
+	}
+	far := MustLine(geom.Seg(10, 10, 11, 11))
+	if l.Intersects(far) {
+		t.Error("distant lines intersect")
+	}
+	if !l.BBox().ContainsPoint(geom.Pt(4, 2)) {
+		t.Error("BBox wrong")
+	}
+}
+
+func TestLineEqualCanonical(t *testing.T) {
+	// Same segment set in different input orders: equal representations.
+	a := MustLine(geom.Seg(0, 0, 1, 1), geom.Seg(2, 2, 3, 3))
+	b := MustLine(geom.Seg(2, 2, 3, 3), geom.Seg(0, 0, 1, 1))
+	if !a.Equal(b) {
+		t.Error("order-insensitive equality failed")
+	}
+	if a.Equal(MustLine(geom.Seg(0, 0, 1, 1))) {
+		t.Error("different lines equal")
+	}
+	var empty Line
+	if !empty.IsEmpty() || empty.Length() != 0 {
+		t.Error("zero Line not empty")
+	}
+}
+
+func TestLineHalfSegmentsOrdered(t *testing.T) {
+	l := MustLine(geom.Seg(3, 0, 4, 1), geom.Seg(0, 0, 1, 1), geom.Seg(1, 1, 2, 0))
+	hs := l.HalfSegments()
+	if len(hs) != 6 {
+		t.Fatalf("halfsegments = %d", len(hs))
+	}
+	for i := 1; i < len(hs); i++ {
+		if hs[i].Cmp(hs[i-1]) < 0 {
+			t.Fatalf("halfsegments out of order at %d", i)
+		}
+	}
+}

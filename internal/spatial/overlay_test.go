@@ -1,0 +1,253 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"movingdb/internal/geom"
+)
+
+func TestUnionDisjoint(t *testing.T) {
+	a := MustPolygonRegion(sq(0, 0, 4))
+	b := MustPolygonRegion(sq(10, 0, 4))
+	u, err := a.Union(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumFaces() != 2 || u.Area() != 32 {
+		t.Errorf("union = %d faces, area %v", u.NumFaces(), u.Area())
+	}
+}
+
+func TestUnionOverlapping(t *testing.T) {
+	a := MustPolygonRegion(sq(0, 0, 4))
+	b := MustPolygonRegion(sq(2, 0, 4)) // overlap area 2×4
+	u, err := a.Union(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumFaces() != 1 {
+		t.Fatalf("union faces = %d", u.NumFaces())
+	}
+	if got := u.Area(); got != 16+16-8 {
+		t.Errorf("union area = %v", got)
+	}
+	if !u.ContainsPoint(geom.Pt(3, 2)) || !u.ContainsPoint(geom.Pt(5, 2)) {
+		t.Error("union membership wrong")
+	}
+}
+
+func TestIntersectionOverlapping(t *testing.T) {
+	a := MustPolygonRegion(sq(0, 0, 4))
+	b := MustPolygonRegion(sq(2, 1, 4))
+	i, err := a.Intersection(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overlap: x ∈ [2,4], y ∈ [1,4] → area 6.
+	if got := i.Area(); got != 6 {
+		t.Errorf("intersection area = %v", got)
+	}
+	if !i.ContainsPoint(geom.Pt(3, 2)) || i.ContainsPoint(geom.Pt(1, 1)) {
+		t.Error("intersection membership wrong")
+	}
+	// Disjoint operands: empty intersection.
+	c := MustPolygonRegion(sq(100, 100, 2))
+	empty, err := a.Intersection(c)
+	if err != nil || !empty.IsEmpty() {
+		t.Errorf("disjoint intersection = %v, %v", empty, err)
+	}
+}
+
+func TestDifference(t *testing.T) {
+	a := MustPolygonRegion(sq(0, 0, 6))
+	b := MustPolygonRegion(sq(2, 2, 2)) // fully inside a
+	d, err := a.Difference(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subtracting an interior square punches a hole.
+	if d.NumFaces() != 1 || d.NumCycles() != 2 {
+		t.Fatalf("difference structure: %d faces, %d cycles", d.NumFaces(), d.NumCycles())
+	}
+	if got := d.Area(); got != 36-4 {
+		t.Errorf("difference area = %v", got)
+	}
+	if d.ContainsPoint(geom.Pt(3, 3)) {
+		t.Error("hole interior still contained")
+	}
+	// Subtracting an overlapping square clips the corner.
+	c := MustPolygonRegion(sq(4, 4, 4))
+	d2, err := a.Difference(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.Area(); got != 36-4 {
+		t.Errorf("corner clip area = %v", got)
+	}
+	if d2.ContainsPoint(geom.Pt(5, 5)) {
+		t.Error("clipped corner still contained")
+	}
+	// Difference with a superset is empty.
+	super := MustPolygonRegion(sq(-1, -1, 8))
+	d3, err := a.Difference(super)
+	if err != nil || !d3.IsEmpty() {
+		t.Errorf("superset difference = %v, %v", d3, err)
+	}
+}
+
+func TestUnionWithHoles(t *testing.T) {
+	// A region with a hole united with a region covering the hole: the
+	// hole disappears.
+	holed := MustPolygonRegion(sq(0, 0, 8), sq(2, 2, 2))
+	plug := MustPolygonRegion(sq(1, 1, 4))
+	u, err := holed.Union(plug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumCycles() != 1 {
+		t.Fatalf("plugged union cycles = %d (%v)", u.NumCycles(), u)
+	}
+	if got := u.Area(); got != 64 {
+		t.Errorf("plugged union area = %v", got)
+	}
+}
+
+func TestOverlayPropertyMembership(t *testing.T) {
+	// Random square pairs: overlay membership must equal the pointwise
+	// combination, probed on a grid away from boundaries.
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 40; trial++ {
+		a := MustPolygonRegion(sq(float64(rng.Intn(6)), float64(rng.Intn(6)), 3+float64(rng.Intn(4))))
+		b := MustPolygonRegion(sq(float64(rng.Intn(6)), float64(rng.Intn(6)), 3+float64(rng.Intn(4))))
+		u, err := a.Union(b)
+		if err != nil {
+			t.Fatalf("trial %d union: %v", trial, err)
+		}
+		i, err := a.Intersection(b)
+		if err != nil {
+			t.Fatalf("trial %d intersection: %v", trial, err)
+		}
+		d, err := a.Difference(b)
+		if err != nil {
+			t.Fatalf("trial %d difference: %v", trial, err)
+		}
+		// Inclusion–exclusion on areas.
+		if math.Abs(u.Area()-(a.Area()+b.Area()-i.Area())) > 1e-6 {
+			t.Fatalf("trial %d: area inclusion-exclusion violated: %v + %v - %v != %v",
+				trial, a.Area(), b.Area(), i.Area(), u.Area())
+		}
+		if math.Abs(d.Area()-(a.Area()-i.Area())) > 1e-6 {
+			t.Fatalf("trial %d: difference area wrong", trial)
+		}
+		for x := -0.27; x < 14; x += 0.83 {
+			for y := -0.31; y < 14; y += 0.77 {
+				p := geom.Pt(x, y)
+				onBoundary := false
+				for _, s := range append(a.Segments(), b.Segments()...) {
+					if s.DistToPoint(p) < 1e-3 {
+						onBoundary = true
+						break
+					}
+				}
+				if onBoundary {
+					continue
+				}
+				inA, inB := a.ContainsPoint(p), b.ContainsPoint(p)
+				if u.ContainsPoint(p) != (inA || inB) {
+					t.Fatalf("trial %d union membership at %v", trial, p)
+				}
+				if i.ContainsPoint(p) != (inA && inB) {
+					t.Fatalf("trial %d intersection membership at %v", trial, p)
+				}
+				if d.ContainsPoint(p) != (inA && !inB) {
+					t.Fatalf("trial %d difference membership at %v", trial, p)
+				}
+			}
+		}
+	}
+}
+
+func TestOverlayEmptyOperands(t *testing.T) {
+	a := MustPolygonRegion(sq(0, 0, 4))
+	var empty Region
+	u, err := a.Union(empty)
+	if err != nil || !u.Equal(a) {
+		t.Errorf("a ∪ ∅ = %v, %v", u, err)
+	}
+	i, err := a.Intersection(empty)
+	if err != nil || !i.IsEmpty() {
+		t.Errorf("a ∩ ∅ = %v, %v", i, err)
+	}
+	d, err := empty.Difference(a)
+	if err != nil || !d.IsEmpty() {
+		t.Errorf("∅ \\ a = %v, %v", d, err)
+	}
+}
+
+func TestOverlayStressStarPolygons(t *testing.T) {
+	// Random star polygons at the workload's coordinate scale (~1000):
+	// exercises the scale-aware probing and the shared-crossing-point
+	// splitting. Verified through inclusion–exclusion and membership
+	// probes.
+	rng := rand.New(rand.NewSource(271))
+	star := func() Region {
+		cx, cy := 300+rng.Float64()*400, 300+rng.Float64()*400
+		n := 6 + rng.Intn(10)
+		ring := make([]geom.Point, 0, n)
+		for i := 0; i < n; i++ {
+			ang := (float64(i) + 0.2 + 0.6*rng.Float64()) / float64(n) * 2 * math.Pi
+			rad := 80 + rng.Float64()*120
+			ring = append(ring, geom.Pt(cx+rad*math.Cos(ang), cy+rad*math.Sin(ang)))
+		}
+		r, err := PolygonRegion(ring)
+		if err != nil {
+			t.Skip("degenerate random ring") // extremely unlikely
+		}
+		return r
+	}
+	for trial := 0; trial < 30; trial++ {
+		a, b := star(), star()
+		u, err := a.Union(b)
+		if err != nil {
+			t.Fatalf("trial %d union: %v", trial, err)
+		}
+		i, err := a.Intersection(b)
+		if err != nil {
+			t.Fatalf("trial %d intersection: %v", trial, err)
+		}
+		d, err := a.Difference(b)
+		if err != nil {
+			t.Fatalf("trial %d difference: %v", trial, err)
+		}
+		if math.Abs(u.Area()-(a.Area()+b.Area()-i.Area())) > 1e-3 {
+			t.Fatalf("trial %d: inclusion-exclusion off: %v vs %v",
+				trial, u.Area(), a.Area()+b.Area()-i.Area())
+		}
+		if math.Abs(d.Area()-(a.Area()-i.Area())) > 1e-3 {
+			t.Fatalf("trial %d: difference area off", trial)
+		}
+		// Membership probes away from all boundaries.
+		for probe := 0; probe < 300; probe++ {
+			p := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+			near := false
+			for _, s := range append(a.Segments(), b.Segments()...) {
+				if s.DistToPoint(p) < 1e-2 {
+					near = true
+					break
+				}
+			}
+			if near {
+				continue
+			}
+			inA, inB := a.ContainsPoint(p), b.ContainsPoint(p)
+			if u.ContainsPoint(p) != (inA || inB) {
+				t.Fatalf("trial %d: union membership at %v", trial, p)
+			}
+			if i.ContainsPoint(p) != (inA && inB) {
+				t.Fatalf("trial %d: intersection membership at %v", trial, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package spatial
+
+import (
+	"testing"
+	"testing/quick"
+
+	"movingdb/internal/geom"
+)
+
+func TestPointType(t *testing.T) {
+	u := UndefPoint()
+	if u.Defined() {
+		t.Error("UndefPoint defined")
+	}
+	if u.String() != "undef" {
+		t.Errorf("String = %q", u.String())
+	}
+	p := DefPoint(geom.Pt(1, 2))
+	if !p.Defined() || p.P != geom.Pt(1, 2) {
+		t.Error("DefPoint roundtrip failed")
+	}
+}
+
+func TestPointsCanonical(t *testing.T) {
+	ps := NewPoints(geom.Pt(2, 1), geom.Pt(0, 0), geom.Pt(2, 1), geom.Pt(1, 5))
+	if ps.Len() != 3 {
+		t.Fatalf("Len = %d", ps.Len())
+	}
+	want := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 5), geom.Pt(2, 1)}
+	for i, p := range ps.Slice() {
+		if p != want[i] {
+			t.Errorf("order[%d] = %v, want %v", i, p, want[i])
+		}
+	}
+	if err := ps.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if !ps.Contains(geom.Pt(1, 5)) || ps.Contains(geom.Pt(1, 1)) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestPointsSetOps(t *testing.T) {
+	a := NewPoints(geom.Pt(0, 0), geom.Pt(1, 1), geom.Pt(2, 2))
+	b := NewPoints(geom.Pt(1, 1), geom.Pt(3, 3))
+	if got := a.Union(b); got.Len() != 4 || !got.Contains(geom.Pt(3, 3)) {
+		t.Errorf("union = %v", got)
+	}
+	if got := a.Intersect(b); got.Len() != 1 || !got.Contains(geom.Pt(1, 1)) {
+		t.Errorf("intersect = %v", got)
+	}
+	if got := a.Minus(b); got.Len() != 2 || got.Contains(geom.Pt(1, 1)) {
+		t.Errorf("minus = %v", got)
+	}
+	if !a.Minus(a).IsEmpty() {
+		t.Error("a \\ a not empty")
+	}
+	if !a.Union(b).Equal(b.Union(a)) {
+		t.Error("union not commutative")
+	}
+}
+
+func TestPointsSetOpsProperty(t *testing.T) {
+	mk := func(raw []int8) Points {
+		var pts []geom.Point
+		for k := 0; k+1 < len(raw); k += 2 {
+			pts = append(pts, geom.Pt(float64(raw[k]), float64(raw[k+1])))
+		}
+		return NewPoints(pts...)
+	}
+	f := func(raw1, raw2 []int8, px, py int8) bool {
+		a, b := mk(raw1), mk(raw2)
+		p := geom.Pt(float64(px), float64(py))
+		inA, inB := a.Contains(p), b.Contains(p)
+		return a.Union(b).Contains(p) == (inA || inB) &&
+			a.Intersect(b).Contains(p) == (inA && inB) &&
+			a.Minus(b).Contains(p) == (inA && !inB) &&
+			a.Union(b).Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointsBBox(t *testing.T) {
+	ps := NewPoints(geom.Pt(-1, 2), geom.Pt(3, -4))
+	want := geom.Rect{MinX: -1, MinY: -4, MaxX: 3, MaxY: 2}
+	if ps.BBox() != want {
+		t.Errorf("BBox = %v", ps.BBox())
+	}
+	if !NewPoints().BBox().IsEmpty() {
+		t.Error("empty set BBox not empty")
+	}
+}

@@ -1,0 +1,48 @@
+package spatial
+
+import "movingdb/internal/geom"
+
+// PolygonRegion is a convenience constructor building a single-face
+// region from an outer vertex ring and optional hole rings, with full
+// validation.
+func PolygonRegion(outer []geom.Point, holes ...[]geom.Point) (Region, error) {
+	oc, err := NewCycle(outer...)
+	if err != nil {
+		return Region{}, err
+	}
+	hcs := make([]Cycle, 0, len(holes))
+	for _, h := range holes {
+		hc, err := NewCycle(h...)
+		if err != nil {
+			return Region{}, err
+		}
+		hcs = append(hcs, hc)
+	}
+	f, err := NewFace(oc, hcs...)
+	if err != nil {
+		return Region{}, err
+	}
+	return NewRegion(f)
+}
+
+// MustPolygonRegion is like PolygonRegion but panics on invalid input.
+func MustPolygonRegion(outer []geom.Point, holes ...[]geom.Point) Region {
+	r, err := PolygonRegion(outer, holes...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Ring builds a vertex ring from coordinate pairs: Ring(x0,y0, x1,y1, ...).
+// It panics on an odd number of arguments; for tests and examples.
+func Ring(coords ...float64) []geom.Point {
+	if len(coords)%2 != 0 {
+		panic("spatial: Ring needs an even number of coordinates")
+	}
+	pts := make([]geom.Point, 0, len(coords)/2)
+	for i := 0; i < len(coords); i += 2 {
+		pts = append(pts, geom.Pt(coords[i], coords[i+1]))
+	}
+	return pts
+}

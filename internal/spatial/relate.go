@@ -1,0 +1,238 @@
+package spatial
+
+import (
+	"math"
+
+	"movingdb/internal/geom"
+)
+
+// This file provides the binary predicates and measures between the
+// spatial types that the abstract model's operation set includes:
+// intersects, inside (containment) and distance between regions, lines
+// and point sets. The implementations are straightforward O(n·m) pair
+// scans with bounding box rejection — the paper's Section 5 defers
+// sweep-based algorithmics, and these operations are not on the
+// complexity-claim path.
+
+// IntersectsRegion reports whether two regions share at least one point
+// (boundary or interior).
+func (r Region) IntersectsRegion(q Region) bool {
+	if !r.bbox.Intersects(q.bbox) {
+		return false
+	}
+	// Any boundary crossing means intersection.
+	for _, h := range r.hs {
+		if !h.LeftDom {
+			continue
+		}
+		for _, g := range q.hs {
+			if !g.LeftDom {
+				continue
+			}
+			if k, _ := geom.Intersect(h.Seg, g.Seg); k != geom.IntersectNone {
+				return true
+			}
+		}
+	}
+	// No crossings: one may contain the other entirely.
+	if len(r.hs) > 0 && q.ContainsPoint(r.hs[0].Seg.Left) {
+		return true
+	}
+	if len(q.hs) > 0 && r.ContainsPoint(q.hs[0].Seg.Left) {
+		return true
+	}
+	return false
+}
+
+// ContainsRegion reports whether q lies entirely within r (boundaries
+// may touch).
+func (r Region) ContainsRegion(q Region) bool {
+	if q.IsEmpty() {
+		return true
+	}
+	if !r.bbox.Intersects(q.bbox) {
+		return false
+	}
+	// No boundary of q may properly leave r: any proper crossing of
+	// boundaries disproves containment; afterwards it suffices that one
+	// interior probe of every face of q lies in r and no face of r pokes
+	// through a hole-free... — for the polygonal carrier sets, proper
+	// crossings plus probe points decide.
+	for _, h := range q.hs {
+		if !h.LeftDom {
+			continue
+		}
+		for _, g := range r.hs {
+			if !g.LeftDom {
+				continue
+			}
+			if geom.PIntersect(h.Seg, g.Seg) {
+				return false
+			}
+		}
+	}
+	for _, f := range q.faces {
+		probe := geom.MustSegment(f.Outer.verts[0], f.Outer.verts[1]).Midpoint()
+		if !r.ContainsPoint(probe) {
+			return false
+		}
+	}
+	// Holes of r must not lie inside q's interior (q would stick into
+	// them).
+	for _, f := range r.faces {
+		for _, h := range f.Holes {
+			probe := geom.MustSegment(h.verts[0], h.verts[1]).Midpoint()
+			inQ := q.ContainsPoint(probe)
+			if inQ && !r.ContainsPoint(probe) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// DistToRegion returns the minimal distance between two regions (zero
+// if they intersect).
+func (r Region) DistToRegion(q Region) float64 {
+	if r.IntersectsRegion(q) {
+		return 0
+	}
+	d := math.Inf(1)
+	for _, h := range r.hs {
+		if !h.LeftDom {
+			continue
+		}
+		for _, g := range q.hs {
+			if g.LeftDom {
+				d = min(d, h.Seg.DistToSegment(g.Seg))
+			}
+		}
+	}
+	return d
+}
+
+// IntersectionPoints returns the points where two lines cross or touch,
+// as a canonical point set. Collinear overlaps contribute their
+// endpoints (the shared stretch itself is one-dimensional and belongs to
+// the intersection in the line sense; CommonSegments returns it).
+func (l Line) IntersectionPoints(m Line) Points {
+	if !l.bbox.Intersects(m.bbox) {
+		return Points{}
+	}
+	var pts []geom.Point
+	for _, h := range l.hs {
+		if !h.LeftDom {
+			continue
+		}
+		for _, g := range m.hs {
+			if !g.LeftDom {
+				continue
+			}
+			switch k, p := geom.Intersect(h.Seg, g.Seg); k {
+			case geom.IntersectPoint:
+				pts = append(pts, p)
+			case geom.IntersectOverlap:
+				// Report the overlap boundary points.
+				pts = append(pts, overlapEnds(h.Seg, g.Seg)...)
+			}
+		}
+	}
+	return NewPoints(pts...)
+}
+
+func overlapEnds(a, b geom.Segment) []geom.Point {
+	lo := a.Left
+	if lo.Less(b.Left) {
+		lo = b.Left
+	}
+	hi := a.Right
+	if b.Right.Less(hi) {
+		hi = b.Right
+	}
+	return []geom.Point{lo, hi}
+}
+
+// CommonSegments returns the one-dimensional intersection of two lines:
+// the maximal stretches where collinear segments overlap, as a line
+// value.
+func (l Line) CommonSegments(m Line) Line {
+	var segs []geom.Segment
+	for _, h := range l.hs {
+		if !h.LeftDom {
+			continue
+		}
+		for _, g := range m.hs {
+			if !g.LeftDom {
+				continue
+			}
+			if k, _ := geom.Intersect(h.Seg, g.Seg); k == geom.IntersectOverlap {
+				ends := overlapEnds(h.Seg, g.Seg)
+				if s, err := geom.NewSegment(ends[0], ends[1]); err == nil {
+					segs = append(segs, s)
+				}
+			}
+		}
+	}
+	return MergeLine(segs...)
+}
+
+// ClippedToRegion returns the parts of the line inside the region, as a
+// line value: each segment is split at its boundary crossings and the
+// inside fragments are kept.
+func (l Line) ClippedToRegion(r Region) Line {
+	if !l.bbox.Intersects(r.bbox) {
+		return Line{}
+	}
+	boundary := geom.SegmentsOf(r.hs)
+	var out []geom.Segment
+	for _, h := range l.hs {
+		if !h.LeftDom {
+			continue
+		}
+		out = append(out, clipSegment(h.Seg, boundary, r)...)
+	}
+	return MergeLine(out...)
+}
+
+func clipSegment(s geom.Segment, boundary []geom.Segment, r Region) []geom.Segment {
+	// Collect crossing parameters along s.
+	d := s.Dir()
+	params := []float64{0, 1}
+	for _, b := range boundary {
+		if k, p := geom.Intersect(s, b); k == geom.IntersectPoint {
+			t := p.Sub(s.Left).Dot(d) / d.Dot(d)
+			params = append(params, max(0, min(1, t)))
+		} else if k == geom.IntersectOverlap {
+			for _, e := range overlapEnds(s, b) {
+				t := e.Sub(s.Left).Dot(d) / d.Dot(d)
+				params = append(params, max(0, min(1, t)))
+			}
+		}
+	}
+	sortFloats(params)
+	var out []geom.Segment
+	for i := 0; i+1 < len(params); i++ {
+		lo, hi := params[i], params[i+1]
+		if hi-lo < 1e-12 {
+			continue
+		}
+		mid := s.Left.Add(d.Scale((lo + hi) / 2))
+		if !r.ContainsPoint(mid) {
+			continue
+		}
+		p := s.Left.Add(d.Scale(lo))
+		q := s.Left.Add(d.Scale(hi))
+		if seg, err := geom.NewSegment(p, q); err == nil {
+			out = append(out, seg)
+		}
+	}
+	return out
+}
+
+func sortFloats(fs []float64) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && fs[j] < fs[j-1]; j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}

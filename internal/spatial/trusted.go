@@ -1,0 +1,110 @@
+package spatial
+
+import (
+	"slices"
+
+	"movingdb/internal/geom"
+)
+
+// This file provides construction paths for callers that already
+// guarantee the carrier set constraints — primarily the evaluation of
+// validated temporal units at inner instants (Section 5.1): a valid
+// uregion unit yields a valid region at every instant of its open
+// interval, so re-validating on every atinstant would destroy the
+// O(log n + r log r) bound.
+
+// LineUnchecked assembles a line value from segments without the
+// collinear-overlap check. The segments are still brought into canonical
+// halfsegment order.
+func LineUnchecked(segs []geom.Segment) Line {
+	return lineFromSegments(dedupSegments(segs))
+}
+
+// CycleUnchecked builds a cycle in canonical form without the simple-
+// polygon validation.
+func CycleUnchecked(verts []geom.Point) Cycle { return newCycleTrusted(verts) }
+
+// FaceUnchecked builds a face without validation (holes are still
+// canonically ordered).
+func FaceUnchecked(outer Cycle, holes []Cycle) Face {
+	return Face{Outer: outer, Holes: sortHoles(holes)}
+}
+
+// RegionUnchecked assembles a region value from faces without
+// validation. Faces are canonically ordered and the halfsegment array
+// and summary fields are computed as usual.
+func RegionUnchecked(faces []Face) Region { return regionFromFacesTrusted(faces) }
+
+// OddParityFragments implements the endpoint cleanup rule of
+// Section 3.2.6 for uregion (and the overlap part of merge-segs for
+// uline): segments on a common supporting line are partitioned into
+// elementary fragments at all endpoints; a fragment covered by an even
+// number of segments vanishes (coinciding boundary pieces cancel), a
+// fragment covered by an odd number survives. The input is a multiset —
+// duplicated segments cancel each other. Fragments on distinct
+// supporting lines pass through unchanged (count 1).
+func OddParityFragments(segs []geom.Segment) []geom.Segment {
+	groups := make(map[lineKey][]geom.Segment)
+	for _, s := range segs {
+		groups[keyOf(s)] = append(groups[keyOf(s)], s)
+	}
+	var out []geom.Segment
+	for _, g := range groups {
+		if len(g) == 1 {
+			out = append(out, g[0])
+			continue
+		}
+		// Parametrise the common line by projection onto the direction
+		// of the first segment, measured from its left endpoint.
+		ref := g[0]
+		d := ref.Dir()
+		d = d.Scale(1 / d.Norm())
+		proj := func(p geom.Point) float64 { return p.Sub(ref.Left).Dot(d) }
+		type span struct{ lo, hi float64 }
+		spans := make([]span, 0, len(g))
+		var cuts []float64
+		for _, s := range g {
+			lo, hi := proj(s.Left), proj(s.Right)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			spans = append(spans, span{lo, hi})
+			cuts = append(cuts, lo, hi)
+		}
+		slices.Sort(cuts)
+		cuts = slices.Compact(cuts)
+		// Emit surviving fragments, merging consecutive ones into
+		// maximal segments to keep the result canonical.
+		runStart := -1
+		flush := func(endIdx int) {
+			if runStart < 0 {
+				return
+			}
+			p := ref.Left.Add(d.Scale(cuts[runStart]))
+			q := ref.Left.Add(d.Scale(cuts[endIdx]))
+			if seg, err := geom.NewSegment(p, q); err == nil {
+				out = append(out, seg)
+			}
+			runStart = -1
+		}
+		for k := 0; k+1 < len(cuts); k++ {
+			mid := (cuts[k] + cuts[k+1]) / 2
+			count := 0
+			for _, sp := range spans {
+				if sp.lo <= mid && mid <= sp.hi {
+					count++
+				}
+			}
+			if count%2 == 1 {
+				if runStart < 0 {
+					runStart = k
+				}
+			} else {
+				flush(k)
+			}
+		}
+		flush(len(cuts) - 1)
+	}
+	geom.SortSegments(out)
+	return out
+}

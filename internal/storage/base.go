@@ -1,0 +1,75 @@
+package storage
+
+// Encodings for the base types: a single root record, no arrays
+// (Section 4.1: "a record consisting of the given programming language
+// value plus a boolean flag indicating whether the value is defined" —
+// the engine layer stores only defined attribute values, so the flag is
+// implied true here; undefined attributes are a tuple-level concern).
+
+// EncodeString stores a string value.
+func EncodeString(s string) Encoded {
+	var w writer
+	w.str(s)
+	return Encoded{Root: w.buf}
+}
+
+// DecodeString reverses EncodeString.
+func DecodeString(e Encoded) (string, error) {
+	r := reader{buf: e.Root}
+	s := r.str()
+	if err := r.done(); err != nil {
+		return "", err
+	}
+	return s, nil
+}
+
+// EncodeInt stores an int value.
+func EncodeInt(v int64) Encoded {
+	var w writer
+	w.i64(v)
+	return Encoded{Root: w.buf}
+}
+
+// DecodeInt reverses EncodeInt.
+func DecodeInt(e Encoded) (int64, error) {
+	r := reader{buf: e.Root}
+	v := r.i64()
+	if err := r.done(); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// EncodeReal stores a real value.
+func EncodeReal(v float64) Encoded {
+	var w writer
+	w.f64(v)
+	return Encoded{Root: w.buf}
+}
+
+// DecodeReal reverses EncodeReal.
+func DecodeReal(e Encoded) (float64, error) {
+	r := reader{buf: e.Root}
+	v := r.f64()
+	if err := r.done(); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// EncodeBool stores a bool value.
+func EncodeBool(v bool) Encoded {
+	var w writer
+	w.boolv(v)
+	return Encoded{Root: w.buf}
+}
+
+// DecodeBool reverses EncodeBool.
+func DecodeBool(e Encoded) (bool, error) {
+	r := reader{buf: e.Root}
+	v := r.boolv()
+	if err := r.done(); err != nil {
+		return false, err
+	}
+	return v, nil
+}

@@ -1,0 +1,384 @@
+package storage
+
+import (
+	"fmt"
+
+	"movingdb/internal/mapping"
+	"movingdb/internal/moving"
+	"movingdb/internal/units"
+)
+
+// This file implements the mapping layout of Figure 7: one units array
+// holding fixed-size unit records ordered by time interval, plus k
+// shared subarrays for the variable-size unit types. Each variable-size
+// unit record carries (start, end) indices into the shared subarrays —
+// the "subarray" concept of Section 4.2 — so the whole moving object
+// occupies a fixed number of contiguous memory blocks and contains no
+// pointers.
+
+// --- fixed size units: mbool / mint / mstring / mreal / mpoint ---
+
+// EncodeMBool stores a moving bool: a single units array of fixed-size
+// (interval, bool) records.
+func EncodeMBool(b moving.MBool) Encoded {
+	var root, arr writer
+	root.u32(uint32(b.M.Len()))
+	for _, u := range b.M.Units() {
+		writeInterval(&arr, u.Iv)
+		arr.boolv(u.V)
+	}
+	return Encoded{Root: root.buf, Arrays: [][]byte{arr.buf}}
+}
+
+// DecodeMBool reverses EncodeMBool, re-validating the mapping
+// constraints.
+func DecodeMBool(e Encoded) (moving.MBool, error) {
+	us, err := decodeUnits(e, func(r *reader) (units.UBool, error) {
+		iv, err := readInterval(r)
+		if err != nil {
+			return units.UBool{}, err
+		}
+		return units.UBool{Iv: iv, V: r.boolv()}, nil
+	})
+	if err != nil {
+		return moving.MBool{}, err
+	}
+	return moving.NewMBool(us...)
+}
+
+// EncodeMInt stores a moving int.
+func EncodeMInt(b moving.MInt) Encoded {
+	var root, arr writer
+	root.u32(uint32(b.M.Len()))
+	for _, u := range b.M.Units() {
+		writeInterval(&arr, u.Iv)
+		arr.i64(u.V)
+	}
+	return Encoded{Root: root.buf, Arrays: [][]byte{arr.buf}}
+}
+
+// DecodeMInt reverses EncodeMInt.
+func DecodeMInt(e Encoded) (moving.MInt, error) {
+	us, err := decodeUnits(e, func(r *reader) (units.UInt, error) {
+		iv, err := readInterval(r)
+		if err != nil {
+			return units.UInt{}, err
+		}
+		return units.UInt{Iv: iv, V: r.i64()}, nil
+	})
+	if err != nil {
+		return moving.MInt{}, err
+	}
+	return moving.NewMInt(us...)
+}
+
+// EncodeMString stores a moving string. String payloads live in a
+// second array (they are the only variable-size component of the
+// otherwise fixed-size unit records).
+func EncodeMString(b moving.MString) Encoded {
+	var root, arr, strArr writer
+	root.u32(uint32(b.M.Len()))
+	for _, u := range b.M.Units() {
+		writeInterval(&arr, u.Iv)
+		arr.u32(uint32(len(strArr.buf)))
+		arr.u32(uint32(len(u.V)))
+		strArr.buf = append(strArr.buf, u.V...)
+	}
+	return Encoded{Root: root.buf, Arrays: [][]byte{arr.buf, strArr.buf}}
+}
+
+// DecodeMString reverses EncodeMString.
+func DecodeMString(e Encoded) (moving.MString, error) {
+	if len(e.Arrays) != 2 {
+		return moving.MString{}, fmt.Errorf("%w: mstring needs 2 arrays", ErrCorrupt)
+	}
+	strs := e.Arrays[1]
+	us, err := decodeUnits(Encoded{Root: e.Root, Arrays: e.Arrays[:1]}, func(r *reader) (units.UString, error) {
+		iv, err := readInterval(r)
+		if err != nil {
+			return units.UString{}, err
+		}
+		off, n := int(r.u32()), int(r.u32())
+		if r.err != nil || off+n > len(strs) {
+			return units.UString{}, fmt.Errorf("%w: string payload range", ErrCorrupt)
+		}
+		return units.UString{Iv: iv, V: string(strs[off : off+n])}, nil
+	})
+	if err != nil {
+		return moving.MString{}, err
+	}
+	return moving.NewMString(us...)
+}
+
+// EncodeMReal stores a moving real: fixed-size (interval, a, b, c, root)
+// records.
+func EncodeMReal(m moving.MReal) Encoded {
+	var root, arr writer
+	root.u32(uint32(m.M.Len()))
+	for _, u := range m.M.Units() {
+		writeInterval(&arr, u.Iv)
+		arr.f64(u.A)
+		arr.f64(u.B)
+		arr.f64(u.C)
+		arr.boolv(u.Root)
+	}
+	return Encoded{Root: root.buf, Arrays: [][]byte{arr.buf}}
+}
+
+// DecodeMReal reverses EncodeMReal.
+func DecodeMReal(e Encoded) (moving.MReal, error) {
+	us, err := decodeUnits(e, func(r *reader) (units.UReal, error) {
+		iv, err := readInterval(r)
+		if err != nil {
+			return units.UReal{}, err
+		}
+		return units.UReal{Iv: iv, A: r.f64(), B: r.f64(), C: r.f64(), Root: r.boolv()}, nil
+	})
+	if err != nil {
+		return moving.MReal{}, err
+	}
+	return moving.NewMReal(us...)
+}
+
+// EncodeMPoint stores a moving point: fixed-size
+// (interval, x0, x1, y0, y1) records.
+func EncodeMPoint(m moving.MPoint) Encoded {
+	var root, arr writer
+	root.u32(uint32(m.M.Len()))
+	for _, u := range m.M.Units() {
+		writeInterval(&arr, u.Iv)
+		arr.f64(u.M.X0)
+		arr.f64(u.M.X1)
+		arr.f64(u.M.Y0)
+		arr.f64(u.M.Y1)
+	}
+	return Encoded{Root: root.buf, Arrays: [][]byte{arr.buf}}
+}
+
+// DecodeMPoint reverses EncodeMPoint.
+func DecodeMPoint(e Encoded) (moving.MPoint, error) {
+	us, err := decodeUnits(e, func(r *reader) (units.UPoint, error) {
+		iv, err := readInterval(r)
+		if err != nil {
+			return units.UPoint{}, err
+		}
+		return units.UPoint{Iv: iv, M: units.MPoint{X0: r.f64(), X1: r.f64(), Y0: r.f64(), Y1: r.f64()}}, nil
+	})
+	if err != nil {
+		return moving.MPoint{}, err
+	}
+	return moving.NewMPoint(us...)
+}
+
+// decodeUnits reads the unit count from the root record and applies the
+// per-unit reader to the (first) units array.
+func decodeUnits[U any](e Encoded, read func(*reader) (U, error)) ([]U, error) {
+	if len(e.Arrays) != 1 {
+		return nil, fmt.Errorf("%w: mapping needs 1 units array", ErrCorrupt)
+	}
+	root := reader{buf: e.Root}
+	n := int(root.u32())
+	if err := root.done(); err != nil {
+		return nil, err
+	}
+	arr := reader{buf: e.Arrays[0]}
+	// Unit records are at least an interval (18 bytes); reject counts
+	// the array cannot possibly hold before allocating.
+	const minUnitRec = 8 + 8 + 1 + 1
+	if n > len(arr.buf)/minUnitRec {
+		return nil, fmt.Errorf("%w: unit count %d exceeds array capacity", ErrCorrupt, n)
+	}
+	us := make([]U, 0, n)
+	for i := 0; i < n; i++ {
+		u, err := read(&arr)
+		if err != nil {
+			return nil, err
+		}
+		if arr.err != nil {
+			return nil, arr.err
+		}
+		us = append(us, u)
+	}
+	if err := arr.done(); err != nil {
+		return nil, err
+	}
+	return us, nil
+}
+
+// --- variable size units: mpoints / mregion (Figure 7 layout) ---
+
+func writeMPointRec(w *writer, m units.MPoint) {
+	w.f64(m.X0)
+	w.f64(m.X1)
+	w.f64(m.Y0)
+	w.f64(m.Y1)
+}
+
+func readMPointRec(r *reader) units.MPoint {
+	return units.MPoint{X0: r.f64(), X1: r.f64(), Y0: r.f64(), Y1: r.f64()}
+}
+
+// EncodeMPoints stores a moving point set: the units array holds
+// (interval, start, end) records whose indices reference the shared
+// subarray of MPoint records — the exact structure of Figure 7.
+func EncodeMPoints(m moving.MPoints) Encoded {
+	var root, unitsArr, sub writer
+	root.u32(uint32(m.M.Len()))
+	off := 0
+	for _, u := range m.M.Units() {
+		writeInterval(&unitsArr, u.Iv)
+		unitsArr.u32(uint32(off))
+		unitsArr.u32(uint32(off + len(u.Ms)))
+		for _, mp := range u.Ms {
+			writeMPointRec(&sub, mp)
+		}
+		off += len(u.Ms)
+	}
+	return Encoded{Root: root.buf, Arrays: [][]byte{unitsArr.buf, sub.buf}}
+}
+
+// DecodeMPoints reverses EncodeMPoints, re-validating unit constraints.
+func DecodeMPoints(e Encoded) (moving.MPoints, error) {
+	if len(e.Arrays) != 2 {
+		return moving.MPoints{}, fmt.Errorf("%w: mpoints needs 2 arrays", ErrCorrupt)
+	}
+	subR := reader{buf: e.Arrays[1]}
+	var pool []units.MPoint
+	for subR.off < len(subR.buf) {
+		pool = append(pool, readMPointRec(&subR))
+	}
+	if err := subR.done(); err != nil {
+		return moving.MPoints{}, err
+	}
+	us, err := decodeUnits(Encoded{Root: e.Root, Arrays: e.Arrays[:1]}, func(r *reader) (units.UPoints, error) {
+		iv, err := readInterval(r)
+		if err != nil {
+			return units.UPoints{}, err
+		}
+		lo, hi := int(r.u32()), int(r.u32())
+		if r.err != nil || lo > hi || hi > len(pool) {
+			return units.UPoints{}, fmt.Errorf("%w: subarray range [%d,%d)", ErrCorrupt, lo, hi)
+		}
+		return units.NewUPoints(iv, pool[lo:hi]...)
+	})
+	if err != nil {
+		return moving.MPoints{}, err
+	}
+	return moving.NewMPoints(us...)
+}
+
+// EncodeMRegion stores a moving region with the subarrays of
+// Section 4.2: msegments (as moving ring vertices), mcycles and mfaces.
+// Unit records reference their face run; face records reference their
+// cycle run; cycle records reference their vertex run — indices
+// throughout, no pointers.
+func EncodeMRegion(m moving.MRegion) Encoded {
+	var root, unitsArr, mfaces, mcycles, mverts writer
+	root.u32(uint32(m.M.Len()))
+	faceIdx, cycIdx, vertIdx := 0, 0, 0
+	writeCycle := func(c units.MCycle) {
+		mcycles.u32(uint32(vertIdx))
+		mcycles.u32(uint32(len(c)))
+		for _, v := range c {
+			writeMPointRec(&mverts, v)
+		}
+		vertIdx += len(c)
+		cycIdx++
+	}
+	for _, u := range m.M.Units() {
+		writeInterval(&unitsArr, u.Iv)
+		unitsArr.u32(uint32(faceIdx))
+		unitsArr.u32(uint32(faceIdx + len(u.Faces)))
+		for _, f := range u.Faces {
+			mfaces.u32(uint32(cycIdx))
+			mfaces.u32(uint32(1 + len(f.Holes)))
+			writeCycle(f.Outer)
+			for _, h := range f.Holes {
+				writeCycle(h)
+			}
+			faceIdx++
+		}
+	}
+	return Encoded{Root: root.buf, Arrays: [][]byte{unitsArr.buf, mfaces.buf, mcycles.buf, mverts.buf}}
+}
+
+// DecodeMRegion reverses EncodeMRegion. Unit validity is re-checked
+// structurally (rings, coplanarity); the full for-all-instants
+// validation is not repeated on load — the stored value was validated
+// when constructed, matching how a DBMS treats its own pages.
+func DecodeMRegion(e Encoded) (moving.MRegion, error) {
+	if len(e.Arrays) != 4 {
+		return moving.MRegion{}, fmt.Errorf("%w: mregion needs 4 arrays", ErrCorrupt)
+	}
+	vertR := reader{buf: e.Arrays[3]}
+	var verts []units.MPoint
+	for vertR.off < len(vertR.buf) {
+		verts = append(verts, readMPointRec(&vertR))
+	}
+	if err := vertR.done(); err != nil {
+		return moving.MRegion{}, err
+	}
+	type cycRec struct{ off, n int }
+	cycR := reader{buf: e.Arrays[2]}
+	var cycles []cycRec
+	for cycR.off < len(cycR.buf) {
+		cycles = append(cycles, cycRec{int(cycR.u32()), int(cycR.u32())})
+	}
+	if err := cycR.done(); err != nil {
+		return moving.MRegion{}, err
+	}
+	type faceRec struct{ first, n int }
+	faceR := reader{buf: e.Arrays[1]}
+	var faces []faceRec
+	for faceR.off < len(faceR.buf) {
+		faces = append(faces, faceRec{int(faceR.u32()), int(faceR.u32())})
+	}
+	if err := faceR.done(); err != nil {
+		return moving.MRegion{}, err
+	}
+	mkCycle := func(c cycRec) (units.MCycle, error) {
+		if c.off+c.n > len(verts) || c.n < 3 {
+			return nil, fmt.Errorf("%w: mcycle vertex range", ErrCorrupt)
+		}
+		return units.MCycle(verts[c.off : c.off+c.n]), nil
+	}
+	us, err := decodeUnits(Encoded{Root: e.Root, Arrays: e.Arrays[:1]}, func(r *reader) (units.URegion, error) {
+		iv, err := readInterval(r)
+		if err != nil {
+			return units.URegion{}, err
+		}
+		lo, hi := int(r.u32()), int(r.u32())
+		if r.err != nil || lo > hi || hi > len(faces) {
+			return units.URegion{}, fmt.Errorf("%w: face range", ErrCorrupt)
+		}
+		mfs := make([]units.MFace, 0, hi-lo)
+		for k := lo; k < hi; k++ {
+			fr := faces[k]
+			if fr.first+fr.n > len(cycles) || fr.n < 1 {
+				return units.URegion{}, fmt.Errorf("%w: cycle range", ErrCorrupt)
+			}
+			outer, err := mkCycle(cycles[fr.first])
+			if err != nil {
+				return units.URegion{}, err
+			}
+			mf := units.MFace{Outer: outer}
+			for c := fr.first + 1; c < fr.first+fr.n; c++ {
+				h, err := mkCycle(cycles[c])
+				if err != nil {
+					return units.URegion{}, err
+				}
+				mf.Holes = append(mf.Holes, h)
+			}
+			mfs = append(mfs, mf)
+		}
+		return units.URegionUnchecked(iv, mfs), nil
+	})
+	if err != nil {
+		return moving.MRegion{}, err
+	}
+	m2, err := mapping.New(us...)
+	if err != nil {
+		return moving.MRegion{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return moving.MRegion{M: m2}, nil
+}

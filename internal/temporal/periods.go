@@ -1,0 +1,225 @@
+package temporal
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+)
+
+// Periods is the range(instant) type: a finite set of pairwise disjoint,
+// non-adjacent intervals in temporal order. The canonical (minimal,
+// unique) representation required by Section 3.2.3 is maintained by all
+// constructors and operations, so two Periods values denote the same
+// point set iff they are slice-equal.
+type Periods struct {
+	ivs []Interval
+}
+
+// NewPeriods builds a canonical Periods value from arbitrary intervals:
+// the input is sorted and overlapping or adjacent intervals are merged.
+// Invalid intervals cause an error.
+func NewPeriods(ivs ...Interval) (Periods, error) {
+	for _, iv := range ivs {
+		if err := iv.Validate(); err != nil {
+			return Periods{}, err
+		}
+	}
+	work := make([]Interval, len(ivs))
+	copy(work, ivs)
+	slices.SortFunc(work, func(a, b Interval) int {
+		switch {
+		case a.Start < b.Start:
+			return -1
+		case a.Start > b.Start:
+			return 1
+		case a.LC && !b.LC:
+			return -1
+		case !a.LC && b.LC:
+			return 1
+		case a.End < b.End:
+			return -1
+		case a.End > b.End:
+			return 1
+		}
+		return 0
+	})
+	var out []Interval
+	for _, iv := range work {
+		if n := len(out); n > 0 {
+			if u, ok := out[n-1].Union(iv); ok {
+				out[n-1] = u
+				continue
+			}
+		}
+		out = append(out, iv)
+	}
+	return Periods{ivs: out}, nil
+}
+
+// MustPeriods is like NewPeriods but panics on invalid intervals.
+func MustPeriods(ivs ...Interval) Periods {
+	p, err := NewPeriods(ivs...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Intervals returns the canonical interval sequence (shared slice; do
+// not modify).
+func (p Periods) Intervals() []Interval { return p.ivs }
+
+// Len returns the number of intervals.
+func (p Periods) Len() int { return len(p.ivs) }
+
+// IsEmpty reports whether the period set contains no instant.
+func (p Periods) IsEmpty() bool { return len(p.ivs) == 0 }
+
+// Contains reports whether instant t belongs to the period set, by
+// binary search over the ordered intervals.
+func (p Periods) Contains(t Instant) bool {
+	_, ok := p.find(t)
+	return ok
+}
+
+// find locates the interval containing t, returning its index.
+func (p Periods) find(t Instant) (int, bool) {
+	lo, hi := 0, len(p.ivs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		iv := p.ivs[mid]
+		switch {
+		case iv.Contains(t):
+			return mid, true
+		case t < iv.Start || (t == iv.Start && !iv.LC):
+			hi = mid
+		default:
+			lo = mid + 1
+		}
+	}
+	return lo, false
+}
+
+// Duration returns the total length of all intervals.
+func (p Periods) Duration() float64 {
+	var d float64
+	for _, iv := range p.ivs {
+		d += iv.Duration()
+	}
+	return d
+}
+
+// MinInstant returns the earliest instant (or the infimum, if the first
+// interval is left-open); ok is false for an empty set.
+func (p Periods) MinInstant() (Instant, bool) {
+	if len(p.ivs) == 0 {
+		return 0, false
+	}
+	return p.ivs[0].Start, true
+}
+
+// MaxInstant returns the latest instant (or the supremum); ok is false
+// for an empty set.
+func (p Periods) MaxInstant() (Instant, bool) {
+	if len(p.ivs) == 0 {
+		return 0, false
+	}
+	return p.ivs[len(p.ivs)-1].End, true
+}
+
+// Union returns the set union of p and q, again canonical.
+func (p Periods) Union(q Periods) Periods {
+	all := make([]Interval, 0, len(p.ivs)+len(q.ivs))
+	all = append(all, p.ivs...)
+	all = append(all, q.ivs...)
+	out, err := NewPeriods(all...)
+	if err != nil {
+		// Inputs were canonical, so this cannot happen.
+		panic(fmt.Sprintf("temporal: union of canonical periods failed: %v", err))
+	}
+	return out
+}
+
+// Intersect returns the set intersection of p and q by a linear merge of
+// the two ordered interval sequences.
+func (p Periods) Intersect(q Periods) Periods {
+	var out []Interval
+	i, j := 0, 0
+	for i < len(p.ivs) && j < len(q.ivs) {
+		a, b := p.ivs[i], q.ivs[j]
+		if iv, ok := a.Intersect(b); ok {
+			out = append(out, iv)
+		}
+		// Advance the interval that ends first.
+		if a.End < b.End || (a.End == b.End && !a.RC) {
+			i++
+		} else {
+			j++
+		}
+	}
+	return Periods{ivs: out}
+}
+
+// Minus returns the instants of p not in q.
+func (p Periods) Minus(q Periods) Periods {
+	var out []Interval
+	for _, a := range p.ivs {
+		rest := []Interval{a}
+		for _, b := range q.ivs {
+			var next []Interval
+			for _, r := range rest {
+				next = append(next, r.Minus(b)...)
+			}
+			rest = next
+			if len(rest) == 0 {
+				break
+			}
+		}
+		out = append(out, rest...)
+	}
+	res, err := NewPeriods(out...)
+	if err != nil {
+		panic(fmt.Sprintf("temporal: minus produced invalid intervals: %v", err))
+	}
+	return res
+}
+
+// Equal reports whether p and q denote the same instant set. Because
+// both are canonical, this is plain representation equality — the
+// property the paper's ordered-array design is built to guarantee.
+func (p Periods) Equal(q Periods) bool { return slices.Equal(p.ivs, q.ivs) }
+
+// Validate checks canonicity: intervals valid, ordered, pairwise
+// disjoint and non-adjacent. Constructors maintain this; Validate exists
+// for values deserialised from storage.
+func (p Periods) Validate() error {
+	for k, iv := range p.ivs {
+		if err := iv.Validate(); err != nil {
+			return err
+		}
+		if k > 0 {
+			prev := p.ivs[k-1]
+			if !prev.RDisjoint(iv) {
+				return fmt.Errorf("%w: intervals %v and %v out of order or overlapping", ErrInvalidInterval, prev, iv)
+			}
+			if prev.Adjacent(iv) {
+				return fmt.Errorf("%w: intervals %v and %v adjacent (not minimal)", ErrInvalidInterval, prev, iv)
+			}
+		}
+	}
+	return nil
+}
+
+// String formats the period set as "{[a, b), (c, d]}".
+func (p Periods) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for k, iv := range p.ivs {
+		if k > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(iv.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}

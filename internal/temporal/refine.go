@@ -1,0 +1,108 @@
+package temporal
+
+import "slices"
+
+// RefinementInterval is one element of the refinement partition of two
+// interval sequences (Figure 8 of the paper): a maximal interval on
+// which membership in both sequences is constant. A and B carry the
+// index of the covering interval in the first and second input sequence,
+// or −1 if the sequence does not cover the interval.
+type RefinementInterval struct {
+	Iv   Interval
+	A, B int
+}
+
+// Refine computes the refinement partition of two sequences of intervals
+// that are each ordered, pairwise disjoint and non-adjacent (the shape
+// of unit intervals inside a mapping, and of Periods). The result covers
+// exactly the union of the two sequences, in temporal order, split at
+// every boundary of either input, with adjacent pieces of identical
+// membership merged. Binary operations on moving objects traverse this
+// partition and apply a unit-pair kernel per element (Section 5.2).
+//
+// The cost is O(n + m) in the input sizes.
+func Refine(a, b []Interval) []RefinementInterval {
+	// Collect the cut instants: every start and end of either sequence.
+	cuts := make([]Instant, 0, 2*(len(a)+len(b)))
+	for _, iv := range a {
+		cuts = append(cuts, iv.Start, iv.End)
+	}
+	for _, iv := range b {
+		cuts = append(cuts, iv.Start, iv.End)
+	}
+	slices.Sort(cuts)
+	cuts = slices.Compact(cuts)
+	if len(cuts) == 0 {
+		return nil
+	}
+
+	// Walk the atomic decomposition — alternating degenerate [t_k, t_k]
+	// and open (t_k, t_{k+1}) atoms — and assign memberships with two
+	// advancing pointers per sequence.
+	var out []RefinementInterval
+	ia, ib := 0, 0
+	emit := func(atom Interval, idxA, idxB int) {
+		if idxA < 0 && idxB < 0 {
+			return
+		}
+		if n := len(out); n > 0 && out[n-1].A == idxA && out[n-1].B == idxB {
+			if u, ok := out[n-1].Iv.Union(atom); ok {
+				out[n-1].Iv = u
+				return
+			}
+		}
+		out = append(out, RefinementInterval{Iv: atom, A: idxA, B: idxB})
+	}
+	// coverPoint returns the index of the interval in seq containing t,
+	// advancing ptr past intervals entirely before t.
+	coverPoint := func(seq []Interval, ptr *int, t Instant) int {
+		for *ptr < len(seq) && seq[*ptr].End < t {
+			*ptr++
+		}
+		// The interval at *ptr may end exactly at t but open; peek ahead
+		// one position to handle [x, t) immediately followed by a later
+		// interval starting at t.
+		for k := *ptr; k < len(seq) && seq[k].Start <= t; k++ {
+			if seq[k].Contains(t) {
+				return k
+			}
+		}
+		return -1
+	}
+	// coverOpen returns the index of the interval containing the whole
+	// open atom (lo, hi). Because lo and hi are cuts, an interval either
+	// contains all of the atom or none of it.
+	coverOpen := func(seq []Interval, ptr *int, lo, hi Instant) int {
+		for *ptr < len(seq) && seq[*ptr].End <= lo {
+			*ptr++
+		}
+		if *ptr < len(seq) {
+			iv := seq[*ptr]
+			if iv.Start <= lo && hi <= iv.End {
+				return *ptr
+			}
+		}
+		return -1
+	}
+
+	for k, t := range cuts {
+		// Degenerate atom at the cut itself.
+		pa := coverPoint(a, &ia, t)
+		pb := coverPoint(b, &ib, t)
+		emit(AtInstant(t), pa, pb)
+		// Open atom up to the next cut.
+		if k+1 < len(cuts) {
+			lo, hi := t, cuts[k+1]
+			oa := coverOpen(a, &ia, lo, hi)
+			ob := coverOpen(b, &ib, lo, hi)
+			emit(Open(lo, hi), oa, ob)
+		}
+	}
+	return out
+}
+
+// RefinePeriods is a convenience wrapper applying Refine to two Periods
+// values.
+func RefinePeriods(p, q Periods) []RefinementInterval {
+	return Refine(p.Intervals(), q.Intervals())
+}

@@ -1,0 +1,172 @@
+package typesys
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpSignature is one signature of an operation: argument types to result
+// type, e.g. distance: moving(point) × moving(point) → moving(real).
+type OpSignature struct {
+	Args   []Type
+	Result Type
+}
+
+// String renders the signature in the paper's notation.
+func (s OpSignature) String() string {
+	parts := make([]string, len(s.Args))
+	for i, a := range s.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s -> %s", strings.Join(parts, " × "), s.Result)
+}
+
+// Operation is a named operation with one or more signatures.
+type Operation struct {
+	Name string
+	Sigs []OpSignature
+}
+
+// Registry holds the operations of the model and implements the
+// temporal lifting mechanism: every non-temporal signature is uniformly
+// made applicable to the corresponding moving types.
+type Registry struct {
+	ops map[string]*Operation
+	// order preserves registration order for stable listings.
+	order []string
+}
+
+// NewRegistry returns an empty operation registry.
+func NewRegistry() *Registry {
+	return &Registry{ops: make(map[string]*Operation)}
+}
+
+// Register adds a signature for the named operation.
+func (r *Registry) Register(name string, args []Type, result Type) {
+	op, ok := r.ops[name]
+	if !ok {
+		op = &Operation{Name: name}
+		r.ops[name] = op
+		r.order = append(r.order, name)
+	}
+	op.Sigs = append(op.Sigs, OpSignature{Args: args, Result: result})
+}
+
+// liftable reports whether a type participates in lifting (BASE or
+// SPATIAL constant types).
+func liftable(t Type) bool {
+	if len(t.Params) != 0 {
+		return false
+	}
+	switch t.Constructor {
+	case "int", "real", "string", "bool", "point", "points", "line", "region":
+		return true
+	}
+	return false
+}
+
+// Lift applies temporal lifting to every registered non-temporal
+// signature (Section 2): each subset of liftable arguments may be
+// replaced by its moving counterpart, and the result becomes moving. The
+// lifted signatures are added to the registry under the same operation
+// name.
+func (r *Registry) Lift() {
+	for _, name := range r.order {
+		op := r.ops[name]
+		var lifted []OpSignature
+		for _, sig := range op.Sigs {
+			var idx []int
+			for i, a := range sig.Args {
+				if liftable(a) {
+					idx = append(idx, i)
+				}
+			}
+			if len(idx) == 0 {
+				continue
+			}
+			// Every non-empty subset of liftable argument positions.
+			for mask := 1; mask < 1<<len(idx); mask++ {
+				args := make([]Type, len(sig.Args))
+				copy(args, sig.Args)
+				for bit, pos := range idx {
+					if mask&(1<<bit) != 0 {
+						args[pos] = T("moving", sig.Args[pos])
+					}
+				}
+				res := sig.Result
+				if liftable(res) {
+					res = T("moving", res)
+				}
+				lifted = append(lifted, OpSignature{Args: args, Result: res})
+			}
+		}
+		op.Sigs = append(op.Sigs, lifted...)
+	}
+}
+
+// Lookup resolves the result type of applying the operation to the given
+// argument types; ok is false if no signature matches.
+func (r *Registry) Lookup(name string, args []Type) (Type, bool) {
+	op, ok := r.ops[name]
+	if !ok {
+		return Type{}, false
+	}
+	key := typesKey(args)
+	for _, sig := range op.Sigs {
+		if typesKey(sig.Args) == key {
+			return sig.Result, true
+		}
+	}
+	return Type{}, false
+}
+
+// Ops returns all operations in registration order.
+func (r *Registry) Ops() []*Operation {
+	out := make([]*Operation, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.ops[name])
+	}
+	return out
+}
+
+func typesKey(ts []Type) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, "×")
+}
+
+// StandardOps returns the registry pre-loaded with the operations the
+// paper uses (Section 2 and Section 5), lifting already applied.
+func StandardOps() *Registry {
+	r := NewRegistry()
+	mp := T("moving", T("point"))
+	mr := T("moving", T("real"))
+	mreg := T("moving", T("region"))
+
+	// Non-temporal operations (lifted below).
+	r.Register("inside", []Type{T("point"), T("region")}, T("bool"))
+	r.Register("distance", []Type{T("point"), T("point")}, T("real"))
+	r.Register("length", []Type{T("line")}, T("real"))
+	r.Register("size", []Type{T("region")}, T("real"))
+	r.Register("perimeter", []Type{T("region")}, T("real"))
+	r.Register("intersects", []Type{T("region"), T("region")}, T("bool"))
+
+	// Projections and time interaction (genuinely temporal signatures).
+	r.Register("trajectory", []Type{mp}, T("line"))
+	r.Register("deftime", []Type{mp}, T("range", T("instant")))
+	r.Register("atinstant", []Type{mreg, T("instant")}, T("intime", T("region")))
+	r.Register("atperiods", []Type{mp, T("range", T("instant"))}, mp)
+	r.Register("initial", []Type{mr}, T("intime", T("real")))
+	r.Register("final", []Type{mr}, T("intime", T("real")))
+	r.Register("atmin", []Type{mr}, mr)
+	r.Register("atmax", []Type{mr}, mr)
+	r.Register("val", []Type{T("intime", T("real"))}, T("real"))
+	r.Register("inst", []Type{T("intime", T("real"))}, T("instant"))
+	r.Register("speed", []Type{mp}, mr)
+	r.Register("present", []Type{mp, T("instant")}, T("bool"))
+
+	r.Lift()
+	return r
+}

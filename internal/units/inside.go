@@ -1,0 +1,213 @@
+package units
+
+import (
+	"slices"
+
+	"movingdb/internal/geom"
+	"movingdb/internal/temporal"
+)
+
+// UPointInsideURegion implements the unit-pair kernel
+// upoint_uregion_inside of Section 5.2: given a upoint unit and a
+// uregion unit it returns boolean units describing when the moving point
+// is inside the moving region, over the intersection of the two unit
+// intervals. The moving point is a line in 3D space that stabs the
+// moving segments (trapeziums in 3D) of the region unit; with each stab
+// the point alternates between inside and outside.
+//
+// Crossing instants are found as roots of the quadratic
+// cross(e(t)−s(t), p(t)−s(t)) = 0 restricted to the segment's parameter
+// range; the initial state is decided with the plumbline test
+// (Section 5.2). Tangential grazings — the point touching the boundary
+// without crossing (a double root) — do not flip the state. Following
+// the paper, true intervals are emitted closed and false intervals open,
+// because the boundary belongs to the region.
+//
+// The cost is O(s) for the stab candidates plus O(k log k) for sorting
+// the k crossings, matching the complexity stated in the paper.
+func UPointInsideURegion(up UPoint, ur URegion) []UBool {
+	iv, ok := up.Iv.Intersect(ur.Iv)
+	if !ok {
+		return nil
+	}
+	// Bounding cube rejection (constant time with stored cubes).
+	if !up.Cube().Intersects(ur.Cube()) {
+		return []UBool{{Iv: iv, V: false}}
+	}
+
+	type crossing struct {
+		t     float64
+		touch bool // tangential: state does not flip
+	}
+	var crossings []crossing
+	for _, g := range ur.AllMSegs() {
+		for _, c := range stabTimes(up.M, g, iv) {
+			crossings = append(crossings, crossing{t: c.t, touch: c.touch})
+		}
+	}
+	slices.SortFunc(crossings, func(a, b crossing) int {
+		switch {
+		case a.t < b.t:
+			return -1
+		case a.t > b.t:
+			return 1
+		}
+		return 0
+	})
+	// Merge coincident crossing instants: an even number of genuine
+	// crossings at the same instant (e.g. passing through a vertex
+	// shared by two segments) cancels to a touch, an odd number to a
+	// single crossing.
+	merged := crossings[:0]
+	for i := 0; i < len(crossings); {
+		j := i
+		flips := 0
+		for j < len(crossings) && crossings[j].t == crossings[i].t {
+			if !crossings[j].touch {
+				flips++
+			}
+			j++
+		}
+		merged = append(merged, crossing{t: crossings[i].t, touch: flips%2 == 0})
+		i = j
+	}
+	crossings = merged
+
+	// Initial state: sample strictly before the first crossing (or the
+	// interval midpoint when there are none) and apply the plumbline.
+	sampleAt := func(lo, hi float64) temporal.Instant { return temporal.Instant((lo + hi) / 2) }
+	first := float64(iv.End)
+	if len(crossings) > 0 {
+		first = crossings[0].t
+	}
+	var state bool
+	if iv.IsDegenerate() {
+		state = pointInRegionAt(up.M, ur, iv.Start)
+	} else if first > float64(iv.Start) {
+		state = pointInRegionAt(up.M, ur, sampleAt(float64(iv.Start), first))
+	} else {
+		// A crossing exactly at the interval start: state right after it.
+		next := float64(iv.End)
+		if len(crossings) > 1 {
+			next = crossings[1].t
+		}
+		state = pointInRegionAt(up.M, ur, sampleAt(first, next))
+		// Drop that crossing; it does not partition the interior.
+		crossings = crossings[1:]
+	}
+
+	// Assemble alternating boolean units. True pieces are closed, false
+	// pieces open; touches inside a false piece contribute degenerate
+	// true instants.
+	var out []UBool
+	cur := iv.Start
+	curLC := iv.LC
+	emit := func(end temporal.Instant, endRC bool, v bool) {
+		lc, rc := curLC, endRC
+		if v {
+			// Closure toward crossing instants: the point is on the
+			// boundary there, which is inside the region.
+			if cur != iv.Start {
+				lc = true
+			}
+			if end != iv.End {
+				rc = true
+			}
+		} else {
+			if cur != iv.Start {
+				lc = false
+			}
+			if end != iv.End {
+				rc = false
+			}
+		}
+		if cur == end && !(lc && rc) {
+			return
+		}
+		if cur > end {
+			return
+		}
+		out = append(out, UBool{Iv: temporal.Interval{Start: cur, End: end, LC: lc, RC: rc}, V: v})
+	}
+	for _, c := range crossings {
+		t := temporal.Instant(c.t)
+		if t <= cur || !iv.Contains(t) {
+			// Out-of-interval or duplicate; touches at the boundary of
+			// the overall interval need no piece of their own.
+			continue
+		}
+		if c.touch {
+			if !state {
+				// Outside before and after, but on the boundary at t.
+				emit(t, false, false)
+				cur, curLC = t, true
+				emit(t, true, true)
+				cur, curLC = t, false
+			}
+			continue
+		}
+		emit(t, false, state)
+		cur, curLC = t, false
+		state = !state
+	}
+	emit(iv.End, iv.RC, state)
+	return out
+}
+
+type stab struct {
+	t     float64
+	touch bool
+}
+
+// stabTimes returns the instants in iv at which the moving point p
+// crosses (or touches) the moving segment g.
+func stabTimes(p MPoint, g MSeg, iv temporal.Interval) []stab {
+	// f(t) = cross(e(t)−s(t), p(t)−s(t)), a quadratic.
+	dx0, dx1 := g.E.X0-g.S.X0, g.E.X1-g.S.X1
+	dy0, dy1 := g.E.Y0-g.S.Y0, g.E.Y1-g.S.Y1
+	wx0, wx1 := p.X0-g.S.X0, p.X1-g.S.X1
+	wy0, wy1 := p.Y0-g.S.Y0, p.Y1-g.S.Y1
+	a := dx1*wy1 - dy1*wx1
+	b := dx0*wy1 + dx1*wy0 - dy0*wx1 - dy1*wx0
+	c := dx0*wy0 - dy0*wx0
+	roots, all := QuadRoots(a, b, c)
+	if all {
+		// The point moves along the segment's supporting line; it is on
+		// the segment for a whole sub-interval. This non-generic case is
+		// handled conservatively as no crossings (state sampling decides
+		// membership), acceptable because the boundary belongs to the
+		// region on either side.
+		return nil
+	}
+	var out []stab
+	touch := len(roots) == 1 && a != 0 // double root: tangential
+	for _, r := range roots {
+		t := temporal.Instant(r)
+		if !iv.Contains(t) {
+			continue
+		}
+		// The root is a supporting-line crossing; it stabs the segment
+		// only if the point lies within the segment bounds at time t.
+		sp, ok := g.EvalSeg(t)
+		if !ok {
+			continue // segment degenerate at t
+		}
+		if !sp.Contains(p.Eval(t)) {
+			continue
+		}
+		out = append(out, stab{t: r, touch: touch})
+	}
+	return out
+}
+
+// pointInRegionAt applies the plumbline test to decide whether the
+// moving point is inside the moving region at instant t.
+func pointInRegionAt(p MPoint, ur URegion, t temporal.Instant) bool {
+	segs := make([]geom.Segment, 0, ur.NumMSegs())
+	for _, g := range ur.AllMSegs() {
+		if s, ok := g.EvalSeg(t); ok {
+			segs = append(segs, s)
+		}
+	}
+	return geom.Plumbline(p.Eval(t), segs)
+}

@@ -1,0 +1,98 @@
+package units
+
+import (
+	"movingdb/internal/temporal"
+)
+
+// URegionIntersects implements the unit-pair kernel of the lifted
+// intersects predicate on two moving regions: boolean units describing
+// when the two regions share a point, over the intersection of the unit
+// intervals. Like the validity checks, the decision is exact for linear
+// motion: the intersection status of two polygonal regions with linearly
+// moving vertices can only change at instants where some pair of
+// boundary segments changes its relation — the critical times of the
+// moving segment pairs — so evaluating the static predicate at the
+// criticals and between them covers the interval.
+func URegionIntersects(a, b URegion) []UBool {
+	iv, ok := a.Iv.Intersect(b.Iv)
+	if !ok {
+		return nil
+	}
+	if !a.Cube().Intersects(b.Cube()) {
+		return []UBool{{Iv: iv, V: false}}
+	}
+	var critical []float64
+	for _, g := range a.AllMSegs() {
+		for _, h := range b.AllMSegs() {
+			ts, _ := msegCriticalTimes(g, h)
+			critical = append(critical, ts...)
+		}
+	}
+	eval := func(t temporal.Instant) bool {
+		ra, ok1 := a.EvalAt(t)
+		rb, ok2 := b.EvalAt(t)
+		if !ok1 || !ok2 {
+			return false
+		}
+		return ra.IntersectsRegion(rb)
+	}
+	return boolPieces(iv, critical, eval)
+}
+
+// boolPieces assembles the boolean units of a predicate over iv that can
+// only change truth value at the given critical times: the interval is
+// split at the in-interval criticals, each open piece is decided at its
+// midpoint and each critical instant individually, and equal adjacent
+// pieces are merged.
+func boolPieces(iv temporal.Interval, critical []float64, eval func(temporal.Instant) bool) []UBool {
+	if iv.IsDegenerate() {
+		return []UBool{{Iv: iv, V: eval(iv.Start)}}
+	}
+	cuts := []temporal.Instant{iv.Start}
+	inOpen := make([]float64, 0, len(critical))
+	for _, c := range critical {
+		if iv.ContainsOpen(temporal.Instant(c)) {
+			inOpen = append(inOpen, c)
+		}
+	}
+	sortF(inOpen)
+	for i, c := range inOpen {
+		if i == 0 || c != inOpen[i-1] {
+			cuts = append(cuts, temporal.Instant(c))
+		}
+	}
+	cuts = append(cuts, iv.End)
+
+	var out []UBool
+	appendPiece := func(piv temporal.Interval, v bool) {
+		if n := len(out); n > 0 && out[n-1].V == v && out[n-1].Iv.Adjacent(piv) {
+			if merged, ok := out[n-1].Iv.Union(piv); ok {
+				out[n-1].Iv = merged
+				return
+			}
+		}
+		out = append(out, UBool{Iv: piv, V: v})
+	}
+	for k := 0; k+1 < len(cuts); k++ {
+		lo, hi := cuts[k], cuts[k+1]
+		if k > 0 {
+			appendPiece(temporal.AtInstant(lo), eval(lo))
+		}
+		mid := temporal.Instant((float64(lo) + float64(hi)) / 2)
+		piece := temporal.Interval{
+			Start: lo, End: hi,
+			LC: k == 0 && iv.LC,
+			RC: k+2 == len(cuts) && iv.RC,
+		}
+		appendPiece(piece, eval(mid))
+	}
+	return out
+}
+
+func sortF(fs []float64) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && fs[j] < fs[j-1]; j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}

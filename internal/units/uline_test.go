@@ -1,0 +1,141 @@
+package units
+
+import (
+	"math"
+	"testing"
+
+	"movingdb/internal/geom"
+	"movingdb/internal/temporal"
+)
+
+// translatingMSeg returns an MSeg translating segment (p,q) by velocity
+// (vx, vy).
+func translatingMSeg(p, q geom.Point, vx, vy float64) MSeg {
+	return MustMSeg(
+		MPoint{X0: p.X, X1: vx, Y0: p.Y, Y1: vy},
+		MPoint{X0: q.X, X1: vx, Y0: q.Y, Y1: vy},
+	)
+}
+
+func TestULineValid(t *testing.T) {
+	// Two parallel segments translating right: always a valid line.
+	g := translatingMSeg(geom.Pt(0, 0), geom.Pt(1, 0), 1, 0)
+	h := translatingMSeg(geom.Pt(0, 2), geom.Pt(1, 2), 1, 0)
+	u, err := NewULine(iv(0, 10), g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := u.Eval(3)
+	if l.NumSegments() != 2 {
+		t.Errorf("Eval segments = %d", l.NumSegments())
+	}
+	if !l.ContainsPoint(geom.Pt(3.5, 0)) {
+		t.Error("evaluated line misses translated segment")
+	}
+	if u.Len() != 2 {
+		t.Errorf("Len = %d", u.Len())
+	}
+}
+
+func TestULineRejectsOverlap(t *testing.T) {
+	// Two collinear segments moving toward each other along their common
+	// line: they overlap in the middle of the unit.
+	g := translatingMSeg(geom.Pt(0, 0), geom.Pt(2, 0), 1, 0)  // moves right
+	h := translatingMSeg(geom.Pt(6, 0), geom.Pt(8, 0), -1, 0) // moves left
+	// At t=3: g = (3,0)-(5,0), h = (3,0)-(5,0): full overlap.
+	if _, err := NewULine(iv(0, 10), g, h); err == nil {
+		t.Error("overlapping moving segments accepted")
+	}
+	// Restricted to [0,2] they stay apart (touch at t=2 endpoint only).
+	if _, err := NewULine(iv(0, 2), g, h); err != nil {
+		t.Errorf("non-overlapping restriction rejected: %v", err)
+	}
+}
+
+func TestULineRejectsInteriorDegeneracy(t *testing.T) {
+	// Segment shrinking to a point at t=2.
+	g, err := MSegThrough(0, geom.Pt(0, 0), geom.Pt(4, 0), 2, geom.Pt(2, 0), geom.Pt(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewULine(iv(0, 4), g); err == nil {
+		t.Error("interior degeneracy accepted")
+	}
+	// Degeneracy exactly at the unit end is fine.
+	if _, err := NewULine(iv(0, 2), g); err != nil {
+		t.Errorf("end point degeneracy rejected: %v", err)
+	}
+}
+
+func TestULineEvalBoundary(t *testing.T) {
+	// Two collinear moving segments that first meet exactly at the end
+	// instant — merge-segs must merge them into one maximal segment.
+	g := translatingMSeg(geom.Pt(0, 0), geom.Pt(2, 0), 1, 0)
+	h := translatingMSeg(geom.Pt(6, 0), geom.Pt(8, 0), -1, 0)
+	// g spans [t, 2+t], h spans [6−t, 8−t]: disjoint for t < 2, meeting
+	// at x=4 exactly at t=2.
+	u, err := NewULine(iv(0, 2), g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := u.EvalBoundary(2)
+	if l.NumSegments() != 1 {
+		t.Fatalf("boundary eval = %v", l)
+	}
+	if l.Segments()[0] != geom.Seg(2, 0, 6, 0) {
+		t.Errorf("merged = %v", l.Segments()[0])
+	}
+	// Inner instants keep both segments.
+	if got := u.Eval(1).NumSegments(); got != 2 {
+		t.Errorf("inner eval segments = %d", got)
+	}
+	// EvalAt dispatch.
+	if got, ok := u.EvalAt(2); !ok || got.NumSegments() != 1 {
+		t.Error("EvalAt(2) did not clean up")
+	}
+	if got, ok := u.EvalAt(1); !ok || got.NumSegments() != 2 {
+		t.Error("EvalAt(1) wrong")
+	}
+	if _, ok := u.EvalAt(3); ok {
+		t.Error("EvalAt outside interval")
+	}
+}
+
+func TestULineBoundaryDegenerateDrop(t *testing.T) {
+	g, _ := MSegThrough(0, geom.Pt(0, 0), geom.Pt(4, 0), 2, geom.Pt(2, 0), geom.Pt(2, 0))
+	h := translatingMSeg(geom.Pt(0, 5), geom.Pt(1, 5), 0, 0)
+	u := MustULine(iv(0, 2), g, h)
+	l := u.EvalBoundary(2)
+	if l.NumSegments() != 1 {
+		t.Fatalf("degenerated segment not dropped: %v", l)
+	}
+	if !l.ContainsPoint(geom.Pt(0.5, 5)) {
+		t.Error("surviving segment wrong")
+	}
+}
+
+func TestULineCube(t *testing.T) {
+	g := translatingMSeg(geom.Pt(0, 0), geom.Pt(1, 0), 1, 1)
+	u := MustULine(iv(0, 10), g)
+	c := u.Cube()
+	if c.Rect.MaxX != 11 || c.Rect.MaxY != 10 || c.MaxT != 10 {
+		t.Errorf("Cube = %+v", c)
+	}
+}
+
+func TestOverlapInstantSamplesExactly(t *testing.T) {
+	// Segments that only overlap in a sub-interval strictly inside the
+	// unit, away from any naive sample points like the midpoint of the
+	// whole interval: critical-time analysis must still find it.
+	g := translatingMSeg(geom.Pt(0, 0), geom.Pt(1, 0), 1, 0)
+	h := translatingMSeg(geom.Pt(100, 0), geom.Pt(101, 0), -10, 0)
+	// g spans [t, 1+t]; h spans [100−10t, 101−10t]. Overlap when
+	// 100−10t < 1+t and t < 101−10t: t ∈ (9, 9.1818...) approximately.
+	u := ULine{Iv: iv(0, 10), Ms: []MSeg{g, h}}
+	if err := u.Validate(); err == nil {
+		t.Error("narrow overlap window missed by validation")
+	}
+	if math.Abs(float64(temporal.Instant(9))-9) > 0 {
+		t.Fatal("sanity")
+	}
+}

@@ -1,0 +1,36 @@
+// Package units implements the temporal unit types of the sliced
+// representation (Sections 3.2.4–3.2.6 of the paper): const(α) units,
+// ureal (quadratics and square roots of quadratics), upoint (linearly
+// moving points), upoints, uline and uregion (sets of non-rotating
+// moving segments). Every unit pairs a time interval with a "simple
+// function" representation and provides the evaluation function ι; the
+// spatial set units additionally enforce the open-interval validity
+// constraints of the carrier set definitions, decided exactly through
+// root analysis of the involved (at most quadratic) polynomials.
+package units
+
+import "movingdb/internal/temporal"
+
+// Unit is the interface shared by all temporal unit types. The type
+// parameter U is the implementing type itself (a self-referential
+// constraint), which lets the generic mapping type clip and compare
+// units without reflection.
+type Unit[U any] interface {
+	// Interval returns the unit interval.
+	Interval() temporal.Interval
+	// WithInterval returns the same unit function on a different
+	// interval. All unit functions use absolute time, so restricting or
+	// shifting the interval never changes coefficients.
+	WithInterval(temporal.Interval) U
+	// EqualFunc reports whether two units have the same unit function
+	// (ignoring their intervals); the mapping constructor uses it to
+	// enforce that adjacent units carry distinct values and the concat
+	// operation uses it to merge.
+	EqualFunc(U) bool
+}
+
+// Defined reports whether the unit's function, restricted to instant t,
+// is defined, i.e. whether t lies in the unit interval.
+func Defined[U Unit[U]](u U, t temporal.Instant) bool {
+	return u.Interval().Contains(t)
+}

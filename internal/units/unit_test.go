@@ -1,0 +1,18 @@
+package units
+
+import (
+	"testing"
+
+	"movingdb/internal/geom"
+)
+
+func TestDefinedHelper(t *testing.T) {
+	u := NewUReal(iv(0, 10), 0, 0, 1, false)
+	if !Defined(u, 5) || Defined(u, 11) {
+		t.Error("Defined helper wrong")
+	}
+	up := StaticUPoint(iv(2, 4), geom.Pt(1, 1))
+	if Defined(up, 1) || !Defined(up, 3) {
+		t.Error("Defined on upoint wrong")
+	}
+}

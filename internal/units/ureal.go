@@ -1,0 +1,289 @@
+package units
+
+import (
+	"fmt"
+	"math"
+
+	"movingdb/internal/temporal"
+)
+
+// UReal is the ureal unit type (Section 3.2.5): over its interval the
+// value is the polynomial a·t² + b·t + c, or its square root when Root
+// is set. Square roots of quadratics are exactly what time-dependent
+// Euclidean distances between linearly moving points require, which is
+// the paper's motivation for this function class.
+type UReal struct {
+	Iv      temporal.Interval
+	A, B, C float64
+	Root    bool
+}
+
+// NewUReal returns the ureal unit (a, b, c, r) over iv. When r is set,
+// callers should ensure the quadratic is non-negative on iv; Eval
+// reports NaN where it is not.
+func NewUReal(iv temporal.Interval, a, b, c float64, root bool) UReal {
+	return UReal{Iv: iv, A: a, B: b, C: c, Root: root}
+}
+
+// ConstUReal returns a constant real unit.
+func ConstUReal(iv temporal.Interval, v float64) UReal { return UReal{Iv: iv, C: v} }
+
+// Interval returns the unit interval.
+func (u UReal) Interval() temporal.Interval { return u.Iv }
+
+// WithInterval returns the same function on a different interval.
+func (u UReal) WithInterval(iv temporal.Interval) UReal {
+	u.Iv = iv
+	return u
+}
+
+// EqualFunc reports whether two units describe the same function of
+// time (identical representation).
+func (u UReal) EqualFunc(v UReal) bool {
+	return u.A == v.A && u.B == v.B && u.C == v.C && u.Root == v.Root
+}
+
+// Eval is the ι function of Section 3.2.5.
+func (u UReal) Eval(t temporal.Instant) float64 {
+	f := float64(t)
+	v := u.A*f*f + u.B*f + u.C
+	if u.Root {
+		return math.Sqrt(v)
+	}
+	return v
+}
+
+// poly evaluates the underlying quadratic (before any square root).
+func (u UReal) poly(t float64) float64 { return u.A*t*t + u.B*t + u.C }
+
+// extremumTimes returns the candidate instants for extrema of the unit
+// function within the unit interval: the interval bounds and, when the
+// quadratic has an interior vertex, that vertex.
+func (u UReal) extremumTimes() []temporal.Instant {
+	ts := []temporal.Instant{u.Iv.Start, u.Iv.End}
+	if u.A != 0 {
+		v := temporal.Instant(-u.B / (2 * u.A))
+		if u.Iv.ContainsOpen(v) {
+			ts = append(ts, v)
+		}
+	}
+	return ts
+}
+
+// Min returns the minimum value the unit takes on its interval and an
+// instant where it is attained. For open interval ends the infimum is
+// still reported (it is attained in the closure).
+func (u UReal) Min() (float64, temporal.Instant) {
+	best, at := math.Inf(1), u.Iv.Start
+	for _, t := range u.extremumTimes() {
+		if v := u.Eval(t); v < best || (v == best && t < at) {
+			best, at = v, t
+		}
+	}
+	return best, at
+}
+
+// Max returns the maximum value on the interval and an instant where it
+// is attained.
+func (u UReal) Max() (float64, temporal.Instant) {
+	best, at := math.Inf(-1), u.Iv.Start
+	for _, t := range u.extremumTimes() {
+		if v := u.Eval(t); v > best || (v == best && t < at) {
+			best, at = v, t
+		}
+	}
+	return best, at
+}
+
+// TimesAt returns the instants within the unit interval at which the
+// unit function equals v; all reports an identically-v function.
+func (u UReal) TimesAt(v float64) (ts []temporal.Instant, all bool) {
+	target := v
+	if u.Root {
+		if v < 0 {
+			return nil, false
+		}
+		target = v * v
+	}
+	roots, everywhere := QuadRoots(u.A, u.B, u.C-target)
+	if everywhere {
+		return nil, true
+	}
+	for _, r := range roots {
+		if t := temporal.Instant(r); u.Iv.Contains(t) {
+			ts = append(ts, t)
+		}
+	}
+	return ts, false
+}
+
+// InstantsNear returns the instants within the unit interval at which
+// the unit function comes within tol of v: the roots of the exact
+// equation plus any interval endpoint or interior vertex whose value is
+// within tol. It is the robust companion of TimesAt for extremum
+// restriction (atmin/atmax), where the target value stems from a
+// different unit's floating point computation and exact root solving can
+// miss the attained extremum by one ulp. all reports a function within
+// tol of v everywhere on the interval.
+func (u UReal) InstantsNear(v, tol float64) (ts []temporal.Instant, all bool) {
+	exact, everywhere := u.TimesAt(v)
+	if everywhere {
+		return nil, true
+	}
+	cand := append([]temporal.Instant{}, exact...)
+	for _, t := range u.extremumTimes() {
+		if u.Iv.Contains(t) && math.Abs(u.Eval(t)-v) <= tol {
+			cand = append(cand, t)
+		}
+	}
+	// Sort and deduplicate (near-duplicates within no tolerance — exact
+	// instant equality only; distinct instants are distinct results).
+	for i := 1; i < len(cand); i++ {
+		for j := i; j > 0 && cand[j] < cand[j-1]; j-- {
+			cand[j], cand[j-1] = cand[j-1], cand[j]
+		}
+	}
+	out := cand[:0]
+	for i, t := range cand {
+		if i == 0 || t != cand[i-1] {
+			out = append(out, t)
+		}
+	}
+	return out, false
+}
+
+// CmpIntervals partitions the unit interval by the sign of
+// (value − v): it returns the sub-intervals where the unit function is
+// respectively less than, equal to, and greater than v. Equality pieces
+// are degenerate instants unless the function is identically v.
+func (u UReal) CmpIntervals(v float64) (less, equal, greater []temporal.Interval) {
+	ts, all := u.TimesAt(v)
+	if all {
+		return nil, []temporal.Interval{u.Iv}, nil
+	}
+	classify := func(iv temporal.Interval, sample temporal.Instant) {
+		val := u.Eval(sample)
+		switch {
+		case val < v:
+			less = append(less, iv)
+		case val > v:
+			greater = append(greater, iv)
+		default:
+			equal = append(equal, iv)
+		}
+	}
+	if u.Iv.IsDegenerate() {
+		classify(u.Iv, u.Iv.Start)
+		return less, equal, greater
+	}
+	// Interior crossings split the interval; boundary crossings, when
+	// the boundary is closed, become their own degenerate pieces so each
+	// emitted piece carries a single sign.
+	cuts := []temporal.Instant{u.Iv.Start}
+	for _, t := range ts {
+		if u.Iv.ContainsOpen(t) {
+			cuts = append(cuts, t)
+		}
+	}
+	cuts = append(cuts, u.Iv.End)
+	startLC, endRC := u.Iv.LC, u.Iv.RC
+	if startLC && u.Eval(u.Iv.Start) == v {
+		classify(temporal.AtInstant(u.Iv.Start), u.Iv.Start)
+		startLC = false
+	}
+	if endRC && u.Eval(u.Iv.End) == v {
+		classify(temporal.AtInstant(u.Iv.End), u.Iv.End)
+		endRC = false
+	}
+	for k := 0; k+1 < len(cuts); k++ {
+		lo, hi := cuts[k], cuts[k+1]
+		if k > 0 {
+			classify(temporal.AtInstant(lo), lo)
+		}
+		piece := temporal.Interval{
+			Start: lo, End: hi,
+			LC: k == 0 && startLC,
+			RC: k+2 == len(cuts) && endRC,
+		}
+		mid := temporal.Instant((float64(lo) + float64(hi)) / 2)
+		classify(piece, mid)
+	}
+	return less, equal, greater
+}
+
+// Add returns the pointwise sum of two non-root units on the given
+// interval; ok is false if either unit has Root set (the class is not
+// closed under addition of roots).
+func (u UReal) Add(v UReal, iv temporal.Interval) (UReal, bool) {
+	if u.Root || v.Root {
+		return UReal{}, false
+	}
+	return UReal{Iv: iv, A: u.A + v.A, B: u.B + v.B, C: u.C + v.C}, true
+}
+
+// Sub returns the pointwise difference of two non-root units.
+func (u UReal) Sub(v UReal, iv temporal.Interval) (UReal, bool) {
+	if u.Root || v.Root {
+		return UReal{}, false
+	}
+	return UReal{Iv: iv, A: u.A - v.A, B: u.B - v.B, C: u.C - v.C}, true
+}
+
+// Scale returns the unit function multiplied by the constant f ≥ 0 for
+// root units (|f| would change the sign under the root), any f for
+// polynomials.
+func (u UReal) Scale(f float64) (UReal, bool) {
+	if u.Root {
+		if f < 0 {
+			return UReal{}, false
+		}
+		g := f * f
+		return UReal{Iv: u.Iv, A: u.A * g, B: u.B * g, C: u.C * g, Root: true}, true
+	}
+	return UReal{Iv: u.Iv, A: u.A * f, B: u.B * f, C: u.C * f}, true
+}
+
+// Neg returns the pointwise negation of a non-root unit.
+func (u UReal) Neg() (UReal, bool) {
+	if u.Root {
+		return UReal{}, false
+	}
+	return UReal{Iv: u.Iv, A: -u.A, B: -u.B, C: -u.C}, true
+}
+
+// String renders the unit as "interval ↦ a·t²+b·t+c" (with √ markers).
+func (u UReal) String() string {
+	body := fmt.Sprintf("%g·t²%+g·t%+g", u.A, u.B, u.C)
+	if u.Root {
+		body = "√(" + body + ")"
+	}
+	return fmt.Sprintf("%v ↦ %s", u.Iv, body)
+}
+
+// ValueRange returns the set of values the unit function takes on its
+// interval, as an interval over the reals with exact closure: a bound is
+// closed iff it is attained at an instant belonging to the unit interval
+// (an extremum at an open interval end is a limit, not a value).
+func (u UReal) ValueRange() (lo, hi float64, loClosed, hiClosed bool) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	consider := func(t temporal.Instant) {
+		v := u.Eval(t)
+		attained := u.Iv.Contains(t)
+		switch {
+		case v < lo:
+			lo, loClosed = v, attained
+		case v == lo && attained:
+			loClosed = true
+		}
+		switch {
+		case v > hi:
+			hi, hiClosed = v, attained
+		case v == hi && attained:
+			hiClosed = true
+		}
+	}
+	for _, t := range u.extremumTimes() {
+		consider(t)
+	}
+	return lo, hi, loClosed, hiClosed
+}

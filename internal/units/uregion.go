@@ -1,0 +1,281 @@
+package units
+
+import (
+	"fmt"
+	"slices"
+
+	"movingdb/internal/geom"
+	"movingdb/internal/spatial"
+	"movingdb/internal/temporal"
+)
+
+// MCycle is a moving cycle: a ring of moving vertices. Consecutive ring
+// vertices span the moving segments (MSeg values) of the cycle; storing
+// the ring rather than a bag of moving segments keeps the cycle
+// structure explicit, which is exactly the extra structure the uregion
+// data structure records with its mcycles subarray (Section 4.2).
+type MCycle []MPoint
+
+// MSegs returns the moving segments spanned by consecutive ring
+// vertices.
+func (c MCycle) MSegs() []MSeg {
+	out := make([]MSeg, 0, len(c))
+	for i := range c {
+		out = append(out, MSeg{S: c[i], E: c[(i+1)%len(c)]})
+	}
+	return out
+}
+
+// Eval returns the vertex ring at time t.
+func (c MCycle) Eval(t temporal.Instant) []geom.Point {
+	out := make([]geom.Point, 0, len(c))
+	for _, m := range c {
+		out = append(out, m.Eval(t))
+	}
+	return out
+}
+
+// MFace is a moving face: an outer moving cycle with moving hole cycles
+// (the MFace carrier set of Section 3.2.6).
+type MFace struct {
+	Outer MCycle
+	Holes []MCycle
+}
+
+// MCycles returns all cycles of the face, outer first.
+func (f MFace) MCycles() []MCycle {
+	out := make([]MCycle, 0, 1+len(f.Holes))
+	out = append(out, f.Outer)
+	out = append(out, f.Holes...)
+	return out
+}
+
+// URegion is the uregion unit type (Section 3.2.6): a set of moving
+// faces whose evaluation is a valid region value at every instant of the
+// open unit interval. Degeneracies (vertex collapses, overlapping
+// boundary pieces) are permitted exactly at closed interval end points
+// and are cleaned up by EvalBoundary.
+type URegion struct {
+	Iv    temporal.Interval
+	Faces []MFace
+}
+
+// NewURegion validates the uregion carrier set constraints and returns
+// the unit. As for uline, the for-all-instants condition is decided at
+// the critical instants of all moving segment pairs plus one sample
+// between consecutive critical instants; at each such instant the full
+// static region validation runs.
+func NewURegion(iv temporal.Interval, faces ...MFace) (URegion, error) {
+	u := URegionUnchecked(iv, faces)
+	if err := u.Validate(); err != nil {
+		return URegion{}, err
+	}
+	return u, nil
+}
+
+// MustURegion is like NewURegion but panics on invalid input.
+func MustURegion(iv temporal.Interval, faces ...MFace) URegion {
+	u, err := NewURegion(iv, faces...)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// URegionUnchecked builds the unit without validation, for trusted
+// construction paths such as workload generators.
+func URegionUnchecked(iv temporal.Interval, faces []MFace) URegion {
+	fs := make([]MFace, len(faces))
+	copy(fs, faces)
+	return URegion{Iv: iv, Faces: fs}
+}
+
+// Interval returns the unit interval.
+func (u URegion) Interval() temporal.Interval { return u.Iv }
+
+// WithInterval returns the same moving faces on a different
+// (sub-)interval.
+func (u URegion) WithInterval(iv temporal.Interval) URegion {
+	return URegion{Iv: iv, Faces: u.Faces}
+}
+
+// EqualFunc reports whether two units carry the same moving faces.
+func (u URegion) EqualFunc(v URegion) bool {
+	if len(u.Faces) != len(v.Faces) {
+		return false
+	}
+	for i := range u.Faces {
+		if !slices.Equal(u.Faces[i].Outer, v.Faces[i].Outer) {
+			return false
+		}
+		if len(u.Faces[i].Holes) != len(v.Faces[i].Holes) {
+			return false
+		}
+		for j := range u.Faces[i].Holes {
+			if !slices.Equal(u.Faces[i].Holes[j], v.Faces[i].Holes[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AllMSegs returns every moving segment of every cycle of every face.
+func (u URegion) AllMSegs() []MSeg {
+	var out []MSeg
+	for _, f := range u.Faces {
+		for _, c := range f.MCycles() {
+			out = append(out, c.MSegs()...)
+		}
+	}
+	return out
+}
+
+// NumMSegs returns the total number of moving segments.
+func (u URegion) NumMSegs() int {
+	n := 0
+	for _, f := range u.Faces {
+		for _, c := range f.MCycles() {
+			n += len(c)
+		}
+	}
+	return n
+}
+
+// Validate re-checks the uregion carrier set constraints: rings of at
+// least three vertices, non-rotating moving segments, and a valid region
+// value at every instant of the open interval.
+func (u URegion) Validate() error {
+	if len(u.Faces) == 0 {
+		return fmt.Errorf("%w: uregion needs at least one face", ErrInvalidUnit)
+	}
+	for _, f := range u.Faces {
+		for _, c := range f.MCycles() {
+			if len(c) < 3 {
+				return fmt.Errorf("%w: moving cycle with %d vertices", ErrInvalidUnit, len(c))
+			}
+			for _, g := range c.MSegs() {
+				if g.S == g.E {
+					return fmt.Errorf("%w: identical endpoint motions in moving cycle", ErrInvalidUnit)
+				}
+				if !g.Coplanar() {
+					return fmt.Errorf("%w: rotating moving segment %v", ErrInvalidUnit, g)
+				}
+			}
+		}
+	}
+	// Critical instants of all pairs; validity is constant in between.
+	msegs := u.AllMSegs()
+	var critical []float64
+	for i := 0; i < len(msegs); i++ {
+		ts, _ := msegs[i].DegenerateTimes()
+		critical = append(critical, ts...)
+		for j := i + 1; j < len(msegs); j++ {
+			ts, _ := msegCriticalTimes(msegs[i], msegs[j])
+			critical = append(critical, ts...)
+		}
+	}
+	for _, t := range criticalSamples(u.Iv, critical) {
+		if _, err := u.evalChecked(t); err != nil {
+			return fmt.Errorf("%w: invalid region at t=%v: %v", ErrInvalidUnit, t, err)
+		}
+	}
+	return nil
+}
+
+// evalChecked builds the region value at time t with full validation.
+func (u URegion) evalChecked(t temporal.Instant) (spatial.Region, error) {
+	faces := make([]spatial.Face, 0, len(u.Faces))
+	for _, f := range u.Faces {
+		oc, err := spatial.NewCycle(f.Outer.Eval(t)...)
+		if err != nil {
+			return spatial.Region{}, err
+		}
+		holes := make([]spatial.Cycle, 0, len(f.Holes))
+		for _, h := range f.Holes {
+			hc, err := spatial.NewCycle(h.Eval(t)...)
+			if err != nil {
+				return spatial.Region{}, err
+			}
+			holes = append(holes, hc)
+		}
+		face, err := spatial.NewFace(oc, holes...)
+		if err != nil {
+			return spatial.Region{}, err
+		}
+		faces = append(faces, face)
+	}
+	r, err := spatial.NewRegion(faces...)
+	if err != nil {
+		return spatial.Region{}, err
+	}
+	return r, nil
+}
+
+// Eval is the ι function for inner instants: the region value at time t,
+// assembled through the trusted constructors (validity inside the open
+// interval is guaranteed by the unit invariant). This is the
+// uregion_atinstant subalgorithm of Section 5.1.
+func (u URegion) Eval(t temporal.Instant) spatial.Region {
+	faces := make([]spatial.Face, 0, len(u.Faces))
+	for _, f := range u.Faces {
+		oc := spatial.CycleUnchecked(f.Outer.Eval(t))
+		holes := make([]spatial.Cycle, 0, len(f.Holes))
+		for _, h := range f.Holes {
+			holes = append(holes, spatial.CycleUnchecked(h.Eval(t)))
+		}
+		faces = append(faces, spatial.FaceUnchecked(oc, holes))
+	}
+	return spatial.RegionUnchecked(faces)
+}
+
+// EvalBoundary evaluates the unit at an end point of its interval,
+// applying the ι_s/ι_e cleanup of Section 3.2.6: degenerated segments
+// are dropped, collinear overlapping boundary pieces cancel by the
+// odd/even fragment rule, and the face/cycle structure is rebuilt with
+// the region close operation.
+func (u URegion) EvalBoundary(t temporal.Instant) (spatial.Region, error) {
+	var raw []geom.Segment
+	for _, g := range u.AllMSegs() {
+		if s, ok := g.EvalSeg(t); ok {
+			raw = append(raw, s)
+		}
+	}
+	return spatial.Close(spatial.OddParityFragments(raw))
+}
+
+// EvalAt dispatches to Eval or EvalBoundary according to the position of
+// t in the unit interval, implementing the extended semantics f_u of
+// Section 3.2.6.
+func (u URegion) EvalAt(t temporal.Instant) (spatial.Region, bool) {
+	if !u.Iv.Contains(t) {
+		return spatial.Region{}, false
+	}
+	if !u.Iv.IsDegenerate() && (t == u.Iv.Start || t == u.Iv.End) {
+		r, err := u.EvalBoundary(t)
+		if err != nil {
+			// A validated unit cleans up to a valid (possibly empty)
+			// region; a failure here indicates an unchecked unit.
+			return spatial.Region{}, false
+		}
+		return r, true
+	}
+	return u.Eval(t), true
+}
+
+// Cube returns the 3D bounding cube over the unit interval.
+func (u URegion) Cube() geom.Cube {
+	r := geom.EmptyRect()
+	for _, g := range u.AllMSegs() {
+		for _, t := range []temporal.Instant{u.Iv.Start, u.Iv.End} {
+			p, q := g.Eval(t)
+			r = r.ExtendPoint(p).ExtendPoint(q)
+		}
+	}
+	return geom.Cube{Rect: r, MinT: float64(u.Iv.Start), MaxT: float64(u.Iv.End)}
+}
+
+// String renders the unit.
+func (u URegion) String() string {
+	return fmt.Sprintf("%v ↦ %d mfaces (%d msegs)", u.Iv, len(u.Faces), u.NumMSegs())
+}

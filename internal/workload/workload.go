@@ -1,0 +1,294 @@
+// Package workload generates deterministic synthetic moving objects for
+// the examples and the benchmark harness: piecewise-linear trajectories
+// (the shape of GPS-sampled movement), flights between airports, and
+// moving regions (translating and breathing storms). The paper has no
+// public dataset; these generators stand in for the flight and weather
+// scenarios its running examples use, with sizes parameterised for
+// complexity sweeps.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"movingdb/internal/geom"
+	"movingdb/internal/moving"
+	"movingdb/internal/temporal"
+	"movingdb/internal/units"
+)
+
+// Gen wraps a deterministic random source.
+type Gen struct {
+	rng *rand.Rand
+}
+
+// New returns a generator with the given seed; equal seeds yield equal
+// workloads.
+func New(seed int64) *Gen { return &Gen{rng: rand.New(rand.NewSource(seed))} }
+
+// World is the square [0, Size]² the workloads live in.
+const WorldSize = 1000.0
+
+// RandomTrajectory returns a moving point with n units: a random walk of
+// piecewise-linear legs starting at a random position, each leg lasting
+// stepDur and moving with a random velocity up to maxSpeed. The
+// definition time starts at t0.
+func (g *Gen) RandomTrajectory(t0 temporal.Instant, n int, stepDur, maxSpeed float64) moving.MPoint {
+	if n < 1 {
+		panic("workload: trajectory needs at least one unit")
+	}
+	samples := make([]moving.Sample, 0, n+1)
+	pos := geom.Pt(g.rng.Float64()*WorldSize, g.rng.Float64()*WorldSize)
+	t := t0
+	samples = append(samples, moving.Sample{T: t, P: pos})
+	for i := 0; i < n; i++ {
+		ang := g.rng.Float64() * 2 * math.Pi
+		speed := g.rng.Float64() * maxSpeed
+		next := pos.Add(geom.Pt(math.Cos(ang), math.Sin(ang)).Scale(speed * stepDur))
+		// Reflect at the world boundary to stay in range.
+		next.X = reflect(next.X)
+		next.Y = reflect(next.Y)
+		t += temporal.Instant(stepDur)
+		// Avoid exactly repeated positions so every unit moves.
+		if next == pos {
+			next.X = reflect(next.X + 1e-3)
+		}
+		samples = append(samples, moving.Sample{T: t, P: next})
+		pos = next
+	}
+	p, err := moving.MPointFromSamples(samples)
+	if err != nil {
+		panic(fmt.Sprintf("workload: trajectory generation: %v", err))
+	}
+	return p
+}
+
+func reflect(x float64) float64 {
+	for x < 0 || x > WorldSize {
+		if x < 0 {
+			x = -x
+		}
+		if x > WorldSize {
+			x = 2*WorldSize - x
+		}
+	}
+	return x
+}
+
+// Airport is a named location for flight generation.
+type Airport struct {
+	Code string
+	Pos  geom.Point
+}
+
+// DefaultAirports returns a fixed set of airports spread over the world
+// square.
+func DefaultAirports() []Airport {
+	return []Airport{
+		{"FRA", geom.Pt(500, 520)},
+		{"JFK", geom.Pt(80, 480)},
+		{"NRT", geom.Pt(930, 540)},
+		{"GRU", geom.Pt(300, 60)},
+		{"SYD", geom.Pt(880, 90)},
+		{"CDG", geom.Pt(470, 560)},
+		{"DXB", geom.Pt(650, 400)},
+		{"SFO", geom.Pt(40, 420)},
+	}
+}
+
+// Flight is one row of the planes relation of Section 2.
+type Flight struct {
+	Airline string
+	ID      string
+	Flight  moving.MPoint
+}
+
+// Airlines used by the flight generator; the first matches the paper's
+// query example.
+var Airlines = []string{"Lufthansa", "AirFrance", "United", "Qantas", "ANA"}
+
+// Flights generates n flights: each picks two distinct airports and
+// flies a slightly dog-legged route (a few units) between them, with
+// departure times spread over [0, spread].
+func (g *Gen) Flights(n int, spread float64) []Flight {
+	airports := DefaultAirports()
+	out := make([]Flight, 0, n)
+	for i := 0; i < n; i++ {
+		a := airports[g.rng.Intn(len(airports))]
+		b := airports[g.rng.Intn(len(airports))]
+		for b.Code == a.Code {
+			b = airports[g.rng.Intn(len(airports))]
+		}
+		dep := temporal.Instant(g.rng.Float64() * spread)
+		dist := a.Pos.Dist(b.Pos)
+		speed := 5 + g.rng.Float64()*3 // world units per time unit
+		dur := dist / speed
+		// Dog-leg: 2–4 legs with mild lateral deviation.
+		legs := 2 + g.rng.Intn(3)
+		samples := []moving.Sample{{T: dep, P: a.Pos}}
+		for l := 1; l < legs; l++ {
+			frac := float64(l) / float64(legs)
+			base := a.Pos.Add(b.Pos.Sub(a.Pos).Scale(frac))
+			dir := b.Pos.Sub(a.Pos)
+			norm := geom.Pt(-dir.Y, dir.X).Scale(1 / dir.Norm())
+			dev := (g.rng.Float64() - 0.5) * 0.1 * dist
+			samples = append(samples, moving.Sample{
+				T: dep + temporal.Instant(frac*dur),
+				P: base.Add(norm.Scale(dev)),
+			})
+		}
+		samples = append(samples, moving.Sample{T: dep + temporal.Instant(dur), P: b.Pos})
+		mp, err := moving.MPointFromSamples(samples)
+		if err != nil {
+			panic(fmt.Sprintf("workload: flight generation: %v", err))
+		}
+		out = append(out, Flight{
+			Airline: Airlines[g.rng.Intn(len(Airlines))],
+			ID:      fmt.Sprintf("%s%03d", Airlines[i%len(Airlines)][:2], i),
+			Flight:  mp,
+		})
+	}
+	return out
+}
+
+// StarRing returns a simple star-shaped polygon ring with nVerts
+// vertices around center: angles are sorted (so edges never cross) and
+// radii jittered around the given mean.
+func (g *Gen) StarRing(center geom.Point, radius float64, nVerts int) []geom.Point {
+	angles := make([]float64, nVerts)
+	for i := range angles {
+		angles[i] = g.rng.Float64() * 2 * math.Pi
+	}
+	// Sort ascending for a convex, simple ring.
+	for i := 1; i < len(angles); i++ {
+		for j := i; j > 0 && angles[j] < angles[j-1]; j-- {
+			angles[j], angles[j-1] = angles[j-1], angles[j]
+		}
+	}
+	// Enforce distinct angles.
+	for i := 1; i < len(angles); i++ {
+		if angles[i]-angles[i-1] < 1e-3 {
+			angles[i] = angles[i-1] + 1e-3
+		}
+	}
+	ring := make([]geom.Point, 0, nVerts)
+	for _, a := range angles {
+		r := radius * (0.8 + 0.4*g.rng.Float64())
+		ring = append(ring, center.Add(geom.Pt(math.Cos(a), math.Sin(a)).Scale(r)))
+	}
+	return ring
+}
+
+// Storm returns a moving region with n units: a convex polygon with
+// nVerts vertices drifting with a random velocity and slowly breathing
+// (scaling) around its center, one unit per time step. Construction is
+// trusted (the generator maintains validity by keeping motion mild).
+func (g *Gen) Storm(t0 temporal.Instant, n, nVerts int, stepDur float64) moving.MRegion {
+	center := geom.Pt(WorldSize/2+(g.rng.Float64()-0.5)*300, WorldSize/2+(g.rng.Float64()-0.5)*300)
+	radius := 60 + g.rng.Float64()*60
+	ring := g.StarRing(center, radius, nVerts)
+	vel := geom.Pt((g.rng.Float64()-0.5)*4, (g.rng.Float64()-0.5)*4)
+
+	us := make([]units.URegion, 0, n)
+	t := t0
+	cur := ring
+	curCenter := center
+	for i := 0; i < n; i++ {
+		scale := 1 + (g.rng.Float64()-0.5)*0.1
+		nextCenter := curCenter.Add(vel.Scale(stepDur))
+		next := make([]geom.Point, len(cur))
+		for k, p := range cur {
+			next[k] = nextCenter.Add(p.Sub(curCenter).Scale(scale))
+		}
+		mc := make(units.MCycle, len(cur))
+		for k := range cur {
+			m, err := units.MPointThrough(t, cur[k], t+temporal.Instant(stepDur), next[k])
+			if err != nil {
+				panic(fmt.Sprintf("workload: storm generation: %v", err))
+			}
+			mc[k] = m
+		}
+		iv := temporal.RightHalfOpen(t, t+temporal.Instant(stepDur))
+		if i+1 == n {
+			iv = temporal.Closed(t, t+temporal.Instant(stepDur))
+		}
+		us = append(us, units.URegionUnchecked(iv, []units.MFace{{Outer: mc}}))
+		cur, curCenter = next, nextCenter
+		t += temporal.Instant(stepDur)
+	}
+	mr, err := moving.NewMRegion(us...)
+	if err != nil {
+		panic(fmt.Sprintf("workload: storm units: %v", err))
+	}
+	return mr
+}
+
+// StormWithSegments returns a single-unit moving region whose boundary
+// has exactly segs moving segments, translating rigidly — used by the
+// complexity sweeps that scale the region size S.
+func (g *Gen) StormWithSegments(iv temporal.Interval, segs int) moving.MRegion {
+	ring := g.StarRing(geom.Pt(WorldSize/2, WorldSize/2), 200, segs)
+	vel := geom.Pt((g.rng.Float64()-0.5)*2, (g.rng.Float64()-0.5)*2)
+	mc := make(units.MCycle, len(ring))
+	for k, p := range ring {
+		mc[k] = units.MPoint{X0: p.X - vel.X*float64(iv.Start), X1: vel.X, Y0: p.Y - vel.Y*float64(iv.Start), Y1: vel.Y}
+	}
+	mr, err := moving.NewMRegion(units.URegionUnchecked(iv, []units.MFace{{Outer: mc}}))
+	if err != nil {
+		panic(fmt.Sprintf("workload: storm segments: %v", err))
+	}
+	return mr
+}
+
+// StormWithEye returns a moving region with a hole (the eye) drifting
+// and breathing with the storm — exercising moving holes end to end.
+func (g *Gen) StormWithEye(t0 temporal.Instant, n, nVerts int, stepDur float64) moving.MRegion {
+	center := geom.Pt(WorldSize/2+(g.rng.Float64()-0.5)*300, WorldSize/2+(g.rng.Float64()-0.5)*300)
+	radius := 80 + g.rng.Float64()*60
+	outer := g.StarRing(center, radius, nVerts)
+	eye := g.StarRing(center, radius*0.25, max(3, nVerts/2))
+	vel := geom.Pt((g.rng.Float64()-0.5)*4, (g.rng.Float64()-0.5)*4)
+
+	us := make([]units.URegion, 0, n)
+	t := t0
+	curO, curE, curC := outer, eye, center
+	for i := 0; i < n; i++ {
+		scale := 1 + (g.rng.Float64()-0.5)*0.08
+		nextC := curC.Add(vel.Scale(stepDur))
+		move := func(ring []geom.Point) []geom.Point {
+			out := make([]geom.Point, len(ring))
+			for k, p := range ring {
+				out[k] = nextC.Add(p.Sub(curC).Scale(scale))
+			}
+			return out
+		}
+		nextO, nextE := move(curO), move(curE)
+		mc := func(from, to []geom.Point) units.MCycle {
+			out := make(units.MCycle, len(from))
+			for k := range from {
+				m, err := units.MPointThrough(t, from[k], t+temporal.Instant(stepDur), to[k])
+				if err != nil {
+					panic(fmt.Sprintf("workload: storm eye: %v", err))
+				}
+				out[k] = m
+			}
+			return out
+		}
+		iv := temporal.RightHalfOpen(t, t+temporal.Instant(stepDur))
+		if i+1 == n {
+			iv = temporal.Closed(t, t+temporal.Instant(stepDur))
+		}
+		us = append(us, units.URegionUnchecked(iv, []units.MFace{{
+			Outer: mc(curO, nextO),
+			Holes: []units.MCycle{mc(curE, nextE)},
+		}}))
+		curO, curE, curC = nextO, nextE, nextC
+		t += temporal.Instant(stepDur)
+	}
+	mr, err := moving.NewMRegion(us...)
+	if err != nil {
+		panic(fmt.Sprintf("workload: storm eye units: %v", err))
+	}
+	return mr
+}

@@ -1,0 +1,189 @@
+// Package movingdb is a Go implementation of the discrete data model for
+// moving objects databases of Forlizzi, Güting, Nardelli and Schneider
+// (SIGMOD 2000): spatio-temporal data types — moving points, moving
+// reals, moving regions and friends — in the sliced representation,
+// together with the paper's data structures (ordered halfsegment and
+// unit arrays, root records plus database arrays) and algorithms
+// (atinstant by binary search, inside via the refinement partition).
+//
+// The package re-exports the user-facing types of the internal
+// packages as a single import surface:
+//
+//	flight, _ := movingdb.MPointFromSamples([]movingdb.Sample{
+//		{T: 0, P: movingdb.Pt(0, 0)},
+//		{T: 3600, P: movingdb.Pt(400, 300)},
+//	})
+//	storm := gen.Storm(0, 24, 12, 600)   // internal/workload
+//	inside := flight.Inside(storm)       // moving bool, Section 5.2
+//	fmt.Println(inside.WhenTrue())
+//
+// See the examples directory for complete programs and DESIGN.md for the
+// mapping from paper sections to packages.
+package movingdb
+
+import (
+	"io"
+
+	"movingdb/internal/base"
+	"movingdb/internal/geom"
+	"movingdb/internal/moving"
+	"movingdb/internal/spatial"
+	"movingdb/internal/temporal"
+	"movingdb/internal/units"
+)
+
+// Geometric primitives.
+type (
+	// Point is a point in the Euclidean plane.
+	Point = geom.Point
+	// Segment is a line segment in canonical form.
+	Segment = geom.Segment
+	// Rect is an axis-aligned bounding box.
+	Rect = geom.Rect
+	// Cube is a bounding box in (x, y, t) space.
+	Cube = geom.Cube
+)
+
+// Pt constructs a Point.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// Seg constructs a canonical segment from two coordinate pairs.
+func Seg(x1, y1, x2, y2 float64) Segment { return geom.Seg(x1, y1, x2, y2) }
+
+// Time domain.
+type (
+	// Instant is a point on the time axis (seconds; Unix epoch for
+	// conversions to time.Time).
+	Instant = temporal.Instant
+	// Interval is a time interval with closure flags.
+	Interval = temporal.Interval
+	// Periods is the range(instant) type: canonical disjoint interval
+	// sets.
+	Periods = temporal.Periods
+)
+
+// Closed returns the closed interval [s, e].
+func Closed(s, e Instant) Interval { return temporal.Closed(s, e) }
+
+// Open returns the open interval (s, e).
+func Open(s, e Instant) Interval { return temporal.Open(s, e) }
+
+// Spatial data types (Section 3.2.2).
+type (
+	// Points is a finite point set in canonical order.
+	Points = spatial.Points
+	// Line is a finite set of segments stored as ordered halfsegments.
+	Line = spatial.Line
+	// Cycle is a simple polygon.
+	Cycle = spatial.Cycle
+	// Face is an outer cycle with hole cycles.
+	Face = spatial.Face
+	// Region is a set of edge-disjoint faces.
+	Region = spatial.Region
+)
+
+// NewPoints builds a canonical point set.
+func NewPoints(pts ...Point) Points { return spatial.NewPoints(pts...) }
+
+// NewLine builds a line value, rejecting collinear overlapping segments.
+func NewLine(segs ...Segment) (Line, error) { return spatial.NewLine(segs...) }
+
+// PolygonRegion builds a single-face region from an outer ring and
+// optional hole rings, fully validated.
+func PolygonRegion(outer []Point, holes ...[]Point) (Region, error) {
+	return spatial.PolygonRegion(outer, holes...)
+}
+
+// Ring builds a vertex ring from coordinate pairs.
+func Ring(coords ...float64) []Point { return spatial.Ring(coords...) }
+
+// CloseRegion assembles a region value from a boundary segment soup (the
+// close operation of Section 4.1).
+func CloseRegion(segs []Segment) (Region, error) { return spatial.Close(segs) }
+
+// Unit types of the sliced representation (Sections 3.2.4–3.2.6).
+type (
+	// UBool is a constant boolean unit.
+	UBool = units.UBool
+	// UInt is a constant integer unit.
+	UInt = units.UInt
+	// UString is a constant string unit.
+	UString = units.UString
+	// UReal is a quadratic / √quadratic unit.
+	UReal = units.UReal
+	// UPoint is a linearly moving point unit.
+	UPoint = units.UPoint
+	// UPoints is a unit of simultaneously moving points.
+	UPoints = units.UPoints
+	// ULine is a unit of non-rotating moving segments.
+	ULine = units.ULine
+	// URegion is a unit of moving faces.
+	URegion = units.URegion
+	// MPointMotion is a linear motion (x0+x1·t, y0+y1·t).
+	MPointMotion = units.MPoint
+	// MSeg is a non-rotating moving segment.
+	MSeg = units.MSeg
+	// MCycle is a moving cycle (ring of motions).
+	MCycle = units.MCycle
+	// MFace is a moving face.
+	MFace = units.MFace
+)
+
+// Moving (temporal) data types in sliced representation.
+type (
+	// MBool is the moving bool: mapping(const(bool)).
+	MBool = moving.MBool
+	// MInt is the moving int: mapping(const(int)).
+	MInt = moving.MInt
+	// MString is the moving string: mapping(const(string)).
+	MString = moving.MString
+	// MReal is the moving real: mapping(ureal).
+	MReal = moving.MReal
+	// MPoint is the moving point: mapping(upoint).
+	MPoint = moving.MPoint
+	// MPoints is the moving point set: mapping(upoints).
+	MPoints = moving.MPoints
+	// MLine is the moving line: mapping(uline).
+	MLine = moving.MLine
+	// MRegion is the moving region: mapping(uregion).
+	MRegion = moving.MRegion
+	// Sample is a trajectory observation for MPointFromSamples.
+	Sample = moving.Sample
+)
+
+// Intime pairs for the intime(α) types.
+type (
+	// IReal is intime(real).
+	IReal = base.Intime[float64]
+	// IPoint is intime(point).
+	IPoint = base.Intime[Point]
+)
+
+// MPointFromSamples builds a moving point from time-ordered
+// observations with linear interpolation.
+func MPointFromSamples(samples []Sample) (MPoint, error) {
+	return moving.MPointFromSamples(samples)
+}
+
+// NewMRegion validates uregion units and builds a moving region.
+func NewMRegion(us ...URegion) (MRegion, error) { return moving.NewMRegion(us...) }
+
+// StaticMRegion lifts a static region to a moving region constant over
+// iv.
+func StaticMRegion(r Region, iv Interval) MRegion { return moving.StaticMRegion(r, iv) }
+
+// ReadSamplesCSV reads trajectory observations from CSV rows "t,x,y".
+func ReadSamplesCSV(r io.Reader) ([]Sample, error) { return moving.ReadSamplesCSV(r) }
+
+// SimplifySamples reduces a sample sequence with a time-parameterised
+// Douglas–Peucker pass, bounding the spatial error by eps at every
+// instant.
+func SimplifySamples(samples []Sample, eps float64) []Sample {
+	return moving.SimplifySamples(samples, eps)
+}
+
+// MPointFromCSV reads, optionally simplifies (eps > 0), and builds a
+// moving point in one step.
+func MPointFromCSV(r io.Reader, eps float64) (MPoint, error) {
+	return moving.MPointFromCSV(r, eps)
+}

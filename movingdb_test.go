@@ -1,0 +1,107 @@
+package movingdb_test
+
+import (
+	"math"
+	"testing"
+
+	"movingdb"
+)
+
+// These tests exercise the public facade exactly the way the README and
+// the quickstart example do — they are the contract of the import
+// surface.
+
+func TestFacadeQuickstart(t *testing.T) {
+	van, err := movingdb.MPointFromSamples([]movingdb.Sample{
+		{T: 0, P: movingdb.Pt(0, 0)},
+		{T: 900, P: movingdb.Pt(3, 4)},
+		{T: 2400, P: movingdb.Pt(3, 10)},
+		{T: 3600, P: movingdb.Pt(9, 10)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos := van.AtInstant(1800); !pos.Defined() {
+		t.Fatal("undefined mid-route")
+	}
+	if got := van.Trajectory().Length(); math.Abs(got-17) > 1e-9 {
+		t.Errorf("length = %v", got)
+	}
+	zone, err := movingdb.PolygonRegion(movingdb.Ring(2, 2, 12, 2, 12, 12, 2, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inside := van.InsideRegion(zone)
+	wt := inside.WhenTrue()
+	if wt.IsEmpty() {
+		t.Fatal("never inside the zone")
+	}
+	restricted := van.When(inside)
+	if restricted.Length() <= 0 || restricted.Length() > van.Length() {
+		t.Errorf("restricted length = %v", restricted.Length())
+	}
+}
+
+func TestFacadeGeometry(t *testing.T) {
+	s := movingdb.Seg(0, 0, 4, 4)
+	if s.Length() != 4*math.Sqrt2 {
+		t.Errorf("segment length = %v", s.Length())
+	}
+	ps := movingdb.NewPoints(movingdb.Pt(1, 1), movingdb.Pt(0, 0), movingdb.Pt(1, 1))
+	if ps.Len() != 2 {
+		t.Errorf("points = %v", ps)
+	}
+	l, err := movingdb.NewLine(movingdb.Seg(0, 0, 1, 1), movingdb.Seg(0, 1, 1, 0))
+	if err != nil || l.NumSegments() != 2 {
+		t.Errorf("line = %v, %v", l, err)
+	}
+	if _, err := movingdb.NewLine(movingdb.Seg(0, 0, 2, 0), movingdb.Seg(1, 0, 3, 0)); err == nil {
+		t.Error("collinear overlap accepted")
+	}
+	r, err := movingdb.CloseRegion(regionSegs())
+	if err != nil || r.NumFaces() != 1 {
+		t.Errorf("close = %v, %v", r, err)
+	}
+}
+
+// regionSegs builds a simple square boundary via the facade types.
+func regionSegs() []movingdb.Segment {
+	return []movingdb.Segment{
+		movingdb.Seg(0, 0, 4, 0), movingdb.Seg(4, 0, 4, 4),
+		movingdb.Seg(0, 4, 4, 4), movingdb.Seg(0, 0, 0, 4),
+	}
+}
+
+func TestFacadeIntervals(t *testing.T) {
+	iv := movingdb.Closed(0, 10)
+	if !iv.Contains(5) || iv.Contains(11) {
+		t.Error("interval membership wrong")
+	}
+	op := movingdb.Open(0, 10)
+	if op.Contains(0) || op.Contains(10) || !op.Contains(5) {
+		t.Error("open interval membership wrong")
+	}
+}
+
+func TestFacadeStaticMRegion(t *testing.T) {
+	zone, _ := movingdb.PolygonRegion(movingdb.Ring(0, 0, 10, 0, 10, 10, 0, 10))
+	mr := movingdb.StaticMRegion(zone, movingdb.Closed(0, 100))
+	snap, ok := mr.AtInstant(42)
+	if !ok || snap.Area() != 100 {
+		t.Errorf("static snapshot = %v, %v", snap, ok)
+	}
+	p, _ := movingdb.MPointFromSamples([]movingdb.Sample{
+		{T: 0, P: movingdb.Pt(-5, 5)},
+		{T: 100, P: movingdb.Pt(15, 5)},
+	})
+	inside := p.Inside(mr)
+	wt := inside.WhenTrue()
+	if wt.Len() != 1 {
+		t.Fatalf("inside = %v", wt)
+	}
+	got := wt.Intervals()[0]
+	// Enter at x=0 → t=25, leave at x=10 → t=75.
+	if got.Start != 25 || got.End != 75 {
+		t.Errorf("inside period = %v", got)
+	}
+}
