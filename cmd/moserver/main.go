@@ -1,21 +1,33 @@
-// moserver serves a generated moving objects database over HTTP:
+// moserver serves a generated moving objects database over HTTP with
+// the v1 API:
 //
-//	GET /objects                      tracked objects
-//	GET /atinstant?t=120              positions at an instant
-//	GET /window?x1=&y1=&x2=&y2=&t1=&t2=   indexed window query
-//	GET /query?q=SELECT+...           the Section 2 SQL dialect
+//	GET /v1/objects?limit=&offset=            tracked objects (paginated)
+//	GET /v1/atinstant?t=120                   positions at an instant
+//	GET /v1/window?x1=&y1=&x2=&y2=&t1=&t2=    indexed window query (paginated)
+//	GET /v1/query?q=SELECT+...&timeout_ms=    the Section 2 SQL dialect
+//	GET /v1/metrics                           request/operator metrics
+//	GET /v1/healthz                           liveness
+//
+// Legacy unversioned routes remain as deprecated aliases. The process
+// shuts down gracefully on SIGINT/SIGTERM.
 //
 // Example:
 //
 //	moserver -addr :8080 &
-//	curl 'localhost:8080/query?q=SELECT+airline,id+FROM+planes+LIMIT+3'
+//	curl 'localhost:8080/v1/query?q=SELECT+airline,id+FROM+planes+LIMIT+3'
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"movingdb/internal/db"
 	"movingdb/internal/moving"
@@ -28,7 +40,18 @@ func main() {
 	n := flag.Int("n", 50, "number of flights")
 	storms := flag.Int("storms", 2, "number of storms")
 	seed := flag.Int64("seed", 2000, "workload seed")
+	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "default per-request evaluation deadline")
+	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "upper bound for ?timeout_ms overrides")
+	readTimeout := flag.Duration("read-timeout", 5*time.Second, "HTTP read timeout")
+	writeTimeout := flag.Duration("write-timeout", 65*time.Second, "HTTP write timeout (must exceed max-timeout)")
+	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "HTTP keep-alive idle timeout")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown drain deadline")
+	maxQueryLen := flag.Int("max-query-len", 8192, "maximum ?q= length in bytes")
+	maxBody := flag.Int64("max-body", 1<<20, "maximum request body in bytes")
+	slowQuery := flag.Duration("slow-query", 500*time.Millisecond, "slow-query log threshold")
 	flag.Parse()
+
+	logger := log.New(os.Stderr, "moserver ", log.LstdFlags)
 
 	g := workload.New(*seed)
 	planes := db.NewRelation("planes", db.Schema{
@@ -52,10 +75,51 @@ func main() {
 		stormRel.MustInsert(db.Tuple{names[i%len(names)], g.Storm(0, 40, 10, 6)})
 	}
 
-	s, err := server.New(db.Catalog{"planes": planes, "storms": stormRel}, ids, objects)
+	s, err := server.New(server.Config{
+		Catalog:            db.Catalog{"planes": planes, "storms": stormRel},
+		ObjectIDs:          ids,
+		Objects:            objects,
+		QueryTimeout:       *queryTimeout,
+		MaxTimeout:         *maxTimeout,
+		MaxQueryLen:        *maxQueryLen,
+		MaxBodyBytes:       *maxBody,
+		SlowQueryThreshold: *slowQuery,
+		Logger:             logger,
+	})
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatal(err)
 	}
-	fmt.Printf("moving objects DB: %d flights, %d storms\nlistening on http://%s\n", *n, *storms, *addr)
-	log.Fatal(http.ListenAndServe(*addr, s.Handler()))
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+		ErrorLog:          logger,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	done := make(chan error, 1)
+	go func() {
+		fmt.Printf("moving objects DB: %d flights, %d storms\nlistening on http://%s (v1 API; metrics at /v1/metrics)\n", *n, *storms, *addr)
+		done <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Fatal(err)
+		}
+	case <-ctx.Done():
+		logger.Printf("signal received; draining for up to %v", *shutdownTimeout)
+		shCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+	}
 }

@@ -23,6 +23,7 @@ func TestExamplesAndTools(t *testing.T) {
 		{"hurricane", []string{"run", "./examples/hurricane", "-ships", "2"}, "storm:"},
 		{"storagedemo", []string{"run", "./examples/storagedemo"}, "round trip ok"},
 		{"wildlife", []string{"run", "./examples/wildlife"}, "herd size over time"},
+		{"serving", []string{"run", "./examples/serving"}, "timed-out query: HTTP 408"},
 		{"motables", []string{"run", "./cmd/motables"}, "mapping(uregion)"},
 		{"mofigures", []string{"run", "./cmd/mofigures", "-fig", "8"}, "refinement"},
 		{"moquery", []string{"run", "./cmd/moquery", "-n", "10"}, "(airline: string"},

@@ -242,6 +242,9 @@ func runAggregate(env *queryEnv, stmt *selectStmt, items []selectItem) (*Relatio
 	var rec func(i int) error
 	rec = func(i int) error {
 		if i == len(env.binds) {
+			if err := env.checkCancel(); err != nil {
+				return err
+			}
 			if stmt.where != nil {
 				keep, err := env.eval(stmt.where)
 				if err != nil {

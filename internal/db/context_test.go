@@ -1,0 +1,119 @@
+package db
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"movingdb/internal/obs"
+	"movingdb/internal/workload"
+)
+
+// numbersCatalog builds two relations whose cross product is large
+// enough that the evaluation loop passes many cancellation checkpoints.
+func numbersCatalog(n int) Catalog {
+	a := NewRelation("a", Schema{{Name: "x", Type: TReal}})
+	b := NewRelation("b", Schema{{Name: "y", Type: TReal}})
+	for i := 0; i < n; i++ {
+		a.MustInsert(Tuple{float64(i)})
+		b.MustInsert(Tuple{float64(i)})
+	}
+	return Catalog{"a": a, "b": b}
+}
+
+func TestQueryContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := QueryContext(ctx, numbersCatalog(4), "SELECT x FROM a")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestQueryContextDeadlineStopsCrossProduct(t *testing.T) {
+	cat := numbersCatalog(2000) // 4M-row cross product: far beyond the deadline
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := QueryContext(ctx, cat, "SELECT x, y FROM a, b WHERE x + y > 1")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v, not bounded", elapsed)
+	}
+}
+
+func TestQueryContextAggregateCancel(t *testing.T) {
+	cat := numbersCatalog(2000)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err := QueryContext(ctx, cat, "SELECT count(*) FROM a, b")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("aggregate err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestQueryContextBackgroundMatchesQuery(t *testing.T) {
+	cat := numbersCatalog(10)
+	want, err := Query(cat, "SELECT x FROM a WHERE x > 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := QueryContext(context.Background(), cat, "SELECT x FROM a WHERE x > 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("rows = %d, want %d", got.Len(), want.Len())
+	}
+}
+
+func TestQueryContextRecordsOperatorTimings(t *testing.T) {
+	cat := testCatalog(t)
+	m := obs.New(0)
+	ctx := obs.NewContext(context.Background(), m)
+	res, err := QueryContext(ctx, cat, "SELECT id, length(trajectory(flight)) AS len FROM planes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() == 0 {
+		t.Fatal("no rows")
+	}
+	ops := m.Snapshot().Operators
+	if ops["trajectory"].Count == 0 || ops["length"].Count == 0 {
+		t.Fatalf("operator timings missing: %v", ops)
+	}
+	if ops["trajectory"].Count != int64(res.Len()) {
+		t.Errorf("trajectory count = %d, rows = %d", ops["trajectory"].Count, res.Len())
+	}
+}
+
+func TestQueryContextDeadlineDuringInside(t *testing.T) {
+	// The deadline expires while the evaluator is inside the lifted
+	// `inside` kernels of a plane×storm cross product, so cancellation
+	// must be observed by the operators themselves, not only at entry.
+	planes := NewRelation("planes", Schema{
+		{Name: "id", Type: TString},
+		{Name: "flight", Type: TMPoint},
+	})
+	for _, f := range workload.New(7).Flights(40, 400) {
+		planes.MustInsert(Tuple{f.ID, f.Flight})
+	}
+	storms := NewRelation("storms", Schema{
+		{Name: "name", Type: TString},
+		{Name: "extent", Type: TMRegion},
+	})
+	g := workload.New(8)
+	for i := 0; i < 40; i++ {
+		storms.MustInsert(Tuple{"S", g.Storm(0, 120, 10, 4)})
+	}
+	cat := Catalog{"planes": planes, "storms": storms}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err := QueryContext(ctx, cat, "SELECT name FROM planes, storms WHERE sometimes(inside(flight, extent))")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}

@@ -1,13 +1,16 @@
 package db
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"movingdb/internal/base"
 	"movingdb/internal/moving"
+	"movingdb/internal/obs"
 	"movingdb/internal/spatial"
 	"movingdb/internal/temporal"
 )
@@ -35,11 +38,13 @@ func (Undef) String() string { return "undef" }
 type Catalog map[string]*Relation
 
 // overload is one signature of a query-language operation together with
-// its implementation.
+// its implementation. Implementations receive the query context so the
+// long-running Section 5 kernels can observe cancellation mid-loop;
+// cheap operations ignore it.
 type overload struct {
 	args []AttrType
 	ret  AttrType
-	fn   func(args []any) (any, error)
+	fn   func(ctx context.Context, args []any) (any, error)
 }
 
 // funcTable registers the operations of the model for the query
@@ -47,126 +52,126 @@ type overload struct {
 // registry) on the discrete types.
 var funcTable = map[string][]overload{}
 
-func register(name string, args []AttrType, ret AttrType, fn func([]any) (any, error)) {
+func register(name string, args []AttrType, ret AttrType, fn func(context.Context, []any) (any, error)) {
 	funcTable[name] = append(funcTable[name], overload{args: args, ret: ret, fn: fn})
 }
 
 func init() {
 	// Projection into space and measures.
-	register("trajectory", []AttrType{TMPoint}, TLine, func(a []any) (any, error) {
+	register("trajectory", []AttrType{TMPoint}, TLine, func(_ context.Context, a []any) (any, error) {
 		return a[0].(moving.MPoint).Trajectory(), nil
 	})
-	register("length", []AttrType{TLine}, TReal, func(a []any) (any, error) {
+	register("length", []AttrType{TLine}, TReal, func(_ context.Context, a []any) (any, error) {
 		return a[0].(spatial.Line).Length(), nil
 	})
-	register("area", []AttrType{TRegion}, TReal, func(a []any) (any, error) {
+	register("area", []AttrType{TRegion}, TReal, func(_ context.Context, a []any) (any, error) {
 		return a[0].(spatial.Region).Area(), nil
 	})
-	register("area", []AttrType{TMRegion}, TMReal, func(a []any) (any, error) {
-		return a[0].(moving.MRegion).Area(), nil
+	register("area", []AttrType{TMRegion}, TMReal, func(ctx context.Context, a []any) (any, error) {
+		return a[0].(moving.MRegion).AreaCtx(ctx)
 	})
-	register("perimeter", []AttrType{TRegion}, TReal, func(a []any) (any, error) {
+	register("perimeter", []AttrType{TRegion}, TReal, func(_ context.Context, a []any) (any, error) {
 		return a[0].(spatial.Region).Perimeter(), nil
 	})
 
 	// Distance and speed.
-	register("distance", []AttrType{TMPoint, TMPoint}, TMReal, func(a []any) (any, error) {
+	register("distance", []AttrType{TMPoint, TMPoint}, TMReal, func(_ context.Context, a []any) (any, error) {
 		return a[0].(moving.MPoint).Distance(a[1].(moving.MPoint)), nil
 	})
-	register("speed", []AttrType{TMPoint}, TMReal, func(a []any) (any, error) {
+	register("speed", []AttrType{TMPoint}, TMReal, func(_ context.Context, a []any) (any, error) {
 		return a[0].(moving.MPoint).Speed(), nil
 	})
-	register("travelled", []AttrType{TMPoint}, TReal, func(a []any) (any, error) {
+	register("travelled", []AttrType{TMPoint}, TReal, func(_ context.Context, a []any) (any, error) {
 		return a[0].(moving.MPoint).TravelledDistance(), nil
 	})
 
 	// Aggregations over moving reals.
-	register("atmin", []AttrType{TMReal}, TMReal, func(a []any) (any, error) {
+	register("atmin", []AttrType{TMReal}, TMReal, func(_ context.Context, a []any) (any, error) {
 		return a[0].(moving.MReal).AtMin(), nil
 	})
-	register("atmax", []AttrType{TMReal}, TMReal, func(a []any) (any, error) {
+	register("atmax", []AttrType{TMReal}, TMReal, func(_ context.Context, a []any) (any, error) {
 		return a[0].(moving.MReal).AtMax(), nil
 	})
-	register("min", []AttrType{TMReal}, TReal, func(a []any) (any, error) {
+	register("min", []AttrType{TMReal}, TReal, func(_ context.Context, a []any) (any, error) {
 		v, _, ok := a[0].(moving.MReal).Min()
 		if !ok {
 			return Undef{}, nil
 		}
 		return v, nil
 	})
-	register("max", []AttrType{TMReal}, TReal, func(a []any) (any, error) {
+	register("max", []AttrType{TMReal}, TReal, func(_ context.Context, a []any) (any, error) {
 		v, _, ok := a[0].(moving.MReal).Max()
 		if !ok {
 			return Undef{}, nil
 		}
 		return v, nil
 	})
-	register("integral", []AttrType{TMReal}, TReal, func(a []any) (any, error) {
+	register("integral", []AttrType{TMReal}, TReal, func(_ context.Context, a []any) (any, error) {
 		return a[0].(moving.MReal).Integral(), nil
 	})
 
 	// Interaction with time.
-	register("initial", []AttrType{TMReal}, TIReal, func(a []any) (any, error) {
+	register("initial", []AttrType{TMReal}, TIReal, func(_ context.Context, a []any) (any, error) {
 		p, ok := a[0].(moving.MReal).Initial()
 		if !ok {
 			return Undef{}, nil
 		}
 		return p, nil
 	})
-	register("final", []AttrType{TMReal}, TIReal, func(a []any) (any, error) {
+	register("final", []AttrType{TMReal}, TIReal, func(_ context.Context, a []any) (any, error) {
 		p, ok := a[0].(moving.MReal).Final()
 		if !ok {
 			return Undef{}, nil
 		}
 		return p, nil
 	})
-	register("val", []AttrType{TIReal}, TReal, func(a []any) (any, error) {
+	register("val", []AttrType{TIReal}, TReal, func(_ context.Context, a []any) (any, error) {
 		return a[0].(base.Intime[float64]).Val, nil
 	})
-	register("inst", []AttrType{TIReal}, TReal, func(a []any) (any, error) {
+	register("inst", []AttrType{TIReal}, TReal, func(_ context.Context, a []any) (any, error) {
 		return float64(a[0].(base.Intime[float64]).Inst), nil
 	})
-	register("deftime", []AttrType{TMPoint}, TPeriods, func(a []any) (any, error) {
+	register("deftime", []AttrType{TMPoint}, TPeriods, func(_ context.Context, a []any) (any, error) {
 		return a[0].(moving.MPoint).DefTime(), nil
 	})
-	register("duration", []AttrType{TPeriods}, TReal, func(a []any) (any, error) {
+	register("duration", []AttrType{TPeriods}, TReal, func(_ context.Context, a []any) (any, error) {
 		return a[0].(temporal.Periods).Duration(), nil
 	})
-	register("duration", []AttrType{TMBool}, TReal, func(a []any) (any, error) {
+	register("duration", []AttrType{TMBool}, TReal, func(_ context.Context, a []any) (any, error) {
 		return a[0].(moving.MBool).TrueDuration(), nil
 	})
-	register("when", []AttrType{TMPoint, TMBool}, TMPoint, func(a []any) (any, error) {
+	register("when", []AttrType{TMPoint, TMBool}, TMPoint, func(_ context.Context, a []any) (any, error) {
 		return a[0].(moving.MPoint).When(a[1].(moving.MBool)), nil
 	})
 	// Predicates.
-	register("inside", []AttrType{TMPoint, TMRegion}, TMBool, func(a []any) (any, error) {
-		return a[0].(moving.MPoint).Inside(a[1].(moving.MRegion)), nil
+	register("inside", []AttrType{TMPoint, TMRegion}, TMBool, func(ctx context.Context, a []any) (any, error) {
+		return a[0].(moving.MPoint).InsideCtx(ctx, a[1].(moving.MRegion))
 	})
-	register("inside", []AttrType{TMPoint, TRegion}, TMBool, func(a []any) (any, error) {
-		return a[0].(moving.MPoint).InsideRegion(a[1].(spatial.Region)), nil
+	register("inside", []AttrType{TMPoint, TRegion}, TMBool, func(ctx context.Context, a []any) (any, error) {
+		return a[0].(moving.MPoint).InsideRegionCtx(ctx, a[1].(spatial.Region))
 	})
-	register("intersects", []AttrType{TMRegion, TMRegion}, TMBool, func(a []any) (any, error) {
-		return a[0].(moving.MRegion).Intersects(a[1].(moving.MRegion)), nil
+	register("intersects", []AttrType{TMRegion, TMRegion}, TMBool, func(ctx context.Context, a []any) (any, error) {
+		return a[0].(moving.MRegion).IntersectsCtx(ctx, a[1].(moving.MRegion))
 	})
-	register("intersects", []AttrType{TRegion, TRegion}, TBool, func(a []any) (any, error) {
+	register("intersects", []AttrType{TRegion, TRegion}, TBool, func(_ context.Context, a []any) (any, error) {
 		return a[0].(spatial.Region).IntersectsRegion(a[1].(spatial.Region)), nil
 	})
-	register("union", []AttrType{TRegion, TRegion}, TRegion, func(a []any) (any, error) {
+	register("union", []AttrType{TRegion, TRegion}, TRegion, func(_ context.Context, a []any) (any, error) {
 		return a[0].(spatial.Region).Union(a[1].(spatial.Region))
 	})
-	register("intersection", []AttrType{TRegion, TRegion}, TRegion, func(a []any) (any, error) {
+	register("intersection", []AttrType{TRegion, TRegion}, TRegion, func(_ context.Context, a []any) (any, error) {
 		return a[0].(spatial.Region).Intersection(a[1].(spatial.Region))
 	})
-	register("difference", []AttrType{TRegion, TRegion}, TRegion, func(a []any) (any, error) {
+	register("difference", []AttrType{TRegion, TRegion}, TRegion, func(_ context.Context, a []any) (any, error) {
 		return a[0].(spatial.Region).Difference(a[1].(spatial.Region))
 	})
-	register("sometimes", []AttrType{TMBool}, TBool, func(a []any) (any, error) {
+	register("sometimes", []AttrType{TMBool}, TBool, func(_ context.Context, a []any) (any, error) {
 		return a[0].(moving.MBool).Sometimes(), nil
 	})
-	register("always", []AttrType{TMBool}, TBool, func(a []any) (any, error) {
+	register("always", []AttrType{TMBool}, TBool, func(_ context.Context, a []any) (any, error) {
 		return a[0].(moving.MBool).Always(), nil
 	})
-	register("present", []AttrType{TMPoint, TReal}, TBool, func(a []any) (any, error) {
+	register("present", []AttrType{TMPoint, TReal}, TBool, func(_ context.Context, a []any) (any, error) {
 		return a[0].(moving.MPoint).Present(temporal.Instant(a[1].(float64))), nil
 	})
 }
@@ -181,6 +186,30 @@ type queryEnv struct {
 	binds []binding
 	// tuple values per from-item, set during evaluation.
 	tuples []Tuple
+	// ctx carries the request deadline; rec, when non-nil, receives
+	// per-operator timings; steps counts evaluated rows for the
+	// periodic cancellation check.
+	ctx   context.Context
+	rec   *obs.Metrics
+	steps int
+}
+
+// cancelCheckRows is how many candidate rows the evaluation loops
+// process between context checks.
+const cancelCheckRows = 64
+
+// checkCancel returns the (wrapped) context error every
+// cancelCheckRows-th row, so a deadline or client disconnect stops the
+// cross-product scan in bounded time.
+func (q *queryEnv) checkCancel() error {
+	q.steps++
+	if q.steps%cancelCheckRows != 0 {
+		return nil
+	}
+	if err := q.ctx.Err(); err != nil {
+		return fmt.Errorf("db: query canceled: %w", err)
+	}
+	return nil
 }
 
 // resolve finds the from-item and column index of a reference.
@@ -434,7 +463,13 @@ func (q *queryEnv) eval(e expr) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		return ov.fn(args)
+		if q.rec != nil {
+			start := time.Now()
+			v, err := ov.fn(q.ctx, args)
+			q.rec.RecordOp(strings.ToLower(ex.fn), time.Since(start))
+			return v, err
+		}
+		return ov.fn(q.ctx, args)
 	}
 	return nil, fmt.Errorf("%w: unhandled expression %v", ErrType, e)
 }
@@ -499,11 +534,24 @@ func compare(op string, l, r any) (any, error) {
 // examples: cross joins with aliases, the model's operations as
 // functions, and boolean/comparison/arithmetic expressions.
 func Query(cat Catalog, sql string) (*Relation, error) {
+	return QueryContext(context.Background(), cat, sql)
+}
+
+// QueryContext is Query under a context: the evaluation loops and the
+// long-running lifted operators (inside, intersects, area) observe
+// cancellation, so a deadline or a disconnected client stops the work
+// in bounded time rather than running the cross product to completion.
+// When the context carries an obs registry (obs.NewContext), operator
+// timings are recorded into it.
+func QueryContext(ctx context.Context, cat Catalog, sql string) (*Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("db: query canceled: %w", err)
+	}
 	stmt, err := parseQuery(sql)
 	if err != nil {
 		return nil, err
 	}
-	env := &queryEnv{}
+	env := &queryEnv{ctx: ctx, rec: obs.FromContext(ctx)}
 	for _, f := range stmt.from {
 		rel, ok := cat[f.rel]
 		if !ok {
@@ -608,6 +656,9 @@ func Query(cat Catalog, sql string) (*Relation, error) {
 	var rec func(i int) error
 	rec = func(i int) error {
 		if i == len(env.binds) {
+			if err := env.checkCancel(); err != nil {
+				return err
+			}
 			if stmt.where != nil {
 				keep, err := env.eval(stmt.where)
 				if err != nil {

@@ -1,0 +1,75 @@
+package moving
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"movingdb/internal/geom"
+	"movingdb/internal/spatial"
+	"movingdb/internal/temporal"
+)
+
+// longTrack builds a moving point with enough units that the ctx-aware
+// kernels pass several cancellation checkpoints.
+func longTrack(t *testing.T, n int) MPoint {
+	t.Helper()
+	samples := make([]Sample, 0, n+1)
+	for i := 0; i <= n; i++ {
+		// Alternate the y coordinate so adjacent units do not merge.
+		samples = append(samples, Sample{T: temporal.Instant(i), P: geom.Pt(float64(i), float64(i%2))})
+	}
+	p, err := MPointFromSamples(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.M.Len() < n {
+		t.Fatalf("track has %d units, want %d", p.M.Len(), n)
+	}
+	return p
+}
+
+func bigSquare(iv temporal.Interval) MRegion {
+	r := spatial.MustPolygonRegion(spatial.Ring(-1, -1, 1e6, -1, 1e6, 1e6, -1, 1e6))
+	return StaticMRegion(r, iv)
+}
+
+func TestInsideCtxCancelled(t *testing.T) {
+	p := longTrack(t, 4*cancelCheckEvery)
+	r := bigSquare(temporal.Closed(0, 1e9))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.InsideCtx(ctx, r); !errors.Is(err, context.Canceled) {
+		t.Fatalf("InsideCtx err = %v, want context.Canceled", err)
+	}
+	zone := spatial.MustPolygonRegion(spatial.Ring(-1, -1, 10, -1, 10, 10, -1, 10))
+	if _, err := p.InsideRegionCtx(ctx, zone); !errors.Is(err, context.Canceled) {
+		t.Fatalf("InsideRegionCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := r.IntersectsCtx(ctx, r); !errors.Is(err, context.Canceled) {
+		t.Fatalf("IntersectsCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := r.AreaCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("AreaCtx err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCtxVariantsMatchPlainOnes(t *testing.T) {
+	p := longTrack(t, 100)
+	r := bigSquare(temporal.Closed(0, 50))
+	want := p.Inside(r)
+	got, err := p.InsideCtx(context.Background(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("InsideCtx = %v, Inside = %v", got, want)
+	}
+	a, err := r.AreaCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != r.Area().String() {
+		t.Errorf("AreaCtx disagrees with Area")
+	}
+}

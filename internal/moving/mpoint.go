@@ -1,6 +1,7 @@
 package moving
 
 import (
+	"context"
 	"fmt"
 
 	"movingdb/internal/base"
@@ -204,23 +205,35 @@ func (p MPoint) At(pt geom.Point) MPoint {
 // InsideRegion returns the moving bool of "point inside the (static)
 // region", computed per unit by stabbing the region boundary.
 func (p MPoint) InsideRegion(r spatial.Region) MBool {
+	b, _ := p.InsideRegionCtx(context.Background(), r)
+	return b
+}
+
+// InsideRegionCtx is InsideRegion with cooperative cancellation: the
+// per-unit scan checks ctx periodically and returns its error, so a
+// server-side timeout stops the work instead of merely abandoning the
+// response.
+func (p MPoint) InsideRegionCtx(ctx context.Context, r spatial.Region) (MBool, error) {
 	if r.IsEmpty() {
 		var bld mapping.Builder[units.UBool]
 		for _, u := range p.M.Units() {
 			bld.Append(units.UBool{Iv: u.Iv, V: false})
 		}
-		return MBool{M: bld.MustBuild()}
+		return MBool{M: bld.MustBuild()}, nil
 	}
 	// A static region is a uregion with zero velocities; reuse the
 	// unit-pair kernel.
 	ur := staticURegion(r, temporal.Closed(temporal.NegInf, temporal.PosInf))
 	var bld mapping.Builder[units.UBool]
-	for _, u := range p.M.Units() {
+	for i, u := range p.M.Units() {
+		if err := cancelCheck(ctx, i); err != nil {
+			return MBool{}, err
+		}
 		for _, ub := range units.UPointInsideURegion(u, ur.WithInterval(u.Iv)) {
 			bld.Append(ub)
 		}
 	}
-	return MBool{M: bld.MustBuild()}
+	return MBool{M: bld.MustBuild()}, nil
 }
 
 // Inside returns the moving bool of "moving point inside moving region",
@@ -229,9 +242,20 @@ func (p MPoint) InsideRegion(r spatial.Region) MBool {
 // runs per refinement interval; results are concatenated with adjacent
 // equal units merged.
 func (p MPoint) Inside(r MRegion) MBool {
+	b, _ := p.InsideCtx(context.Background(), r)
+	return b
+}
+
+// InsideCtx is Inside with cooperative cancellation along the
+// refinement partition — the O(n + m + S) loop the serving layer must
+// be able to abort when a request deadline expires.
+func (p MPoint) InsideCtx(ctx context.Context, r MRegion) (MBool, error) {
 	var bld mapping.Builder[units.UBool]
 	pu, ru := p.M.Units(), r.M.Units()
-	for _, ri := range temporal.Refine(p.M.Intervals(), r.M.Intervals()) {
+	for i, ri := range temporal.Refine(p.M.Intervals(), r.M.Intervals()) {
+		if err := cancelCheck(ctx, i); err != nil {
+			return MBool{}, err
+		}
 		if ri.A < 0 || ri.B < 0 {
 			continue
 		}
@@ -241,7 +265,7 @@ func (p MPoint) Inside(r MRegion) MBool {
 			bld.Append(ub)
 		}
 	}
-	return MBool{M: bld.MustBuild()}
+	return MBool{M: bld.MustBuild()}, nil
 }
 
 // When restricts the moving point to the periods where the given moving

@@ -1,6 +1,8 @@
 package moving
 
 import (
+	"context"
+
 	"movingdb/internal/geom"
 	"movingdb/internal/mapping"
 	"movingdb/internal/spatial"
@@ -87,11 +89,20 @@ func (r MRegion) AtPeriods(p temporal.Periods) MRegion { return MRegion{M: r.M.A
 // exact quadratic in t, so the lifted size operation is closed in the
 // representation — the property Section 3.2.5 calls out.
 func (r MRegion) Area() MReal {
+	a, _ := r.AreaCtx(context.Background())
+	return a
+}
+
+// AreaCtx is Area with cooperative cancellation over the unit scan.
+func (r MRegion) AreaCtx(ctx context.Context) (MReal, error) {
 	var bld mapping.Builder[units.UReal]
-	for _, u := range r.M.Units() {
+	for i, u := range r.M.Units() {
+		if err := cancelCheck(ctx, i); err != nil {
+			return MReal{}, err
+		}
 		bld.Append(unitAreaUReal(u))
 	}
-	return MReal{M: bld.MustBuild()}
+	return MReal{M: bld.MustBuild()}, nil
 }
 
 // unitAreaUReal computes the exact quadratic area polynomial of a

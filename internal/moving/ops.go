@@ -1,6 +1,7 @@
 package moving
 
 import (
+	"context"
 	"math"
 
 	"movingdb/internal/geom"
@@ -182,9 +183,19 @@ func (b MBool) TrueDuration() float64 { return b.WhenTrue().Duration() }
 // point" — the lifted intersects predicate, computed per refinement
 // interval with the exact critical-instant kernel.
 func (r MRegion) Intersects(s MRegion) MBool {
+	b, _ := r.IntersectsCtx(context.Background(), s)
+	return b
+}
+
+// IntersectsCtx is Intersects with cooperative cancellation along the
+// refinement partition, for deadline-bounded query serving.
+func (r MRegion) IntersectsCtx(ctx context.Context, s MRegion) (MBool, error) {
 	var bld mapping.Builder[units.UBool]
 	ru, su := r.M.Units(), s.M.Units()
-	for _, ri := range temporal.Refine(r.M.Intervals(), s.M.Intervals()) {
+	for i, ri := range temporal.Refine(r.M.Intervals(), s.M.Intervals()) {
+		if err := cancelCheck(ctx, i); err != nil {
+			return MBool{}, err
+		}
 		if ri.A < 0 || ri.B < 0 {
 			continue
 		}
@@ -194,7 +205,7 @@ func (r MRegion) Intersects(s MRegion) MBool {
 			bld.Append(piece)
 		}
 	}
-	return MBool{M: bld.MustBuild()}
+	return MBool{M: bld.MustBuild()}, nil
 }
 
 // Length returns the time-dependent total segment length of the moving

@@ -1,0 +1,275 @@
+// Package obs is the observability layer of the serving stack: request
+// counters, latency histograms, per-operator timings and a slow-query
+// log, all behind one mutex-protected registry that handlers and the
+// query evaluator feed. A snapshot of the registry is what /v1/metrics
+// serves (expvar-style JSON). The package has no dependencies beyond
+// the standard library so every layer — server, db, moving — may import
+// it freely.
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// bucketsMS are the upper bounds (milliseconds, inclusive) of the
+// latency histogram; a final overflow bucket catches everything above.
+var bucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// BucketLabels names the histogram buckets in order, "le" style.
+func BucketLabels() []string {
+	out := make([]string, 0, len(bucketsMS)+1)
+	for _, b := range bucketsMS {
+		out = append(out, formatLE(b))
+	}
+	return append(out, "+Inf")
+}
+
+func formatLE(b float64) string {
+	switch {
+	case b >= 1000:
+		return itoa(int(b/1000)) + "s"
+	default:
+		return itoa(int(b)) + "ms"
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// routeStats accumulates per-route request metrics.
+type routeStats struct {
+	count    int64
+	errors   int64 // responses with status >= 400
+	timeouts int64 // 408s
+	statuses map[int]int64
+	totalNS  int64
+	maxNS    int64
+	buckets  []int64 // len(bucketsMS)+1
+}
+
+// opStats accumulates per-operator evaluation timings.
+type opStats struct {
+	count   int64
+	totalNS int64
+	maxNS   int64
+}
+
+// SlowQuery is one entry of the slow-query log.
+type SlowQuery struct {
+	Route    string  `json:"route"`
+	Query    string  `json:"query"`
+	Millis   float64 `json:"millis"`
+	Status   int     `json:"status"`
+	UnixMS   int64   `json:"unix_ms"`
+	TimedOut bool    `json:"timed_out"`
+}
+
+// Metrics is the registry. The zero value is not usable; construct with
+// New. All methods are safe for concurrent use and safe on a nil
+// receiver (they become no-ops), so instrumented code does not need to
+// guard against a missing registry.
+type Metrics struct {
+	mu      sync.Mutex
+	start   time.Time
+	routes  map[string]*routeStats
+	ops     map[string]*opStats
+	slow    []SlowQuery // ring buffer, slowNext is the write cursor
+	slowCap int
+	slowNext int
+	slowLen  int
+}
+
+// New returns an empty registry keeping up to slowCap slow-query
+// entries (a default of 32 when slowCap <= 0).
+func New(slowCap int) *Metrics {
+	if slowCap <= 0 {
+		slowCap = 32
+	}
+	return &Metrics{
+		start:   time.Now(),
+		routes:  map[string]*routeStats{},
+		ops:     map[string]*opStats{},
+		slow:    make([]SlowQuery, slowCap),
+		slowCap: slowCap,
+	}
+}
+
+// RecordRequest counts one served request on the route with its final
+// status and latency.
+func (m *Metrics) RecordRequest(route string, status int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs, ok := m.routes[route]
+	if !ok {
+		rs = &routeStats{statuses: map[int]int64{}, buckets: make([]int64, len(bucketsMS)+1)}
+		m.routes[route] = rs
+	}
+	rs.count++
+	rs.statuses[status]++
+	if status >= 400 {
+		rs.errors++
+	}
+	if status == 408 {
+		rs.timeouts++
+	}
+	ns := d.Nanoseconds()
+	rs.totalNS += ns
+	if ns > rs.maxNS {
+		rs.maxNS = ns
+	}
+	ms := float64(ns) / 1e6
+	slot := len(bucketsMS) // overflow
+	for i, ub := range bucketsMS {
+		if ms <= ub {
+			slot = i
+			break
+		}
+	}
+	rs.buckets[slot]++
+}
+
+// RecordOp counts one evaluator operator invocation with its duration.
+func (m *Metrics) RecordOp(name string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	os, ok := m.ops[name]
+	if !ok {
+		os = &opStats{}
+		m.ops[name] = os
+	}
+	os.count++
+	ns := d.Nanoseconds()
+	os.totalNS += ns
+	if ns > os.maxNS {
+		os.maxNS = ns
+	}
+}
+
+// RecordSlowQuery appends an entry to the slow-query ring.
+func (m *Metrics) RecordSlowQuery(e SlowQuery) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.slow[m.slowNext] = e
+	m.slowNext = (m.slowNext + 1) % m.slowCap
+	if m.slowLen < m.slowCap {
+		m.slowLen++
+	}
+}
+
+// RouteSnapshot is the JSON form of one route's counters.
+type RouteSnapshot struct {
+	Count     int64            `json:"count"`
+	Errors    int64            `json:"errors"`
+	Timeouts  int64            `json:"timeouts"`
+	Statuses  map[string]int64 `json:"statuses"`
+	AvgMillis float64          `json:"avg_ms"`
+	MaxMillis float64          `json:"max_ms"`
+	LatencyMS map[string]int64 `json:"latency_ms"`
+}
+
+// OpSnapshot is the JSON form of one operator's timings.
+type OpSnapshot struct {
+	Count     int64   `json:"count"`
+	AvgMicros float64 `json:"avg_us"`
+	MaxMicros float64 `json:"max_us"`
+}
+
+// Snapshot is the full registry state served at /v1/metrics.
+type Snapshot struct {
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Requests      map[string]RouteSnapshot `json:"requests"`
+	Operators     map[string]OpSnapshot    `json:"operators"`
+	SlowQueries   []SlowQuery              `json:"slow_queries"`
+}
+
+// Snapshot copies the registry into its JSON-serialisable form. Safe on
+// a nil receiver (returns an empty snapshot).
+func (m *Metrics) Snapshot() Snapshot {
+	if m == nil {
+		return Snapshot{Requests: map[string]RouteSnapshot{}, Operators: map[string]OpSnapshot{}, SlowQueries: []SlowQuery{}}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := Snapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Requests:      make(map[string]RouteSnapshot, len(m.routes)),
+		Operators:     make(map[string]OpSnapshot, len(m.ops)),
+		SlowQueries:   make([]SlowQuery, 0, m.slowLen),
+	}
+	labels := BucketLabels()
+	for route, rs := range m.routes {
+		snap := RouteSnapshot{
+			Count:     rs.count,
+			Errors:    rs.errors,
+			Timeouts:  rs.timeouts,
+			Statuses:  make(map[string]int64, len(rs.statuses)),
+			MaxMillis: float64(rs.maxNS) / 1e6,
+			LatencyMS: make(map[string]int64, len(labels)),
+		}
+		if rs.count > 0 {
+			snap.AvgMillis = float64(rs.totalNS) / float64(rs.count) / 1e6
+		}
+		for code, n := range rs.statuses {
+			snap.Statuses[itoa(code)] = n
+		}
+		for i, label := range labels {
+			snap.LatencyMS[label] = rs.buckets[i]
+		}
+		out.Requests[route] = snap
+	}
+	for name, os := range m.ops {
+		snap := OpSnapshot{Count: os.count, MaxMicros: float64(os.maxNS) / 1e3}
+		if os.count > 0 {
+			snap.AvgMicros = float64(os.totalNS) / float64(os.count) / 1e3
+		}
+		out.Operators[name] = snap
+	}
+	// Oldest-first over the ring.
+	for i := 0; i < m.slowLen; i++ {
+		idx := (m.slowNext - m.slowLen + i + m.slowCap) % m.slowCap
+		out.SlowQueries = append(out.SlowQueries, m.slow[idx])
+	}
+	return out
+}
+
+// --- context plumbing ---
+
+type ctxKey struct{}
+
+// NewContext returns a context carrying the registry, for the query
+// evaluator to record operator timings against.
+func NewContext(ctx context.Context, m *Metrics) context.Context {
+	if m == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, m)
+}
+
+// FromContext extracts the registry, or nil when none was attached.
+// The nil result is safe to call methods on.
+func FromContext(ctx context.Context) *Metrics {
+	m, _ := ctx.Value(ctxKey{}).(*Metrics)
+	return m
+}

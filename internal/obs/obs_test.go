@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRequestCounters(t *testing.T) {
+	m := New(4)
+	m.RecordRequest("/v1/query", 200, 3*time.Millisecond)
+	m.RecordRequest("/v1/query", 408, 12*time.Millisecond)
+	m.RecordRequest("/v1/window", 400, 500*time.Microsecond)
+	s := m.Snapshot()
+	q := s.Requests["/v1/query"]
+	if q.Count != 2 || q.Errors != 1 || q.Timeouts != 1 {
+		t.Fatalf("query route = %+v", q)
+	}
+	if q.Statuses["200"] != 1 || q.Statuses["408"] != 1 {
+		t.Errorf("statuses = %v", q.Statuses)
+	}
+	if q.LatencyMS["5ms"] != 1 || q.LatencyMS["25ms"] != 1 {
+		t.Errorf("latency buckets = %v", q.LatencyMS)
+	}
+	if q.MaxMillis < 11 || q.AvgMillis <= 0 {
+		t.Errorf("avg/max = %v/%v", q.AvgMillis, q.MaxMillis)
+	}
+	w := s.Requests["/v1/window"]
+	if w.Count != 1 || w.Errors != 1 || w.Timeouts != 0 {
+		t.Errorf("window route = %+v", w)
+	}
+}
+
+func TestOpTimings(t *testing.T) {
+	m := New(0)
+	m.RecordOp("inside", 2*time.Millisecond)
+	m.RecordOp("inside", 4*time.Millisecond)
+	m.RecordOp("length", time.Microsecond)
+	s := m.Snapshot()
+	in := s.Operators["inside"]
+	if in.Count != 2 || in.AvgMicros < 1000 || in.MaxMicros < in.AvgMicros {
+		t.Fatalf("inside = %+v", in)
+	}
+	if s.Operators["length"].Count != 1 {
+		t.Errorf("length = %+v", s.Operators["length"])
+	}
+}
+
+func TestSlowQueryRing(t *testing.T) {
+	m := New(2)
+	for i, q := range []string{"a", "b", "c"} {
+		m.RecordSlowQuery(SlowQuery{Query: q, Millis: float64(i)})
+	}
+	got := m.Snapshot().SlowQueries
+	if len(got) != 2 || got[0].Query != "b" || got[1].Query != "c" {
+		t.Fatalf("ring = %v", got)
+	}
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var m *Metrics
+	m.RecordRequest("/x", 200, time.Millisecond)
+	m.RecordOp("inside", time.Millisecond)
+	m.RecordSlowQuery(SlowQuery{})
+	if s := m.Snapshot(); len(s.Requests) != 0 {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+	// A context without a registry yields nil, which is safe to use.
+	FromContext(context.Background()).RecordOp("inside", time.Millisecond)
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	m := New(0)
+	ctx := NewContext(context.Background(), m)
+	if FromContext(ctx) != m {
+		t.Fatal("registry lost in context")
+	}
+	if NewContext(context.Background(), nil) != context.Background() {
+		t.Error("nil registry should not wrap the context")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	m := New(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				m.RecordRequest("/v1/query", 200, time.Millisecond)
+				m.RecordOp("inside", time.Microsecond)
+				m.RecordSlowQuery(SlowQuery{Query: "q"})
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s.Requests["/v1/query"].Count != 800 || s.Operators["inside"].Count != 800 {
+		t.Fatalf("lost updates: %+v", s)
+	}
+}

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"movingdb/internal/db"
+	"movingdb/internal/moving"
+	"movingdb/internal/workload"
+)
+
+// The middleware-overhead benchmarks compare the bare query handler
+// against the instrumented route (mux dispatch + body limit + panic
+// recovery + metrics). Run with:
+//
+//	go test ./internal/server -bench BenchmarkQuery -benchmem
+//
+// The instrumented path must stay within a few percent of the bare
+// handler; the dominant cost is query evaluation itself.
+
+func benchServer(b *testing.B) *Server {
+	b.Helper()
+	g := workload.New(2000)
+	planes := db.NewRelation("planes", db.Schema{
+		{Name: "airline", Type: db.TString},
+		{Name: "id", Type: db.TString},
+		{Name: "flight", Type: db.TMPoint},
+	})
+	var ids []string
+	var objects []moving.MPoint
+	for _, f := range g.Flights(30, 150) {
+		planes.MustInsert(db.Tuple{f.Airline, f.ID, f.Flight})
+		ids = append(ids, f.ID)
+		objects = append(objects, f.Flight)
+	}
+	s, err := New(Config{Catalog: db.Catalog{"planes": planes}, ObjectIDs: ids, Objects: objects})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+const benchQueryURL = "/v1/query?q=SELECT+airline,+id+FROM+planes+WHERE+airline+=+'Lufthansa'+LIMIT+5"
+
+func BenchmarkQueryBareHandler(b *testing.B) {
+	s := benchServer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("GET", benchQueryURL, nil)
+		rec := httptest.NewRecorder()
+		s.handleQuery(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("code = %d", rec.Code)
+		}
+	}
+}
+
+func BenchmarkQueryInstrumented(b *testing.B) {
+	s := benchServer(b)
+	h := s.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("GET", benchQueryURL, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("code = %d", rec.Code)
+		}
+	}
+}
+
+func BenchmarkWindowInstrumented(b *testing.B) {
+	s := benchServer(b)
+	h := s.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("GET", "/v1/window?x1=0&y1=0&x2=500&y2=500&t1=0&t2=500&limit=10", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("code = %d", rec.Code)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"movingdb/internal/db"
+)
+
+// Error codes of the v1 JSON error envelope. Every non-2xx response has
+// the shape {"error": {"code": <code>, "message": <text>}}.
+const (
+	CodeBadRequest   = "bad_request"
+	CodeQueryTooLong = "query_too_long"
+	CodeNotFound     = "not_found"
+	CodeTimeout      = "timeout"
+	CodeInternal     = "internal"
+)
+
+// apiError is the envelope payload.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError emits the v1 error envelope with the given status.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]apiError{"error": {Code: code, Message: msg}})
+}
+
+// writeEvalError maps an evaluation error onto the envelope: context
+// expiry (server deadline or client disconnect) is 408, the query
+// language's own error classes are 400, anything else is a 500.
+func writeEvalError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeError(w, http.StatusRequestTimeout, CodeTimeout, err.Error())
+	case errors.Is(err, db.ErrSyntax), errors.Is(err, db.ErrType),
+		errors.Is(err, db.ErrNoFunction), errors.Is(err, db.ErrSchema):
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+	}
+}

@@ -1,81 +1,260 @@
 // Package server exposes a moving objects database over HTTP — the
 // "data blade in a service" packaging a downstream user would deploy:
 // SQL queries against the catalog, atinstant snapshots of tracked
-// objects, and indexed spatio-temporal window queries. Responses are
-// JSON; all handlers are read-only.
+// objects, and indexed spatio-temporal window queries.
+//
+// The v1 API surface is versioned under /v1/ (legacy unversioned routes
+// remain as deprecated aliases), every request runs under a deadline
+// that the query evaluator observes, errors share one JSON envelope,
+// list responses paginate, and an observability registry (internal/obs)
+// counts requests, latencies, per-operator timings and slow queries,
+// served at /v1/metrics. All handlers are read-only.
 package server
 
 import (
-	"encoding/json"
+	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
 	"strconv"
+	"time"
 
 	"movingdb/internal/db"
 	"movingdb/internal/geom"
 	"movingdb/internal/index"
 	"movingdb/internal/moving"
+	"movingdb/internal/obs"
 	"movingdb/internal/temporal"
 )
 
-// Server serves a catalog of relations plus an R-tree index over the
-// moving point objects of one designated relation/column.
-type Server struct {
+// Config assembles a Server. The zero value of every tuning field gets
+// a sensible default; only Catalog/ObjectIDs/Objects carry data.
+type Config struct {
+	// Catalog names the relations /v1/query may reference. A nil
+	// catalog serves an empty database.
 	Catalog db.Catalog
-	// Tracked objects for /atinstant and /window.
+	// ObjectIDs and Objects are the tracked objects behind
+	// /v1/atinstant, /v1/window and /v1/objects (parallel slices; the
+	// objects feed the R-tree window index).
 	ObjectIDs []string
 	Objects   []moving.MPoint
-	idx       *index.MPointIndex
+
+	// QueryTimeout is the default evaluation deadline per request
+	// (overridable per request with ?timeout_ms=). Default 10s.
+	QueryTimeout time.Duration
+	// MaxTimeout caps ?timeout_ms. Default 60s.
+	MaxTimeout time.Duration
+	// MaxQueryLen bounds the ?q= string. Default 8192 bytes.
+	MaxQueryLen int
+	// MaxBodyBytes bounds request bodies. Default 1 MiB.
+	MaxBodyBytes int64
+	// DefaultLimit and MaxLimit control pagination of list responses.
+	// Defaults 1000 and 10000.
+	DefaultLimit int
+	MaxLimit     int
+	// SlowQueryThreshold is the latency above which a /v1/query request
+	// lands in the slow-query log. Default 500ms.
+	SlowQueryThreshold time.Duration
+	// Logger receives panics and slow queries. Default: discard.
+	Logger *log.Logger
+	// Metrics is the observability registry; one is created when nil.
+	Metrics *obs.Metrics
 }
 
-// New builds a server over the catalog; the tracked objects (parallel
-// id/value slices) feed the window index.
-func New(cat db.Catalog, ids []string, objects []moving.MPoint) (*Server, error) {
-	if len(ids) != len(objects) {
+// withDefaults fills in the zero-valued tuning fields.
+func (c Config) withDefaults() Config {
+	if c.Catalog == nil {
+		c.Catalog = db.Catalog{}
+	}
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.MaxQueryLen == 0 {
+		c.MaxQueryLen = 8192
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.DefaultLimit == 0 {
+		c.DefaultLimit = 1000
+	}
+	if c.MaxLimit == 0 {
+		c.MaxLimit = 10000
+	}
+	if c.SlowQueryThreshold == 0 {
+		c.SlowQueryThreshold = 500 * time.Millisecond
+	}
+	if c.Logger == nil {
+		c.Logger = log.New(io.Discard, "", 0)
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.New(0)
+	}
+	return c
+}
+
+// Server serves a catalog of relations plus an R-tree index over the
+// tracked moving point objects.
+type Server struct {
+	// Catalog, ObjectIDs and Objects mirror the Config data fields.
+	Catalog   db.Catalog
+	ObjectIDs []string
+	Objects   []moving.MPoint
+
+	cfg     Config
+	idx     *index.MPointIndex
+	logger  *log.Logger
+	metrics *obs.Metrics
+}
+
+// New builds a server from the config.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.ObjectIDs) != len(cfg.Objects) {
 		return nil, errors.New("server: ids and objects length mismatch")
 	}
+	cfg = cfg.withDefaults()
 	return &Server{
-		Catalog:   cat,
-		ObjectIDs: ids,
-		Objects:   objects,
-		idx:       index.BuildMPointIndex(objects),
+		Catalog:   cfg.Catalog,
+		ObjectIDs: cfg.ObjectIDs,
+		Objects:   cfg.Objects,
+		cfg:       cfg,
+		idx:       index.BuildMPointIndex(cfg.Objects),
+		logger:    cfg.Logger,
+		metrics:   cfg.Metrics,
 	}, nil
 }
 
-// Handler returns the HTTP mux with all endpoints registered.
+// Metrics returns the server's observability registry.
+func (s *Server) Metrics() *obs.Metrics { return s.metrics }
+
+// Handler returns the HTTP mux with the v1 routes, the deprecated
+// unversioned aliases, and an enveloped 404 for everything else.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /query", s.handleQuery)
-	mux.HandleFunc("GET /atinstant", s.handleAtInstant)
-	mux.HandleFunc("GET /window", s.handleWindow)
-	mux.HandleFunc("GET /objects", s.handleObjects)
+	for _, rt := range []struct {
+		path string
+		h    http.HandlerFunc
+	}{
+		{"/v1/query", s.handleQuery},
+		{"/v1/atinstant", s.handleAtInstant},
+		{"/v1/window", s.handleWindow},
+		{"/v1/objects", s.handleObjects},
+		{"/v1/metrics", s.handleMetrics},
+		{"/v1/healthz", s.handleHealthz},
+	} {
+		h := s.instrument(rt.path, rt.h)
+		mux.Handle("GET "+rt.path, h)
+		mux.Handle("GET "+rt.path[len("/v1"):], deprecated(rt.path, h))
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("no route %s %s", r.Method, r.URL.Path))
+	})
 	return mux
 }
 
-func writeErr(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+// requestContext derives the evaluation context: the request context
+// (canceled when the client disconnects) plus the server's default
+// query deadline, overridable per request with ?timeout_ms= up to
+// MaxTimeout, with the obs registry attached for operator timings.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	ctx := obs.NewContext(r.Context(), s.metrics)
+	timeout := s.cfg.QueryTimeout
+	if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
+		ms, err := strconv.Atoi(raw)
+		if err != nil || ms <= 0 {
+			return nil, nil, fmt.Errorf("bad timeout_ms %q: want a positive integer", raw)
+		}
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	return ctx, cancel, nil
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(v)
+// pageParams reads ?limit= and ?offset= with the configured defaults
+// and caps.
+func (s *Server) pageParams(r *http.Request) (limit, offset int, err error) {
+	limit = s.cfg.DefaultLimit
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		v, perr := strconv.Atoi(raw)
+		if perr != nil || v <= 0 {
+			return 0, 0, fmt.Errorf("bad limit %q: want a positive integer", raw)
+		}
+		limit = v
+	}
+	if limit > s.cfg.MaxLimit {
+		limit = s.cfg.MaxLimit
+	}
+	if raw := r.URL.Query().Get("offset"); raw != "" {
+		v, perr := strconv.Atoi(raw)
+		if perr != nil || v < 0 {
+			return 0, 0, fmt.Errorf("bad offset %q: want a non-negative integer", raw)
+		}
+		offset = v
+	}
+	return limit, offset, nil
 }
 
-// handleQuery executes ?q=<SELECT ...> and returns columns and rows.
-// Only scalar result columns are rendered; moving/spatial values are
-// summarised.
+// pageBounds clips [offset, offset+limit) to n elements.
+func pageBounds(n, limit, offset int) (lo, hi int) {
+	if offset > n {
+		offset = n
+	}
+	hi = offset + limit
+	if hi > n {
+		hi = n
+	}
+	return offset, hi
+}
+
+// handleQuery executes ?q=<SELECT ...> under the request deadline and
+// returns columns and rows. Only scalar result columns are rendered;
+// moving/spatial values are summarised.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
-		writeErr(w, http.StatusBadRequest, errors.New("missing q parameter"))
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "missing q parameter")
 		return
 	}
-	res, err := db.Query(s.Catalog, q)
+	if len(q) > s.cfg.MaxQueryLen {
+		writeError(w, http.StatusBadRequest, CodeQueryTooLong,
+			fmt.Sprintf("query is %d bytes; the limit is %d", len(q), s.cfg.MaxQueryLen))
+		return
+	}
+	ctx, cancel, err := s.requestContext(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	defer cancel()
+	start := time.Now()
+	res, err := db.QueryContext(ctx, s.Catalog, q)
+	elapsed := time.Since(start)
+	timedOut := err != nil && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled))
+	if timedOut || elapsed >= s.cfg.SlowQueryThreshold {
+		entry := obs.SlowQuery{
+			Route:    "/v1/query",
+			Query:    truncate(q, 200),
+			Millis:   float64(elapsed.Nanoseconds()) / 1e6,
+			Status:   http.StatusOK,
+			UnixMS:   time.Now().UnixMilli(),
+			TimedOut: timedOut,
+		}
+		if timedOut {
+			entry.Status = http.StatusRequestTimeout
+		}
+		s.metrics.RecordSlowQuery(entry)
+		s.logger.Printf("server: slow query (%.1fms, timed_out=%v): %s", entry.Millis, timedOut, entry.Query)
+	}
+	if err != nil {
+		writeEvalError(w, err)
 		return
 	}
 	cols := make([]string, len(res.Schema))
@@ -90,7 +269,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		rows = append(rows, row)
 	}
-	writeJSON(w, map[string]any{"columns": cols, "rows": rows})
+	writeJSON(w, map[string]any{"columns": cols, "rows": rows, "elapsed_ms": float64(elapsed.Nanoseconds()) / 1e6})
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
 }
 
 func renderValue(v any) any {
@@ -104,20 +290,32 @@ func renderValue(v any) any {
 }
 
 // handleAtInstant returns the position of every tracked object defined
-// at ?t=.
+// at ?t=. The scan over the objects observes the request deadline.
 func (s *Server) handleAtInstant(w http.ResponseWriter, r *http.Request) {
 	t, err := floatParam(r, "t")
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	defer cancel()
 	type pos struct {
 		ID string  `json:"id"`
 		X  float64 `json:"x"`
 		Y  float64 `json:"y"`
 	}
-	var out []pos
+	out := []pos{}
 	for i, p := range s.Objects {
+		if i%256 == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				writeEvalError(w, cerr)
+				return
+			}
+		}
 		if v := p.AtInstant(temporal.Instant(t)); v.Defined() {
 			out = append(out, pos{ID: s.ObjectIDs[i], X: v.P.X, Y: v.P.Y})
 		}
@@ -127,50 +325,78 @@ func (s *Server) handleAtInstant(w http.ResponseWriter, r *http.Request) {
 
 // handleWindow answers ?x1=&y1=&x2=&y2=&t1=&t2= with the ids of objects
 // inside the window during the interval, via the R-tree with exact
-// refinement.
+// refinement. Results paginate with ?limit=&offset=; the envelope
+// carries the total match count.
 func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 	var vals [6]float64
 	for i, name := range []string{"x1", "y1", "x2", "y2", "t1", "t2"} {
 		v, err := floatParam(r, name)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 			return
 		}
 		vals[i] = v
+	}
+	if vals[5] < vals[4] {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "t2 before t1")
+		return
+	}
+	limit, offset, err := s.pageParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
 	}
 	rect := geom.Rect{
 		MinX: min(vals[0], vals[2]), MinY: min(vals[1], vals[3]),
 		MaxX: max(vals[0], vals[2]), MaxY: max(vals[1], vals[3]),
 	}
-	if vals[5] < vals[4] {
-		writeErr(w, http.StatusBadRequest, errors.New("t2 before t1"))
-		return
-	}
 	iv := temporal.Closed(temporal.Instant(vals[4]), temporal.Instant(vals[5]))
 	hits := s.idx.Window(rect, iv)
-	ids := make([]string, 0, len(hits))
-	for _, oi := range hits {
+	lo, hi := pageBounds(len(hits), limit, offset)
+	ids := make([]string, 0, hi-lo)
+	for _, oi := range hits[lo:hi] {
 		ids = append(ids, s.ObjectIDs[oi])
 	}
-	writeJSON(w, map[string]any{"ids": ids})
+	writeJSON(w, map[string]any{"total": len(hits), "limit": limit, "offset": offset, "ids": ids})
 }
 
 // handleObjects lists the tracked objects with their definition times
-// and unit counts.
+// and unit counts, paginated with ?limit=&offset=.
 func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
+	limit, offset, err := s.pageParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
 	type obj struct {
 		ID    string  `json:"id"`
 		Units int     `json:"units"`
 		From  float64 `json:"from"`
 		To    float64 `json:"to"`
 	}
-	out := make([]obj, 0, len(s.Objects))
-	for i, p := range s.Objects {
-		lo, _ := p.DefTime().MinInstant()
-		hi, _ := p.DefTime().MaxInstant()
-		out = append(out, obj{ID: s.ObjectIDs[i], Units: p.M.Len(), From: float64(lo), To: float64(hi)})
+	lo, hi := pageBounds(len(s.Objects), limit, offset)
+	out := make([]obj, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		p := s.Objects[i]
+		loT, _ := p.DefTime().MinInstant()
+		hiT, _ := p.DefTime().MaxInstant()
+		out = append(out, obj{ID: s.ObjectIDs[i], Units: p.M.Len(), From: float64(loT), To: float64(hiT)})
 	}
-	writeJSON(w, map[string]any{"objects": out})
+	writeJSON(w, map[string]any{"total": len(s.Objects), "limit": limit, "offset": offset, "objects": out})
+}
+
+// handleMetrics serves the observability snapshot (expvar-style JSON).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.metrics.Snapshot())
+}
+
+// handleHealthz reports liveness and the sizes of the served data.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":    "ok",
+		"objects":   len(s.Objects),
+		"relations": len(s.Catalog),
+	})
 }
 
 func floatParam(r *http.Request, name string) (float64, error) {

@@ -2,9 +2,12 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
+	"time"
 
 	"movingdb/internal/db"
 	"movingdb/internal/moving"
@@ -26,7 +29,41 @@ func testServer(t *testing.T) *Server {
 		ids = append(ids, f.ID)
 		objects = append(objects, f.Flight)
 	}
-	s, err := New(db.Catalog{"planes": planes}, ids, objects)
+	s, err := New(Config{Catalog: db.Catalog{"planes": planes}, ObjectIDs: ids, Objects: objects})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// stormServer builds a catalog of n moving regions and m flights whose
+// cross product makes /v1/query genuinely expensive.
+func stormServer(t *testing.T, flights, storms int) *Server {
+	t.Helper()
+	g := workload.New(4000)
+	planes := db.NewRelation("planes", db.Schema{
+		{Name: "id", Type: db.TString},
+		{Name: "flight", Type: db.TMPoint},
+	})
+	var ids []string
+	var objects []moving.MPoint
+	for _, f := range g.Flights(flights, 300) {
+		planes.MustInsert(db.Tuple{f.ID, f.Flight})
+		ids = append(ids, f.ID)
+		objects = append(objects, f.Flight)
+	}
+	stormRel := db.NewRelation("storms", db.Schema{
+		{Name: "name", Type: db.TString},
+		{Name: "extent", Type: db.TMRegion},
+	})
+	for i := 0; i < storms; i++ {
+		stormRel.MustInsert(db.Tuple{fmt.Sprintf("S%03d", i), g.Storm(0, 80, 10, 4)})
+	}
+	s, err := New(Config{
+		Catalog:   db.Catalog{"planes": planes, "storms": stormRel},
+		ObjectIDs: ids,
+		Objects:   objects,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,9 +82,27 @@ func get(t *testing.T, h http.Handler, url string) (int, map[string]any) {
 	return rec.Code, body
 }
 
+// envelope extracts and shape-checks the v1 error envelope.
+func envelope(t *testing.T, body map[string]any) (code, message string) {
+	t.Helper()
+	e, ok := body["error"].(map[string]any)
+	if !ok {
+		t.Fatalf("no error envelope in %v", body)
+	}
+	code, ok = e["code"].(string)
+	if !ok || code == "" {
+		t.Fatalf("envelope missing code: %v", e)
+	}
+	message, ok = e["message"].(string)
+	if !ok || message == "" {
+		t.Fatalf("envelope missing message: %v", e)
+	}
+	return code, message
+}
+
 func TestQueryEndpoint(t *testing.T) {
 	h := testServer(t).Handler()
-	code, body := get(t, h, "/query?q=SELECT+airline,+id,+length(trajectory(flight))+AS+len+FROM+planes+WHERE+airline+=+'Lufthansa'+ORDER+BY+len+DESC+LIMIT+3")
+	code, body := get(t, h, "/v1/query?q=SELECT+airline,+id,+length(trajectory(flight))+AS+len+FROM+planes+WHERE+airline+=+'Lufthansa'+ORDER+BY+len+DESC+LIMIT+3")
 	if code != http.StatusOK {
 		t.Fatalf("code = %d: %v", code, body)
 	}
@@ -59,79 +114,309 @@ func TestQueryEndpoint(t *testing.T) {
 	if cols[2].(string) != "len:real" {
 		t.Errorf("columns = %v", cols)
 	}
-	// Syntax error surfaces as 400 with a message.
-	code, body = get(t, h, "/query?q=SELECT")
-	if code != http.StatusBadRequest || body["error"] == "" {
+	if _, ok := body["elapsed_ms"].(float64); !ok {
+		t.Errorf("missing elapsed_ms: %v", body)
+	}
+	// Syntax error surfaces as 400 with the envelope.
+	code, body = get(t, h, "/v1/query?q=SELECT")
+	if code != http.StatusBadRequest {
 		t.Errorf("bad query: %d %v", code, body)
 	}
+	if ec, _ := envelope(t, body); ec != CodeBadRequest {
+		t.Errorf("code = %q", ec)
+	}
 	// Missing q.
-	code, _ = get(t, h, "/query")
+	code, body = get(t, h, "/v1/query")
 	if code != http.StatusBadRequest {
 		t.Errorf("missing q: %d", code)
+	}
+	envelope(t, body)
+	// Bad timeout_ms.
+	code, body = get(t, h, "/v1/query?q=SELECT+id+FROM+planes&timeout_ms=-5")
+	if code != http.StatusBadRequest {
+		t.Errorf("bad timeout_ms: %d", code)
+	}
+	envelope(t, body)
+}
+
+func TestQueryTooLong(t *testing.T) {
+	s, err := New(Config{MaxQueryLen: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := "SELECT+id+FROM+planes+WHERE+airline+=+'AAAAAAAAAAAAAAAAAAAAAAAAAA'"
+	code, body := get(t, s.Handler(), "/v1/query?q="+long)
+	if code != http.StatusBadRequest {
+		t.Fatalf("code = %d", code)
+	}
+	if ec, _ := envelope(t, body); ec != CodeQueryTooLong {
+		t.Errorf("code = %q", ec)
+	}
+}
+
+func TestVersionAliasing(t *testing.T) {
+	h := testServer(t).Handler()
+	for _, route := range []string{"/objects", "/healthz", "/metrics"} {
+		req := httptest.NewRequest("GET", route, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s = %d", route, rec.Code)
+		}
+		if rec.Header().Get("Deprecation") != "true" {
+			t.Errorf("%s missing Deprecation header", route)
+		}
+		if link := rec.Header().Get("Link"); link == "" {
+			t.Errorf("%s missing successor Link header", route)
+		}
+		// The v1 route serves the same payload without the headers.
+		req = httptest.NewRequest("GET", "/v1"+route, nil)
+		rec = httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("/v1%s = %d", route, rec.Code)
+		}
+		if rec.Header().Get("Deprecation") != "" {
+			t.Errorf("/v1%s wrongly marked deprecated", route)
+		}
+	}
+}
+
+func TestNotFoundEnvelope(t *testing.T) {
+	h := testServer(t).Handler()
+	code, body := get(t, h, "/v2/query?q=SELECT")
+	if code != http.StatusNotFound {
+		t.Fatalf("code = %d", code)
+	}
+	if ec, _ := envelope(t, body); ec != CodeNotFound {
+		t.Errorf("code = %q", ec)
 	}
 }
 
 func TestAtInstantEndpoint(t *testing.T) {
 	h := testServer(t).Handler()
-	code, body := get(t, h, "/atinstant?t=50")
+	code, body := get(t, h, "/v1/atinstant?t=50")
 	if code != http.StatusOK {
 		t.Fatalf("code = %d", code)
 	}
 	if _, ok := body["positions"]; !ok {
 		t.Fatalf("body = %v", body)
 	}
-	code, _ = get(t, h, "/atinstant?t=abc")
+	code, body = get(t, h, "/v1/atinstant?t=abc")
 	if code != http.StatusBadRequest {
 		t.Errorf("bad t: %d", code)
 	}
+	envelope(t, body)
 }
 
-func TestWindowEndpoint(t *testing.T) {
+func TestWindowEndpointAndPagination(t *testing.T) {
 	s := testServer(t)
 	h := s.Handler()
-	code, body := get(t, h, "/window?x1=0&y1=0&x2=1000&y2=1000&t1=0&t2=1000")
+	code, body := get(t, h, "/v1/window?x1=0&y1=0&x2=1000&y2=1000&t1=0&t2=1000")
 	if code != http.StatusOK {
 		t.Fatalf("code = %d: %v", code, body)
 	}
 	ids := body["ids"].([]any)
-	if len(ids) != len(s.Objects) {
-		t.Errorf("whole-world window found %d of %d", len(ids), len(s.Objects))
+	total := int(body["total"].(float64))
+	if total != len(s.Objects) || len(ids) != total {
+		t.Errorf("whole-world window: total=%d ids=%d objects=%d", total, len(ids), len(s.Objects))
+	}
+	// Pagination: limit 5 offset 5 keeps total but returns one page.
+	_, body = get(t, h, "/v1/window?x1=0&y1=0&x2=1000&y2=1000&t1=0&t2=1000&limit=5&offset=5")
+	if got := len(body["ids"].([]any)); got != 5 {
+		t.Errorf("page ids = %d", got)
+	}
+	if int(body["total"].(float64)) != total {
+		t.Errorf("paged total = %v, want %d", body["total"], total)
+	}
+	// Offset past the end yields an empty page.
+	_, body = get(t, h, fmt.Sprintf("/v1/window?x1=0&y1=0&x2=1000&y2=1000&t1=0&t2=1000&offset=%d", total+10))
+	if got := len(body["ids"].([]any)); got != 0 {
+		t.Errorf("past-end page = %d ids", got)
 	}
 	// Empty window far away.
-	_, body = get(t, h, "/window?x1=-500&y1=-500&x2=-400&y2=-400&t1=0&t2=1000")
-	if got, _ := body["ids"].([]any); len(got) != 0 {
+	_, body = get(t, h, "/v1/window?x1=-500&y1=-500&x2=-400&y2=-400&t1=0&t2=1000")
+	if got := body["ids"].([]any); len(got) != 0 {
 		t.Errorf("far window ids = %v", got)
 	}
 	// t2 < t1.
-	code, _ = get(t, h, "/window?x1=0&y1=0&x2=1&y2=1&t1=10&t2=0")
+	code, body = get(t, h, "/v1/window?x1=0&y1=0&x2=1&y2=1&t1=10&t2=0")
 	if code != http.StatusBadRequest {
 		t.Errorf("reversed interval: %d", code)
 	}
+	envelope(t, body)
 	// Missing parameter.
-	code, _ = get(t, h, "/window?x1=0")
+	code, _ = get(t, h, "/v1/window?x1=0")
 	if code != http.StatusBadRequest {
 		t.Errorf("missing params: %d", code)
 	}
+	// Bad limit.
+	code, _ = get(t, h, "/v1/window?x1=0&y1=0&x2=1&y2=1&t1=0&t2=1&limit=nope")
+	if code != http.StatusBadRequest {
+		t.Errorf("bad limit: %d", code)
+	}
 }
 
-func TestObjectsEndpoint(t *testing.T) {
+func TestObjectsEndpointAndPagination(t *testing.T) {
 	s := testServer(t)
-	code, body := get(t, s.Handler(), "/objects")
+	h := s.Handler()
+	code, body := get(t, h, "/v1/objects")
 	if code != http.StatusOK {
 		t.Fatalf("code = %d", code)
 	}
 	objs := body["objects"].([]any)
-	if len(objs) != len(s.Objects) {
-		t.Errorf("objects = %d", len(objs))
+	if len(objs) != len(s.Objects) || int(body["total"].(float64)) != len(s.Objects) {
+		t.Errorf("objects = %d total = %v", len(objs), body["total"])
 	}
 	first := objs[0].(map[string]any)
 	if first["units"].(float64) <= 0 {
 		t.Error("unit count missing")
 	}
+	// Second page of 7.
+	_, body = get(t, h, "/v1/objects?limit=7&offset=7")
+	page := body["objects"].([]any)
+	if len(page) != 7 {
+		t.Fatalf("page = %d", len(page))
+	}
+	if page[0].(map[string]any)["id"] == first["id"] {
+		t.Error("offset ignored")
+	}
+	if int(body["total"].(float64)) != len(s.Objects) {
+		t.Errorf("paged total = %v", body["total"])
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := testServer(t)
+	code, body := get(t, s.Handler(), "/v1/healthz")
+	if code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, body)
+	}
+	if int(body["objects"].(float64)) != len(s.Objects) {
+		t.Errorf("objects = %v", body["objects"])
+	}
+}
+
+// TestQueryTimeoutEnvelopeAndMetrics is the acceptance scenario: a
+// ?timeout_ms=10 query over a catalog of 100+ moving regions crossed
+// with flights returns a 408 envelope in bounded time because the
+// evaluator observes cancellation, and the metrics registry afterwards
+// shows the request with its latency and the timeout counted.
+func TestQueryTimeoutEnvelopeAndMetrics(t *testing.T) {
+	s := stormServer(t, 40, 100)
+	h := s.Handler()
+	q := "/v1/query?timeout_ms=10&q=SELECT+name+FROM+planes,+storms+WHERE+sometimes(inside(flight,+extent))"
+	start := time.Now()
+	code, body := get(t, h, q)
+	elapsed := time.Since(start)
+	if code != http.StatusRequestTimeout {
+		t.Fatalf("code = %d: %v", code, body)
+	}
+	if ec, _ := envelope(t, body); ec != CodeTimeout {
+		t.Errorf("code = %q", ec)
+	}
+	// Bounded time: far below what the full cross product would need,
+	// generous enough for a loaded CI machine.
+	if elapsed > 5*time.Second {
+		t.Errorf("timeout took %v", elapsed)
+	}
+	// Metrics recorded the request, its latency, and the timeout; the
+	// slow-query log marks the entry timed out.
+	snap := s.Metrics().Snapshot()
+	rt := snap.Requests["/v1/query"]
+	if rt.Count != 1 || rt.Timeouts != 1 || rt.Statuses["408"] != 1 {
+		t.Fatalf("route stats = %+v", rt)
+	}
+	if rt.MaxMillis <= 0 {
+		t.Errorf("latency not recorded: %+v", rt)
+	}
+	if len(snap.SlowQueries) == 0 || !snap.SlowQueries[0].TimedOut {
+		t.Errorf("slow query log = %+v", snap.SlowQueries)
+	}
+	if snap.Operators["inside"].Count == 0 {
+		t.Errorf("operator timings = %v", snap.Operators)
+	}
+	// /v1/metrics serves the same data over HTTP.
+	code, mbody := get(t, h, "/v1/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics code = %d", code)
+	}
+	reqs := mbody["requests"].(map[string]any)
+	if _, ok := reqs["/v1/query"]; !ok {
+		t.Errorf("metrics missing /v1/query: %v", reqs)
+	}
+}
+
+// TestConcurrentRequests exercises /v1/query and /v1/window in parallel
+// for the race detector.
+func TestConcurrentRequests(t *testing.T) {
+	h := testServer(t).Handler()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				var url string
+				if (g+i)%2 == 0 {
+					url = "/v1/query?q=SELECT+airline,+travelled(flight)+AS+d+FROM+planes+ORDER+BY+d+DESC+LIMIT+5"
+				} else {
+					url = "/v1/window?x1=0&y1=0&x2=500&y2=500&t1=0&t2=500&limit=10"
+				}
+				req := httptest.NewRequest("GET", url, nil)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("%s = %d: %s", url, rec.Code, rec.Body.String())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := testMetricsTotal(t, h)
+	if snap < 80 {
+		t.Errorf("metrics counted %d requests, want 80", snap)
+	}
+}
+
+// testMetricsTotal sums the per-route request counts via /v1/metrics.
+func testMetricsTotal(t *testing.T, h http.Handler) int {
+	t.Helper()
+	_, body := get(t, h, "/v1/metrics")
+	total := 0
+	for _, v := range body["requests"].(map[string]any) {
+		total += int(v.(map[string]any)["count"].(float64))
+	}
+	return total
 }
 
 func TestNewValidations(t *testing.T) {
-	if _, err := New(db.Catalog{}, []string{"a"}, nil); err == nil {
+	if _, err := New(Config{ObjectIDs: []string{"a"}}); err == nil {
 		t.Error("mismatched ids accepted")
+	}
+}
+
+func TestPanicRecovery(t *testing.T) {
+	// A relation value of the wrong dynamic type makes rendering panic;
+	// the middleware must convert that into a 500 envelope.
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.instrument("/boom", func(http.ResponseWriter, *http.Request) { panic("boom") })
+	req := httptest.NewRequest("GET", "/boom", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	envelope(t, body)
+	if s.Metrics().Snapshot().Requests["/boom"].Errors != 1 {
+		t.Error("panic not counted")
 	}
 }
