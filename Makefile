@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race verify bench docs
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The tier-1 recipe (ROADMAP.md): build, vet, race-enabled tests.
+verify:
+	./scripts/verify.sh
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+docs:
+	$(GO) run ./cmd/motables -ops
+	$(GO) run ./cmd/mofigures -svg docs/figures

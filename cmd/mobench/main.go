@@ -5,8 +5,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 	"runtime"
 	"time"
 
@@ -14,6 +16,7 @@ import (
 	"movingdb/internal/db"
 	"movingdb/internal/geom"
 	"movingdb/internal/index"
+	"movingdb/internal/ingest"
 	"movingdb/internal/mapping"
 	"movingdb/internal/moving"
 	"movingdb/internal/storage"
@@ -22,16 +25,21 @@ import (
 	"movingdb/internal/workload"
 )
 
-var quick bool
+var (
+	quick bool
+	out   string
+)
 
 func main() {
 	flag.BoolVar(&quick, "quick", false, "smaller sweeps")
-	exp := flag.String("exp", "all", "experiment id: E1..E6 or all")
+	flag.StringVar(&out, "out", "BENCH_PR2.json", "file for E8's machine-readable results (empty disables)")
+	exp := flag.String("exp", "all", "experiment id: E1..E8 or all")
 	flag.Parse()
 
 	run := map[string]func(){
 		"E1": e1AtInstant, "E2": e2Inside, "E3": e3Equality,
 		"E4": e4Storage, "E5": e5EndToEnd, "E6": e6Refinement, "E7": e7Window,
+		"E8": e8Ingest,
 	}
 	if *exp != "all" {
 		f, ok := run[*exp]
@@ -42,7 +50,7 @@ func main() {
 		f()
 		return
 	}
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"} {
 		run[id]()
 		fmt.Println()
 	}
@@ -346,5 +354,135 @@ func e7Window() {
 			k++
 		})
 		fmt.Printf("%8d %14v %14v %9.1fx\n", objs, indexed, scan, float64(scan)/float64(indexed))
+	}
+}
+
+// E8 — PR 2: the live ingestion write path and the dynamic index. Two
+// measurements: (a) append throughput through the full pipeline
+// (validation, WAL, batching, compaction, delta-index insert) by POST
+// batch size; (b) window-query latency as a function of the fraction of
+// index entries still in the delta buffer (0% = fully rebuilt tree).
+// With -out, the results are also written as JSON (BENCH_PR2.json).
+func e8Ingest() {
+	fmt.Println("E8 (extension): live trajectory ingestion — append throughput and delta-index search")
+	type appendRow struct {
+		BatchSize    int     `json:"batch_size"`
+		Observations int     `json:"observations"`
+		ObsPerSec    float64 `json:"obs_per_sec"`
+		Compacted    int64   `json:"compacted"`
+		Units        int     `json:"units"`
+		WALPages     int     `json:"wal_pages"`
+	}
+	type windowRow struct {
+		DeltaFraction float64 `json:"delta_fraction"`
+		BaseEntries   int     `json:"base_entries"`
+		DeltaEntries  int     `json:"delta_entries"`
+		QueryMicros   float64 `json:"query_micros"`
+	}
+	var results struct {
+		Append []appendRow `json:"append_throughput"`
+		Window []windowRow `json:"window_search"`
+	}
+
+	total := 200000
+	if quick {
+		total = 20000
+	}
+	const objects = 64
+	g := workload.New(81)
+	stream := g.ObservationStream("o", objects, total/objects, 0, 1, 5)
+	obsns := make([]ingest.Observation, len(stream))
+	for i, w := range stream {
+		obsns[i] = ingest.Observation{ObjectID: w.ID, T: float64(w.T), X: w.P.X, Y: w.P.Y}
+	}
+	fmt.Printf("%10s %12s %14s %12s %10s\n", "batch", "obs", "obs/s", "compacted", "units")
+	for _, batchSize := range []int{1, 32, 256} {
+		p, err := ingest.Open(ingest.Config{FlushSize: 64, MaxAge: time.Hour, MaxQueued: 1 << 30})
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		for lo := 0; lo < len(obsns); lo += batchSize {
+			hi := min(lo+batchSize, len(obsns))
+			if _, err := p.Ingest(obsns[lo:hi]); err != nil {
+				panic(err)
+			}
+		}
+		p.Flush()
+		el := time.Since(start)
+		st := p.Stats()
+		p.Close()
+		row := appendRow{
+			BatchSize:    batchSize,
+			Observations: len(obsns),
+			ObsPerSec:    float64(len(obsns)) / el.Seconds(),
+			Compacted:    st.Compacted,
+			Units:        st.Units,
+			WALPages:     st.WALPages,
+		}
+		results.Append = append(results.Append, row)
+		fmt.Printf("%10d %12d %14.0f %12d %10d\n", row.BatchSize, row.Observations, row.ObsPerSec, row.Compacted, row.Units)
+	}
+
+	fmt.Println("\nwindow query latency by delta-buffer fraction (same data, merge deferred):")
+	fmt.Printf("%10s %12s %12s %14s\n", "delta", "base", "delta ents", "query/op")
+	searchTotal := 20000
+	if quick {
+		searchTotal = 6000
+	}
+	const searchObjects = 100
+	sg := workload.New(82)
+	sstream := sg.ObservationStream("s", searchObjects, searchTotal/searchObjects, 0, 1, 50)
+	sobs := make([]ingest.Observation, len(sstream))
+	for i, w := range sstream {
+		sobs[i] = ingest.Observation{ObjectID: w.ID, T: float64(w.T), X: w.P.X, Y: w.P.Y}
+	}
+	for _, frac := range []float64{0, 0.10, 0.50} {
+		p, err := ingest.Open(ingest.Config{FlushSize: 1, MaxAge: time.Hour, MaxQueued: 1 << 30, MergeThreshold: 1 << 30})
+		if err != nil {
+			panic(err)
+		}
+		split := int(float64(len(sobs)) * (1 - frac))
+		push := func(part []ingest.Observation) {
+			for lo := 0; lo < len(part); lo += 512 {
+				if _, err := p.Ingest(part[lo:min(lo+512, len(part))]); err != nil {
+					panic(err)
+				}
+			}
+			p.Flush()
+		}
+		push(sobs[:split])
+		p.Store().ForceMergeIndex()
+		push(sobs[split:])
+		st := p.Stats()
+		k := 0
+		el := timeIt(func() {
+			x := float64((k * 131) % 900)
+			y := float64((k * 57) % 900)
+			rect := geom.Rect{MinX: x, MinY: y, MaxX: x + 100, MaxY: y + 100}
+			p.Window(rect, temporal.Closed(0, 50))
+			k++
+		})
+		p.Close()
+		row := windowRow{
+			DeltaFraction: frac,
+			BaseEntries:   st.BaseEntries,
+			DeltaEntries:  st.DeltaEntries,
+			QueryMicros:   float64(el.Nanoseconds()) / 1e3,
+		}
+		results.Window = append(results.Window, row)
+		fmt.Printf("%9.0f%% %12d %12d %14v\n", frac*100, row.BaseEntries, row.DeltaEntries, el)
+	}
+
+	if out != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			fmt.Printf("write %s: %v\n", out, err)
+			return
+		}
+		fmt.Printf("\nwrote %s\n", out)
 	}
 }

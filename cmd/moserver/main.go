@@ -7,6 +7,12 @@
 //	GET /v1/query?q=SELECT+...&timeout_ms=    the Section 2 SQL dialect
 //	GET /v1/metrics                           request/operator metrics
 //	GET /v1/healthz                           liveness
+//	POST /v1/ingest                           live observations (with -ingest)
+//
+// With -ingest, the server runs the live trajectory ingestion pipeline:
+// POST /v1/ingest enqueues observation batches (202 acknowledged, 429
+// under backpressure), acknowledged batches are write-ahead logged, and
+// the object-reading routes answer from the live store.
 //
 // Legacy unversioned routes remain as deprecated aliases. The process
 // shuts down gracefully on SIGINT/SIGTERM.
@@ -30,7 +36,9 @@ import (
 	"time"
 
 	"movingdb/internal/db"
+	"movingdb/internal/ingest"
 	"movingdb/internal/moving"
+	"movingdb/internal/obs"
 	"movingdb/internal/server"
 	"movingdb/internal/workload"
 )
@@ -49,6 +57,10 @@ func main() {
 	maxQueryLen := flag.Int("max-query-len", 8192, "maximum ?q= length in bytes")
 	maxBody := flag.Int64("max-body", 1<<20, "maximum request body in bytes")
 	slowQuery := flag.Duration("slow-query", 500*time.Millisecond, "slow-query log threshold")
+	liveIngest := flag.Bool("ingest", false, "enable the live ingestion pipeline (POST /v1/ingest)")
+	flushSize := flag.Int("ingest-flush-size", 32, "observations per object buffered before a flush")
+	flushAge := flag.Duration("ingest-flush-age", 100*time.Millisecond, "maximum buffering delay before a flush")
+	maxQueued := flag.Int("ingest-max-queued", 65536, "queued observations before backpressure (429)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "moserver ", log.LstdFlags)
@@ -75,7 +87,10 @@ func main() {
 		stormRel.MustInsert(db.Tuple{names[i%len(names)], g.Storm(0, 40, 10, 6)})
 	}
 
-	s, err := server.New(server.Config{
+	// One shared registry so /v1/metrics carries both request and ingest
+	// statistics.
+	metrics := obs.New(0)
+	cfg := server.Config{
 		Catalog:            db.Catalog{"planes": planes, "storms": stormRel},
 		ObjectIDs:          ids,
 		Objects:            objects,
@@ -85,7 +100,24 @@ func main() {
 		MaxBodyBytes:       *maxBody,
 		SlowQueryThreshold: *slowQuery,
 		Logger:             logger,
-	})
+		Metrics:            metrics,
+	}
+	if *liveIngest {
+		pipe, err := ingest.Open(ingest.Config{
+			SeedIDs:   ids,
+			Seeds:     objects,
+			FlushSize: *flushSize,
+			MaxAge:    *flushAge,
+			MaxQueued: *maxQueued,
+			Metrics:   metrics,
+		})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		defer pipe.Close()
+		cfg.Ingest = pipe
+	}
+	s, err := server.New(cfg)
 	if err != nil {
 		logger.Fatal(err)
 	}
@@ -105,7 +137,11 @@ func main() {
 
 	done := make(chan error, 1)
 	go func() {
-		fmt.Printf("moving objects DB: %d flights, %d storms\nlistening on http://%s (v1 API; metrics at /v1/metrics)\n", *n, *storms, *addr)
+		mode := "read-only"
+		if *liveIngest {
+			mode = "live ingest (POST /v1/ingest)"
+		}
+		fmt.Printf("moving objects DB: %d flights, %d storms, %s\nlistening on http://%s (v1 API; metrics at /v1/metrics)\n", *n, *storms, mode, *addr)
 		done <- srv.ListenAndServe()
 	}()
 

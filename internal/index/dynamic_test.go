@@ -1,0 +1,104 @@
+package index
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// TestDynamicSearchMatchesScan cross-checks the two-part search (base
+// tree + delta buffer) against a scan over all entries, at several
+// base/delta splits including empty base and empty delta.
+func TestDynamicSearchMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	entries := randomCubes(rng, 3000)
+	for _, split := range []int{0, 1, 1500, 2999, 3000} {
+		d := NewDynamic(Build(entries[:split]), 1<<30)
+		if merged := d.InsertBatch(entries[split:]); merged {
+			t.Fatalf("split=%d: unexpected merge below threshold", split)
+		}
+		if d.Len() != len(entries) {
+			t.Fatalf("split=%d: Len=%d", split, d.Len())
+		}
+		for trial := 0; trial < 30; trial++ {
+			q := randomCubes(rng, 1)[0].Cube
+			got, _ := d.Search(q, nil)
+			var want []int64
+			for _, e := range entries {
+				if e.Cube.Intersects(q) {
+					want = append(want, e.ID)
+				}
+			}
+			slices.Sort(got)
+			slices.Sort(want)
+			if !slices.Equal(got, want) {
+				t.Fatalf("split=%d trial=%d: got %d hits, want %d", split, trial, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestDynamicMergeValidate is the satellite coverage: trees rebuilt
+// from merged delta+base entry sets must pass the R-tree invariant
+// checks, across repeated merge cycles.
+func TestDynamicMergeValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := NewDynamic(Build(randomCubes(rng, 100)), 64)
+	total := 100
+	for round := 0; round < 6; round++ {
+		batch := randomCubes(rng, 50)
+		for i := range batch {
+			batch[i].ID = int64(total + i) // keep ids distinct across rounds
+		}
+		d.InsertBatch(batch)
+		total += len(batch)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	if d.Merges() == 0 {
+		t.Fatal("threshold of 64 with 300 inserts must have merged")
+	}
+	if d.DeltaLen() > 64 {
+		t.Fatalf("delta not folded: %d entries", d.DeltaLen())
+	}
+	if d.Len() != total {
+		t.Fatalf("entries lost across merges: %d != %d", d.Len(), total)
+	}
+	d.ForceMerge()
+	if d.DeltaLen() != 0 || d.BaseLen() != total {
+		t.Fatalf("force merge: base=%d delta=%d", d.BaseLen(), d.DeltaLen())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSearchReusedOutSlice is the regression satellite: Search with a
+// reused (non-empty capacity, length reset) out slice must return
+// exactly what a fresh slice returns, for both the plain R-tree and
+// the dynamic index.
+func TestSearchReusedOutSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	entries := randomCubes(rng, 2000)
+	tr := Build(entries[:1600])
+	d := NewDynamic(tr, 1<<30)
+	d.InsertBatch(entries[1600:])
+
+	var reusedTree, reusedDyn []int64
+	for trial := 0; trial < 40; trial++ {
+		q := randomCubes(rng, 1)[0].Cube
+
+		fresh, _ := tr.Search(q, nil)
+		reusedTree, _ = tr.Search(q, reusedTree[:0])
+		if !slices.Equal(fresh, reusedTree) {
+			t.Fatalf("trial %d: rtree reused-slice result differs: %v vs %v", trial, reusedTree, fresh)
+		}
+
+		freshDyn, _ := d.Search(q, nil)
+		reusedDyn, _ = d.Search(q, reusedDyn[:0])
+		if !slices.Equal(freshDyn, reusedDyn) {
+			t.Fatalf("trial %d: dynamic reused-slice result differs: %v vs %v", trial, reusedDyn, freshDyn)
+		}
+	}
+}

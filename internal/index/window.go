@@ -6,6 +6,7 @@ import (
 	"movingdb/internal/geom"
 	"movingdb/internal/moving"
 	"movingdb/internal/temporal"
+	"movingdb/internal/units"
 )
 
 // MPointIndex indexes the units of a collection of moving points for
@@ -61,6 +62,14 @@ func (ix *MPointIndex) Window(rect geom.Rect, iv temporal.Interval) []int {
 		}
 	}
 	return out
+}
+
+// UPointInWindow reports exactly whether the unit is inside rect at
+// some instant of iv — the refinement predicate behind Window, exported
+// for the live ingestion path, which refines delta-index candidates
+// against the current unit data of its object store.
+func UPointInWindow(u units.UPoint, rect geom.Rect, iv temporal.Interval) bool {
+	return unitInWindow(u.M.X0, u.M.X1, u.M.Y0, u.M.Y1, rect, u.Iv, iv)
 }
 
 // unitInWindow decides exactly whether the linear motion is inside rect

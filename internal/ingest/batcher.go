@@ -1,0 +1,165 @@
+package ingest
+
+import (
+	"sync"
+	"time"
+)
+
+// batcher buffers admitted observations per object and hands each
+// object's run to the apply sink when the buffer reaches flushSize or
+// its oldest observation has waited maxAge. The queue is bounded by
+// maxQueued observations across all objects; admission past the bound
+// fails with ErrBackpressure before anything is logged or buffered.
+//
+// Admission runs the WAL append under the batcher lock, so the WAL's
+// sequence order is exactly the order observations enter the buffers —
+// replay therefore reproduces the same per-object observation order the
+// live appender saw, and with it the same drop/merge decisions.
+type batcher struct {
+	mu        sync.Mutex
+	bufs      map[string]*objBuf
+	order     []string // objects with live buffers, oldest-admission first
+	queued    int
+	closed    bool
+	flushSize int
+	maxQueued int
+	maxAge    time.Duration
+	apply     func([]Observation)
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+type objBuf struct {
+	obs   []Observation
+	first time.Time // admission time of the oldest buffered observation
+}
+
+func newBatcher(flushSize, maxQueued int, maxAge time.Duration, apply func([]Observation)) *batcher {
+	b := &batcher{
+		bufs:      make(map[string]*objBuf),
+		flushSize: flushSize,
+		maxQueued: maxQueued,
+		maxAge:    maxAge,
+		apply:     apply,
+		done:      make(chan struct{}),
+	}
+	interval := max(maxAge/4, time.Millisecond)
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-b.done:
+				return
+			case <-tick.C:
+				b.flushAged()
+			}
+		}
+	}()
+	return b
+}
+
+// enqueue admits one batch: bound check, WAL append (log), then
+// buffering, all under the lock so acknowledged order equals log order.
+// Objects whose buffers reach flushSize are flushed before returning,
+// still under the lock — the size trigger is synchronous, only the age
+// trigger rides the ticker.
+func (b *batcher) enqueue(batch []Observation, log func([]Observation) (uint64, error)) (uint64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0, ErrClosed
+	}
+	if b.queued+len(batch) > b.maxQueued {
+		return 0, ErrBackpressure
+	}
+	seq, err := log(batch)
+	if err != nil {
+		return 0, err
+	}
+	now := time.Now()
+	for _, o := range batch {
+		buf := b.bufs[o.ObjectID]
+		if buf == nil {
+			buf = &objBuf{first: now}
+			b.bufs[o.ObjectID] = buf
+			b.order = append(b.order, o.ObjectID)
+		}
+		buf.obs = append(buf.obs, o)
+		b.queued++
+	}
+	for _, o := range batch {
+		if buf := b.bufs[o.ObjectID]; buf != nil && len(buf.obs) >= b.flushSize {
+			b.flushLocked(o.ObjectID, buf)
+		}
+	}
+	return seq, nil
+}
+
+// flushLocked hands one object's buffered run to the apply sink and
+// releases its queue share. Caller holds b.mu.
+func (b *batcher) flushLocked(id string, buf *objBuf) {
+	delete(b.bufs, id)
+	b.queued -= len(buf.obs)
+	b.apply(buf.obs)
+}
+
+// flushAged flushes every buffer whose oldest observation has waited at
+// least maxAge.
+func (b *batcher) flushAged() {
+	cutoff := time.Now().Add(-b.maxAge)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.flushOrdered(func(buf *objBuf) bool { return !buf.first.After(cutoff) })
+}
+
+// flushAll synchronously drains every buffer (also used for the final
+// drain after close).
+func (b *batcher) flushAll() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.flushOrdered(func(*objBuf) bool { return true })
+}
+
+// flushOrdered flushes the buffers selected by keep-predicate pred in
+// admission order, compacting the order list. Caller holds b.mu.
+func (b *batcher) flushOrdered(pred func(*objBuf) bool) {
+	remaining := b.order[:0]
+	seen := make(map[string]bool, len(b.order))
+	for _, id := range b.order {
+		if seen[id] {
+			continue // duplicate entry from a size-flush/re-admit cycle
+		}
+		seen[id] = true
+		buf := b.bufs[id]
+		if buf == nil {
+			continue // already flushed by the size trigger
+		}
+		if pred(buf) {
+			b.flushLocked(id, buf)
+		} else {
+			remaining = append(remaining, id)
+		}
+	}
+	b.order = remaining
+}
+
+// close stops the ticker goroutine and drains the remaining buffers.
+func (b *batcher) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	close(b.done)
+	b.wg.Wait()
+	b.flushAll()
+}
+
+// depth returns the number of buffered observations.
+func (b *batcher) depth() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.queued
+}

@@ -1,0 +1,238 @@
+// Package ingest is the streaming write path of the moving objects
+// database: it turns batches of timestamped observations
+// (object, t, x, y) into upoint units appended to per-object mpoint
+// mappings, while preserving the §3.3 invariants that make the sliced
+// representation queryable — pairwise-disjoint, temporally ordered unit
+// intervals, and the adjacent-implies-distinct minimality rule, applied
+// online as compaction (an incoming unit whose linear motion continues
+// its predecessor's is merged into it).
+//
+// The pipeline has four parts:
+//
+//   - a batcher with a bounded queue and backpressure, grouping
+//     observations per object and flushing on size or age;
+//   - an appender (the Store) extending each object's mapping under the
+//     invariants, with online compaction;
+//   - a write-ahead log on top of storage.PageStore: every acknowledged
+//     batch is logged before the ack, and Open replays the log, so
+//     acknowledged observations survive a crash;
+//   - incremental index maintenance: fresh bounding cubes go to a delta
+//     buffer (index.Dynamic) searched alongside the immutable STR tree
+//     and folded into a rebuilt tree when the buffer exceeds a
+//     threshold, LSM-style, so window queries stay correct mid-ingest.
+//
+// Lock order across the pipeline is batcher → store → index; readers
+// take the store or index lock only, never nested, so queries never
+// deadlock against writes.
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"movingdb/internal/geom"
+	"movingdb/internal/moving"
+	"movingdb/internal/obs"
+	"movingdb/internal/storage"
+	"movingdb/internal/temporal"
+)
+
+// Observation is one timestamped position report for one object — the
+// wire unit of live trajectory ingestion (also the JSON shape of the
+// POST /v1/ingest body elements).
+type Observation struct {
+	ObjectID string  `json:"id"`
+	T        float64 `json:"t"`
+	X        float64 `json:"x"`
+	Y        float64 `json:"y"`
+}
+
+// Errors surfaced by the write path. ErrBackpressure maps to HTTP 429,
+// ErrInvalidObservation to 400.
+var (
+	ErrBackpressure       = errors.New("ingest: write queue full")
+	ErrInvalidObservation = errors.New("ingest: invalid observation")
+	ErrClosed             = errors.New("ingest: pipeline closed")
+)
+
+// Config assembles a Pipeline. Zero-valued tuning fields get defaults;
+// only the seed data and the WAL medium carry state.
+type Config struct {
+	// SeedIDs and Seeds preload the object store (parallel slices);
+	// their units form the initial base index tree. Live observations
+	// may extend seeded objects.
+	SeedIDs []string
+	Seeds   []moving.MPoint
+	// Log is the page store backing the write-ahead log. Existing
+	// records are replayed by Open; nil creates a fresh store (useful
+	// for tests and benchmarks that do not exercise recovery).
+	Log *storage.PageStore
+	// FlushSize flushes an object's buffered observations once it
+	// reaches this many. Default 32.
+	FlushSize int
+	// MaxAge flushes an object's buffered observations once the oldest
+	// has waited this long. Default 100ms.
+	MaxAge time.Duration
+	// MaxQueued bounds the total buffered observations across objects;
+	// past it, Ingest returns ErrBackpressure. Default 65536.
+	MaxQueued int
+	// MergeThreshold is the delta-buffer size at which the index folds
+	// into a rebuilt base tree. Default index.DefaultMergeThreshold.
+	MergeThreshold int
+	// Metrics receives ingest counters and flush latencies (nil-safe).
+	Metrics *obs.Metrics
+}
+
+func (c Config) withDefaults() Config {
+	if c.Log == nil {
+		c.Log = storage.NewPageStore()
+	}
+	if c.FlushSize == 0 {
+		c.FlushSize = 32
+	}
+	if c.MaxAge == 0 {
+		c.MaxAge = 100 * time.Millisecond
+	}
+	if c.MaxQueued == 0 {
+		c.MaxQueued = 65536
+	}
+	return c
+}
+
+// Pipeline is the assembled write path. Queries go straight to the
+// object store and its dynamic index; writes flow gate → WAL → batcher
+// → appender → delta index.
+type Pipeline struct {
+	store     *Store
+	wal       *wal
+	bat       *batcher
+	metrics   *obs.Metrics
+	closeOnce sync.Once
+}
+
+// Open builds the pipeline: it seeds the object store, replays any
+// write-ahead log records found in cfg.Log (restoring every batch that
+// was acknowledged before a crash), and starts the flush loop.
+func Open(cfg Config) (*Pipeline, error) {
+	if len(cfg.SeedIDs) != len(cfg.Seeds) {
+		return nil, errors.New("ingest: seed ids and objects length mismatch")
+	}
+	cfg = cfg.withDefaults()
+	st, err := newStore(cfg.SeedIDs, cfg.Seeds, cfg.MergeThreshold, cfg.Metrics)
+	if err != nil {
+		return nil, err
+	}
+	w, batches, err := openWAL(cfg.Log, cfg.Metrics)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range batches {
+		st.Apply(b)
+	}
+	p := &Pipeline{store: st, wal: w, metrics: cfg.Metrics}
+	p.bat = newBatcher(cfg.FlushSize, cfg.MaxQueued, cfg.MaxAge, p.applyFlush)
+	return p, nil
+}
+
+// applyFlush is the batcher's flush sink: it applies one object's
+// buffered run of observations to the store and records the latency.
+func (p *Pipeline) applyFlush(batch []Observation) {
+	start := time.Now()
+	applied, dropped, compacted := p.store.Apply(batch)
+	p.metrics.RecordIngestFlush(applied, dropped, compacted, time.Since(start))
+}
+
+// Ingest validates and admits one batch. On success the batch is in the
+// write-ahead log — it survives a crash from here on — and buffered for
+// apply; the returned sequence number is its WAL position. A full queue
+// returns ErrBackpressure with nothing logged.
+func (p *Pipeline) Ingest(batch []Observation) (uint64, error) {
+	if len(batch) == 0 {
+		return 0, fmt.Errorf("%w: empty batch", ErrInvalidObservation)
+	}
+	for i, o := range batch {
+		if o.ObjectID == "" {
+			return 0, fmt.Errorf("%w: observation %d has no object id", ErrInvalidObservation, i)
+		}
+		if !finite(o.T) || !finite(o.X) || !finite(o.Y) {
+			return 0, fmt.Errorf("%w: observation %d (%q) has a non-finite field", ErrInvalidObservation, i, o.ObjectID)
+		}
+	}
+	seq, err := p.bat.enqueue(batch, p.wal.append)
+	switch {
+	case err == nil:
+		p.metrics.RecordIngestBatch(len(batch))
+	case errors.Is(err, ErrBackpressure):
+		p.metrics.RecordIngestBackpressure()
+	}
+	return seq, err
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Flush synchronously drains every buffered observation into the store,
+// establishing read-your-writes for everything acknowledged so far.
+func (p *Pipeline) Flush() { p.bat.flushAll() }
+
+// Close stops the flush loop and drains the remaining buffers. The
+// pipeline rejects new batches afterwards; queries keep working.
+func (p *Pipeline) Close() { p.closeOnce.Do(p.bat.close) }
+
+// Store exposes the object store for benchmarks and diagnostics.
+func (p *Pipeline) Store() *Store { return p.store }
+
+// Window reports the ids of objects inside rect at some instant of iv,
+// via the dynamic index (base tree + delta buffer) with exact
+// refinement, in ascending registration order.
+func (p *Pipeline) Window(rect geom.Rect, iv temporal.Interval) []string {
+	return p.store.Window(rect, iv)
+}
+
+// AtInstant returns the position of every object defined at t.
+func (p *Pipeline) AtInstant(t temporal.Instant) []Position {
+	return p.store.AtInstant(t)
+}
+
+// Summaries lists the tracked objects in registration order.
+func (p *Pipeline) Summaries() []ObjectSummary { return p.store.Summaries() }
+
+// Snapshot returns a copy of one object's mapping.
+func (p *Pipeline) Snapshot(id string) (moving.MPoint, bool) { return p.store.Snapshot(id) }
+
+// Stats is a point-in-time view of the pipeline.
+type Stats struct {
+	Objects      int    `json:"objects"`
+	Units        int    `json:"units"`
+	QueueDepth   int    `json:"queue_depth"`
+	Applied      int64  `json:"applied"`
+	Dropped      int64  `json:"dropped"`
+	Compacted    int64  `json:"compacted"`
+	BaseEntries  int    `json:"base_entries"`
+	DeltaEntries int    `json:"delta_entries"`
+	IndexMerges  int    `json:"index_merges"`
+	WALSeq       uint64 `json:"wal_seq"`
+	WALPages     int    `json:"wal_pages"`
+}
+
+// Stats snapshots the pipeline counters.
+func (p *Pipeline) Stats() Stats {
+	applied, dropped, compacted := p.store.Counters()
+	base, delta, merges := p.store.IndexStats()
+	seq, pages := p.wal.stats()
+	return Stats{
+		Objects:      p.store.Len(),
+		Units:        p.store.UnitCount(),
+		QueueDepth:   p.bat.depth(),
+		Applied:      applied,
+		Dropped:      dropped,
+		Compacted:    compacted,
+		BaseEntries:  base,
+		DeltaEntries: delta,
+		IndexMerges:  merges,
+		WALSeq:       seq,
+		WALPages:     pages,
+	}
+}

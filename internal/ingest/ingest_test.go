@@ -1,0 +1,392 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"movingdb/internal/geom"
+	"movingdb/internal/index"
+	"movingdb/internal/mapping"
+	"movingdb/internal/moving"
+	"movingdb/internal/obs"
+	"movingdb/internal/temporal"
+	"movingdb/internal/units"
+	"movingdb/internal/workload"
+)
+
+// toObservations converts the workload's stream shape to the wire
+// shape.
+func toObservations(ws []workload.Observation) []Observation {
+	out := make([]Observation, len(ws))
+	for i, w := range ws {
+		out[i] = Observation{ObjectID: w.ID, T: float64(w.T), X: w.P.X, Y: w.P.Y}
+	}
+	return out
+}
+
+// feed pushes the stream through the pipeline in batches of the given
+// size, retrying on backpressure by flushing, then drains.
+func feed(t *testing.T, p *Pipeline, obsns []Observation, batchSize int) {
+	t.Helper()
+	for lo := 0; lo < len(obsns); lo += batchSize {
+		hi := min(lo+batchSize, len(obsns))
+		if _, err := p.Ingest(obsns[lo:hi]); err != nil {
+			if errors.Is(err, ErrBackpressure) {
+				p.Flush()
+				if _, err = p.Ingest(obsns[lo:hi]); err == nil {
+					continue
+				}
+			}
+			t.Fatalf("ingest batch [%d:%d): %v", lo, hi, err)
+		}
+	}
+	p.Flush()
+}
+
+// TestOnlineMatchesOffline is the acceptance property: the mapping an
+// object accumulates through the live append path is unit-for-unit
+// identical to the offline sliced construction (MPointFromSamples) over
+// the same observation sequence — same intervals, same closure flags,
+// same motion coefficients, same compaction decisions.
+func TestOnlineMatchesOffline(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 99} {
+		for _, batchSize := range []int{1, 3, 17, 1000} {
+			t.Run(fmt.Sprintf("seed=%d/batch=%d", seed, batchSize), func(t *testing.T) {
+				g := workload.New(seed)
+				stream := g.ObservationStream("obj", 8, 60, 0, 1, 5)
+				p, err := Open(Config{FlushSize: 5, MaxAge: time.Hour})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer p.Close()
+				feed(t, p, toObservations(stream), batchSize)
+
+				perObject := map[string][]moving.Sample{}
+				var order []string
+				for _, w := range stream {
+					if _, ok := perObject[w.ID]; !ok {
+						order = append(order, w.ID)
+					}
+					perObject[w.ID] = append(perObject[w.ID], moving.Sample{T: w.T, P: w.P})
+				}
+				for _, id := range order {
+					want, err := moving.MPointFromSamples(perObject[id])
+					if err != nil {
+						t.Fatalf("offline build %s: %v", id, err)
+					}
+					got, ok := p.Snapshot(id)
+					if !ok {
+						t.Fatalf("object %s missing from live store", id)
+					}
+					if err := got.M.Validate(); err != nil {
+						t.Fatalf("%s: live mapping invalid: %v", id, err)
+					}
+					gu, wu := got.M.Units(), want.M.Units()
+					if len(gu) != len(wu) {
+						t.Fatalf("%s: %d live units, %d offline", id, len(gu), len(wu))
+					}
+					for i := range gu {
+						if gu[i] != wu[i] {
+							t.Fatalf("%s unit %d: live %v, offline %v", id, i, gu[i], wu[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCompactionMergesContinuedMotion checks the online minimality
+// rule: observations continuing the same linear motion extend the
+// previous unit instead of adding one, and a change of motion starts a
+// new unit.
+func TestCompactionMergesContinuedMotion(t *testing.T) {
+	p, err := Open(Config{FlushSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	send := func(ts, x, y float64) {
+		t.Helper()
+		if _, err := p.Ingest([]Observation{{ObjectID: "a", T: ts, X: x, Y: y}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Constant velocity (1, 0): one unit regardless of sample count.
+	for i := 0; i <= 4; i++ {
+		send(float64(i), float64(i), 0)
+	}
+	p.Flush()
+	mp, _ := p.Snapshot("a")
+	if n := mp.M.Len(); n != 1 {
+		t.Fatalf("collinear run: want 1 unit, got %d", n)
+	}
+	// Turn: second unit.
+	send(5, 4, 1)
+	// Rest at (4, 1): third unit, then still third after more resting.
+	send(6, 4, 1)
+	send(7, 4, 1)
+	p.Flush()
+	mp, _ = p.Snapshot("a")
+	if n := mp.M.Len(); n != 3 {
+		t.Fatalf("turn+rest: want 3 units, got %d", n)
+	}
+	if _, _, compacted := p.store.Counters(); compacted != 4 {
+		t.Fatalf("want 4 compactions (3 collinear + 1 rest), got %d", compacted)
+	}
+	if err := mp.M.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The merged mapping still evaluates correctly mid-unit.
+	if v := mp.AtInstant(2.5); !v.Defined() || v.P != geom.Pt(2.5, 0) {
+		t.Fatalf("atinstant on merged unit: got %+v", v)
+	}
+}
+
+// TestNonMonotoneDropped checks that observations at or before an
+// object's latest time are dropped, counted, and leave the mapping
+// valid.
+func TestNonMonotoneDropped(t *testing.T) {
+	p, err := Open(Config{FlushSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	batch := []Observation{
+		{ObjectID: "a", T: 1, X: 0, Y: 0},
+		{ObjectID: "a", T: 2, X: 1, Y: 0},
+		{ObjectID: "a", T: 2, X: 9, Y: 9}, // duplicate time
+		{ObjectID: "a", T: 1.5, X: 9, Y: 9}, // goes back
+		{ObjectID: "a", T: 3, X: 2, Y: 0},
+	}
+	if _, err := p.Ingest(batch); err != nil {
+		t.Fatal(err)
+	}
+	p.Flush()
+	applied, dropped, _ := p.store.Counters()
+	if applied != 3 || dropped != 2 {
+		t.Fatalf("want applied=3 dropped=2, got %d/%d", applied, dropped)
+	}
+	mp, _ := p.Snapshot("a")
+	if err := mp.M.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v := mp.AtInstant(3); v.P != geom.Pt(2, 0) {
+		t.Fatalf("final position: %+v", v)
+	}
+}
+
+// TestBackpressure checks the bounded queue: past MaxQueued, Ingest
+// fails with ErrBackpressure, nothing is logged, and the queue drains
+// on Flush.
+func TestBackpressure(t *testing.T) {
+	m := obs.New(0)
+	p, err := Open(Config{FlushSize: 1 << 20, MaxAge: time.Hour, MaxQueued: 4, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ok := []Observation{
+		{ObjectID: "a", T: 1, X: 0, Y: 0}, {ObjectID: "a", T: 2, X: 1, Y: 0},
+		{ObjectID: "b", T: 1, X: 0, Y: 0}, {ObjectID: "b", T: 2, X: 1, Y: 0},
+	}
+	seq, err := p.Ingest(ok)
+	if err != nil || seq != 1 {
+		t.Fatalf("first batch: seq=%d err=%v", seq, err)
+	}
+	if _, err := p.Ingest([]Observation{{ObjectID: "c", T: 1, X: 0, Y: 0}}); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("want ErrBackpressure, got %v", err)
+	}
+	if s := p.Stats(); s.WALSeq != 1 {
+		t.Fatalf("rejected batch must not reach the WAL: seq=%d", s.WALSeq)
+	}
+	p.Flush()
+	if _, err := p.Ingest([]Observation{{ObjectID: "c", T: 1, X: 0, Y: 0}}); err != nil {
+		t.Fatalf("after drain: %v", err)
+	}
+	snap := m.Snapshot().Ingest
+	if snap.Backpressure != 1 || snap.Batches != 2 {
+		t.Fatalf("metrics: %+v", snap)
+	}
+}
+
+// TestValidation rejects malformed batches before they touch the log.
+func TestValidation(t *testing.T) {
+	p, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for _, bad := range [][]Observation{
+		nil,
+		{},
+		{{ObjectID: "", T: 1}},
+		{{ObjectID: "a", T: math.NaN()}},
+		{{ObjectID: "a", T: 1, X: math.Inf(1)}},
+	} {
+		if _, err := p.Ingest(bad); !errors.Is(err, ErrInvalidObservation) {
+			t.Fatalf("batch %v: want ErrInvalidObservation, got %v", bad, err)
+		}
+	}
+	if s := p.Stats(); s.WALSeq != 0 {
+		t.Fatalf("invalid batches must not reach the WAL: seq=%d", s.WALSeq)
+	}
+}
+
+// TestSeededPipelineExtends checks that live observations extend seeded
+// (offline-built) mappings and the window index sees both the seeded
+// base units and the live delta units.
+func TestSeededPipelineExtends(t *testing.T) {
+	seed, err := moving.MPointFromSamples([]moving.Sample{
+		{T: 0, P: geom.Pt(0, 0)}, {T: 10, P: geom.Pt(10, 0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Open(Config{SeedIDs: []string{"s"}, Seeds: []moving.MPoint{seed}, FlushSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// Continue the same motion: must compact into the seeded unit.
+	if _, err := p.Ingest([]Observation{{ObjectID: "s", T: 11, X: 11, Y: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	// Then turn.
+	if _, err := p.Ingest([]Observation{{ObjectID: "s", T: 12, X: 11, Y: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	p.Flush()
+	mp, _ := p.Snapshot("s")
+	if err := mp.M.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n := mp.M.Len(); n != 2 {
+		t.Fatalf("want 2 units (extended seed + turn), got %d", n)
+	}
+	// The base index covers the seeded extent, the delta the live one.
+	if got := p.Window(geom.Rect{MinX: 4, MinY: -1, MaxX: 6, MaxY: 1}, temporal.Closed(0, 20)); len(got) != 1 || got[0] != "s" {
+		t.Fatalf("seeded extent window: %v", got)
+	}
+	if got := p.Window(geom.Rect{MinX: 10, MinY: 4, MaxX: 12, MaxY: 6}, temporal.Closed(0, 20)); len(got) != 1 || got[0] != "s" {
+		t.Fatalf("live extent window: %v", got)
+	}
+	if got := p.Window(geom.Rect{MinX: 100, MinY: 100, MaxX: 200, MaxY: 200}, temporal.Closed(0, 20)); len(got) != 0 {
+		t.Fatalf("empty window: %v", got)
+	}
+}
+
+// TestDegenerateSeedTail covers the one tail shape the reopen step
+// cannot handle: a seeded mapping ending in a degenerate closed unit
+// [t, t]. The next live unit must chain left-open instead.
+func TestDegenerateSeedTail(t *testing.T) {
+	u := units.StaticUPoint(temporal.Closed(5, 5), geom.Pt(1, 1))
+	seed := moving.MPoint{M: mapping.FromOrdered([]units.UPoint{u})}
+	p, err := Open(Config{SeedIDs: []string{"d"}, Seeds: []moving.MPoint{seed}, FlushSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Ingest([]Observation{{ObjectID: "d", T: 6, X: 2, Y: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	p.Flush()
+	mp, _ := p.Snapshot("d")
+	if err := mp.M.Validate(); err != nil {
+		t.Fatalf("degenerate tail chain: %v", err)
+	}
+	if n := mp.M.Len(); n != 2 {
+		t.Fatalf("want 2 units, got %d", n)
+	}
+	if v := mp.AtInstant(5); v.P != geom.Pt(1, 1) {
+		t.Fatalf("at the degenerate instant: %+v", v)
+	}
+	if v := mp.AtInstant(6); v.P != geom.Pt(2, 1) {
+		t.Fatalf("after the chained unit: %+v", v)
+	}
+}
+
+// TestAgeFlush checks that buffered observations become visible without
+// an explicit flush once MaxAge passes.
+func TestAgeFlush(t *testing.T) {
+	p, err := Open(Config{FlushSize: 1 << 20, MaxAge: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Ingest([]Observation{
+		{ObjectID: "a", T: 1, X: 0, Y: 0}, {ObjectID: "a", T: 2, X: 1, Y: 0},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := p.Snapshot("a"); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("age-based flush never applied the batch")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestCloseDrains checks that Close applies everything still buffered
+// and further ingest fails with ErrClosed.
+func TestCloseDrains(t *testing.T) {
+	p, err := Open(Config{FlushSize: 1 << 20, MaxAge: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Ingest([]Observation{
+		{ObjectID: "a", T: 1, X: 0, Y: 0}, {ObjectID: "a", T: 2, X: 3, Y: 4},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if _, ok := p.Snapshot("a"); !ok {
+		t.Fatal("close did not drain the buffers")
+	}
+	if _, err := p.Ingest([]Observation{{ObjectID: "b", T: 1, X: 0, Y: 0}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+// TestWindowMatchesScan cross-checks the dynamic-index window path
+// against a scan over the snapshots, with part of the data still in the
+// delta buffer.
+func TestWindowMatchesScan(t *testing.T) {
+	g := workload.New(11)
+	stream := g.ObservationStream("w", 12, 40, 0, 1, 8)
+	p, err := Open(Config{FlushSize: 4, MaxAge: time.Hour, MergeThreshold: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	feed(t, p, toObservations(stream), 37)
+	if _, delta, _ := p.store.IndexStats(); delta == 0 {
+		t.Fatal("test needs entries in the delta buffer to be meaningful")
+	}
+	for i := 0; i < 30; i++ {
+		x, y := float64(i*30), float64((i*17)%900)
+		rect := geom.Rect{MinX: x, MinY: y, MaxX: x + 120, MaxY: y + 120}
+		iv := temporal.Closed(temporal.Instant(i%30), temporal.Instant(i%30+10))
+		got := p.store.Window(rect, iv)
+		var want []string
+		for _, sum := range p.Summaries() {
+			mp, _ := p.Snapshot(sum.ID)
+			for _, u := range mp.M.Units() {
+				if index.UPointInWindow(u, rect, iv) {
+					want = append(want, sum.ID)
+					break
+				}
+			}
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("query %d (%v, %v): index %v, scan %v", i, rect, iv, got, want)
+		}
+	}
+}

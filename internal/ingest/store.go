@@ -1,0 +1,316 @@
+package ingest
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+
+	"movingdb/internal/geom"
+	"movingdb/internal/index"
+	"movingdb/internal/mapping"
+	"movingdb/internal/moving"
+	"movingdb/internal/obs"
+	"movingdb/internal/temporal"
+	"movingdb/internal/units"
+)
+
+// Store is the live object table: per-object unit arrays extended by
+// the appender plus the dynamic index over their bounding cubes. One
+// RWMutex guards the table; queries hold it only for the duration of
+// their scan, writers for the duration of a flush, so concurrent ingest
+// and query interleave at flush granularity.
+type Store struct {
+	mu   sync.RWMutex
+	ids  map[string]int
+	objs []*object
+	idx  *index.Dynamic
+
+	applied   int64
+	dropped   int64
+	compacted int64
+
+	metrics *obs.Metrics
+}
+
+// object is one tracked object's live state. The unit array keeps the
+// canonical online shape: every unit right-half-open except the last,
+// which is closed at the latest observation — exactly the offline
+// builder's chaining, maintained incrementally.
+type object struct {
+	id    string
+	units []units.UPoint
+	last  moving.Sample // latest accepted observation (or seed endpoint)
+	seen  bool          // false until the first observation arrives
+}
+
+// Position is one object's location at a queried instant.
+type Position struct {
+	ID string  `json:"id"`
+	X  float64 `json:"x"`
+	Y  float64 `json:"y"`
+}
+
+// ObjectSummary is one row of the object listing.
+type ObjectSummary struct {
+	ID    string  `json:"id"`
+	Units int     `json:"units"`
+	From  float64 `json:"from"`
+	To    float64 `json:"to"`
+}
+
+// newStore registers the seed objects and bulk-loads the base index
+// tree over their units.
+func newStore(ids []string, seeds []moving.MPoint, mergeThreshold int, metrics *obs.Metrics) (*Store, error) {
+	s := &Store{ids: make(map[string]int, len(ids)), metrics: metrics}
+	var entries []index.Entry
+	for i, id := range ids {
+		if id == "" {
+			return nil, fmt.Errorf("ingest: seed %d has an empty id", i)
+		}
+		if _, dup := s.ids[id]; dup {
+			return nil, fmt.Errorf("ingest: duplicate seed id %q", id)
+		}
+		o := &object{id: id, units: append([]units.UPoint(nil), seeds[i].M.Units()...)}
+		if n := len(o.units); n > 0 {
+			last := o.units[n-1]
+			o.last = moving.Sample{T: last.Iv.End, P: last.EndPoint()}
+			o.seen = true
+		}
+		oi := len(s.objs)
+		s.ids[id] = oi
+		s.objs = append(s.objs, o)
+		for ui, u := range o.units {
+			entries = append(entries, index.Entry{Cube: u.Cube(), ID: entryID(oi, ui)})
+		}
+	}
+	s.idx = index.NewDynamic(index.Build(entries), mergeThreshold)
+	return s, nil
+}
+
+// entryID packs (object, unit) into the index payload id.
+func entryID(oi, ui int) int64 { return int64(oi)<<32 | int64(ui) }
+
+// Apply extends the mappings with a batch of observations, in order.
+// Non-monotone observations (t not after the object's latest) are
+// dropped and counted — replay reproduces the same decisions because
+// they depend only on the per-object observation order, which the WAL
+// preserves. Every accepted unit's bounding cube goes to the index
+// delta buffer; when an append compacts into its predecessor, the cube
+// of the incoming extension is indexed under the merged unit's id, so
+// the union of that unit's entries always covers its full extent.
+func (s *Store) Apply(batch []Observation) (applied, dropped, compacted int) {
+	s.mu.Lock()
+	var entries []index.Entry
+	for _, ob := range batch {
+		oi, ok := s.ids[ob.ObjectID]
+		if !ok {
+			oi = len(s.objs)
+			s.ids[ob.ObjectID] = oi
+			s.objs = append(s.objs, &object{id: ob.ObjectID})
+		}
+		o := s.objs[oi]
+		smp := moving.Sample{T: temporal.Instant(ob.T), P: geom.Pt(ob.X, ob.Y)}
+		if !o.seen {
+			o.last, o.seen = smp, true
+			applied++
+			continue
+		}
+		if smp.T <= o.last.T {
+			dropped++
+			continue
+		}
+		u := unitBetween(o.last, smp)
+		cube := u.Cube() // pre-merge: the extension's own extent
+		ui, merged := o.append(u)
+		if merged {
+			compacted++
+		}
+		entries = append(entries, index.Entry{Cube: cube, ID: entryID(oi, ui)})
+		o.last = smp
+		applied++
+	}
+	s.applied += int64(applied)
+	s.dropped += int64(dropped)
+	s.compacted += int64(compacted)
+	s.mu.Unlock()
+	// Index maintenance outside the table lock would let a reader see
+	// units without their cubes; holding it keeps flush atomic from the
+	// readers' perspective. Lock order: store → index.
+	if len(entries) > 0 {
+		if s.idx.InsertBatch(entries) {
+			s.metrics.RecordIndexMerge()
+		}
+	}
+	return applied, dropped, compacted
+}
+
+// unitBetween builds the unit covering [a.T, b.T] with the same
+// construction as the offline builder (static unit for a resting pair,
+// linear interpolation otherwise), closed at b — the unit is the
+// mapping's new final unit.
+func unitBetween(a, b moving.Sample) units.UPoint {
+	iv := temporal.Closed(a.T, b.T)
+	if a.P == b.P {
+		return units.StaticUPoint(iv, a.P)
+	}
+	u, err := units.UPointBetween(iv, a.P, b.P)
+	if err != nil {
+		// Unreachable: the interval is non-degenerate by the monotone
+		// admission check.
+		panic(err)
+	}
+	return u
+}
+
+// append chains u onto the unit array: the closed tail is re-opened on
+// the right (the offline builder's half-open chaining, applied online)
+// and the incoming unit is merged into it when the motion continues
+// unchanged — the adjacent-equal-value minimality rule as compaction.
+// It returns the index of the unit now covering u's interval and
+// whether a merge happened.
+func (o *object) append(u units.UPoint) (int, bool) {
+	n := len(o.units)
+	if n == 0 {
+		o.units = append(o.units, u)
+		return 0, false
+	}
+	lu := o.units[n-1]
+	if lu.Iv.RC {
+		if !lu.Iv.IsDegenerate() {
+			lu = lu.WithInterval(temporal.MustInterval(lu.Iv.Start, lu.Iv.End, lu.Iv.LC, false))
+			o.units[n-1] = lu
+		} else {
+			// A degenerate closed tail (possible in seeded mappings)
+			// cannot re-open; chain the new unit left-open instead.
+			u = u.WithInterval(temporal.LeftHalfOpen(u.Iv.Start, u.Iv.End))
+		}
+	}
+	if lu.Iv.RAdjacent(u.Iv) && lu.EqualFunc(u) {
+		if iv, ok := lu.Iv.Union(u.Iv); ok {
+			o.units[n-1] = lu.WithInterval(iv)
+			return n - 1, true
+		}
+	}
+	o.units = append(o.units, u)
+	return n, false
+}
+
+// Len returns the number of tracked objects.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objs)
+}
+
+// UnitCount returns the total number of units across objects.
+func (s *Store) UnitCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, o := range s.objs {
+		n += len(o.units)
+	}
+	return n
+}
+
+// Counters returns the cumulative apply statistics.
+func (s *Store) Counters() (applied, dropped, compacted int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.applied, s.dropped, s.compacted
+}
+
+// IndexStats reports the dynamic index's base size, delta size and
+// merge count.
+func (s *Store) IndexStats() (base, delta, merges int) {
+	return s.idx.BaseLen(), s.idx.DeltaLen(), s.idx.Merges()
+}
+
+// ForceMergeIndex folds the delta buffer into a rebuilt base tree now,
+// regardless of the threshold — benchmarks use it to pin the
+// base/delta split.
+func (s *Store) ForceMergeIndex() { s.idx.ForceMerge() }
+
+// AtInstant returns the position of every object defined at t, in
+// registration order.
+func (s *Store) AtInstant(t temporal.Instant) []Position {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := []Position{}
+	for _, o := range s.objs {
+		m := mapping.FromOrdered(o.units)
+		if u, ok := m.UnitAt(t); ok {
+			p := u.Eval(t)
+			out = append(out, Position{ID: o.id, X: p.X, Y: p.Y})
+		}
+	}
+	return out
+}
+
+// Window reports the ids of objects inside rect at some instant of iv:
+// the dynamic index yields (object, unit) candidates from the base tree
+// and the delta buffer, and the exact per-unit refinement runs against
+// the current unit data.
+func (s *Store) Window(rect geom.Rect, iv temporal.Interval) []string {
+	q := geom.Cube{Rect: rect, MinT: float64(iv.Start), MaxT: float64(iv.End)}
+	ids, _ := s.idx.Search(q, nil)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := make(map[int]bool)
+	var hits []int
+	for _, id := range ids {
+		oi, ui := int(id>>32), int(id&0xffffffff)
+		if seen[oi] || oi >= len(s.objs) {
+			continue
+		}
+		o := s.objs[oi]
+		if ui >= len(o.units) {
+			continue
+		}
+		// Refining against the current unit is safe: units only grow,
+		// and a grown unit contains every extent its entries covered.
+		if index.UPointInWindow(o.units[ui], rect, iv) {
+			seen[oi] = true
+			hits = append(hits, oi)
+		}
+	}
+	slices.Sort(hits)
+	out := make([]string, 0, len(hits))
+	for _, oi := range hits {
+		out = append(out, s.objs[oi].id)
+	}
+	return out
+}
+
+// Summaries lists the tracked objects in registration order. An object
+// that has a single observation and no unit yet reports zero units with
+// From == To == its observation time.
+func (s *Store) Summaries() []ObjectSummary {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]ObjectSummary, 0, len(s.objs))
+	for _, o := range s.objs {
+		sum := ObjectSummary{ID: o.id, Units: len(o.units)}
+		if len(o.units) > 0 {
+			sum.From = float64(o.units[0].Iv.Start)
+			sum.To = float64(o.units[len(o.units)-1].Iv.End)
+		} else if o.seen {
+			sum.From, sum.To = float64(o.last.T), float64(o.last.T)
+		}
+		out = append(out, sum)
+	}
+	return out
+}
+
+// Snapshot returns a copy of one object's mapping, detached from the
+// live buffers.
+func (s *Store) Snapshot(id string) (moving.MPoint, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	oi, ok := s.ids[id]
+	if !ok {
+		return moving.MPoint{}, false
+	}
+	us := append([]units.UPoint(nil), s.objs[oi].units...)
+	return moving.MPoint{M: mapping.FromOrdered(us)}, true
+}

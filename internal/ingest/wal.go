@@ -1,0 +1,155 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sync"
+
+	"movingdb/internal/obs"
+	"movingdb/internal/storage"
+)
+
+// The write-ahead log stores one record per acknowledged batch as a
+// large object in the page store, so each record starts on a page
+// boundary and recovery is a linear page scan. Record layout
+// (little-endian):
+//
+//	magic   uint32  walMagic
+//	seq     uint64  1-based, strictly consecutive
+//	payload uint32  payload length in bytes
+//	crc     uint32  CRC-32 (IEEE) of the payload
+//	payload: count uint32, then per observation
+//	         idLen uint32, id bytes, t/x/y float64
+//
+// A record that fails any check — wrong magic, short pages, CRC
+// mismatch, a gap in the sequence, or a truncated payload — ends the
+// scan: it and everything after it is a torn tail from an interrupted
+// write and is discarded (truncated) so later appends stay reachable.
+const (
+	walMagic      = 0x4D4F574C // "MOWL"
+	walHeaderSize = 20
+)
+
+type wal struct {
+	mu      sync.Mutex
+	ps      *storage.PageStore
+	seq     uint64
+	pages   int
+	metrics *obs.Metrics
+}
+
+// openWAL scans ps from page 0, decoding every intact record in
+// sequence order, and returns the recovered batches for replay. The
+// store is truncated at the first invalid record.
+func openWAL(ps *storage.PageStore, metrics *obs.Metrics) (*wal, [][]Observation, error) {
+	w := &wal{ps: ps, metrics: metrics}
+	var batches [][]Observation
+	p := 0
+	for p < ps.NumPages() {
+		hdr, err := ps.Get(storage.LOBRef{FirstPage: p, Length: walHeaderSize})
+		if err != nil {
+			break
+		}
+		if binary.LittleEndian.Uint32(hdr[0:]) != walMagic {
+			break
+		}
+		seq := binary.LittleEndian.Uint64(hdr[4:])
+		payloadLen := int(binary.LittleEndian.Uint32(hdr[12:]))
+		crc := binary.LittleEndian.Uint32(hdr[16:])
+		if seq != w.seq+1 {
+			break
+		}
+		body, err := ps.Get(storage.LOBRef{FirstPage: p, Length: walHeaderSize + payloadLen})
+		if err != nil {
+			break
+		}
+		payload := body[walHeaderSize:]
+		if crc32.ChecksumIEEE(payload) != crc {
+			break
+		}
+		batch, err := decodeBatch(payload)
+		if err != nil {
+			break
+		}
+		batches = append(batches, batch)
+		w.seq = seq
+		p += pagesFor(walHeaderSize + payloadLen)
+	}
+	ps.Truncate(p)
+	w.pages = p
+	return w, batches, nil
+}
+
+func pagesFor(n int) int { return (n + storage.PageSize - 1) / storage.PageSize }
+
+// append logs one batch and returns its sequence number. The caller
+// (the batcher) serialises appends with enqueue admission, so WAL order
+// equals apply order.
+func (w *wal) append(batch []Observation) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	payload := encodeBatch(batch)
+	rec := make([]byte, walHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:], walMagic)
+	binary.LittleEndian.PutUint64(rec[4:], w.seq+1)
+	binary.LittleEndian.PutUint32(rec[12:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[16:], crc32.ChecksumIEEE(payload))
+	copy(rec[walHeaderSize:], payload)
+	ref := w.ps.Put(rec)
+	w.seq++
+	w.pages += ref.NumPages()
+	w.metrics.RecordWALAppend(ref.NumPages())
+	return w.seq, nil
+}
+
+func (w *wal) stats() (seq uint64, pages int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq, w.pages
+}
+
+func encodeBatch(batch []Observation) []byte {
+	n := 4
+	for _, o := range batch {
+		n += 4 + len(o.ObjectID) + 24
+	}
+	buf := make([]byte, 0, n)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(batch)))
+	for _, o := range batch {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(o.ObjectID)))
+		buf = append(buf, o.ObjectID...)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(o.T))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(o.X))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(o.Y))
+	}
+	return buf
+}
+
+func decodeBatch(payload []byte) ([]Observation, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("%w: short batch payload", storage.ErrCorrupt)
+	}
+	count := int(binary.LittleEndian.Uint32(payload))
+	off := 4
+	batch := make([]Observation, 0, count)
+	for i := 0; i < count; i++ {
+		if len(payload)-off < 4 {
+			return nil, fmt.Errorf("%w: truncated observation %d", storage.ErrCorrupt, i)
+		}
+		idLen := int(binary.LittleEndian.Uint32(payload[off:]))
+		off += 4
+		if idLen < 0 || len(payload)-off < idLen+24 {
+			return nil, fmt.Errorf("%w: truncated observation %d", storage.ErrCorrupt, i)
+		}
+		id := string(payload[off : off+idLen])
+		off += idLen
+		t := math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+		x := math.Float64frombits(binary.LittleEndian.Uint64(payload[off+8:]))
+		y := math.Float64frombits(binary.LittleEndian.Uint64(payload[off+16:]))
+		off += 24
+		batch = append(batch, Observation{ObjectID: id, T: t, X: x, Y: y})
+	}
+	return batch, nil
+}

@@ -67,6 +67,23 @@ type opStats struct {
 	maxNS   int64
 }
 
+// ingestStats accumulates write-path metrics: batch admission at the
+// gate, flush application, and index/WAL maintenance.
+type ingestStats struct {
+	batches      int64 // acknowledged batches
+	observations int64 // observations in acknowledged batches
+	backpressure int64 // batches rejected with queue-full
+	flushes      int64
+	applied      int64 // observations applied to the store
+	dropped      int64 // non-monotone observations dropped at apply
+	compacted    int64 // appends merged into their predecessor unit
+	flushTotalNS int64
+	flushMaxNS   int64
+	indexMerges  int64 // delta-buffer folds into a rebuilt base tree
+	walRecords   int64
+	walPages     int64
+}
+
 // SlowQuery is one entry of the slow-query log.
 type SlowQuery struct {
 	Route    string  `json:"route"`
@@ -90,6 +107,7 @@ type Metrics struct {
 	slowCap int
 	slowNext int
 	slowLen  int
+	ingest   ingestStats
 }
 
 // New returns an empty registry keeping up to slowCap slow-query
@@ -164,6 +182,72 @@ func (m *Metrics) RecordOp(name string, d time.Duration) {
 	}
 }
 
+// RecordIngestBatch counts one acknowledged ingest batch of n
+// observations.
+func (m *Metrics) RecordIngestBatch(n int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ingest.batches++
+	m.ingest.observations += int64(n)
+}
+
+// RecordIngestBackpressure counts one batch rejected because the write
+// queue was full.
+func (m *Metrics) RecordIngestBackpressure() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ingest.backpressure++
+}
+
+// RecordIngestFlush counts one batcher flush: how many observations
+// were applied, dropped as non-monotone, or compacted into their
+// predecessor unit, and how long the flush took.
+func (m *Metrics) RecordIngestFlush(applied, dropped, compacted int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ingest.flushes++
+	m.ingest.applied += int64(applied)
+	m.ingest.dropped += int64(dropped)
+	m.ingest.compacted += int64(compacted)
+	ns := d.Nanoseconds()
+	m.ingest.flushTotalNS += ns
+	if ns > m.ingest.flushMaxNS {
+		m.ingest.flushMaxNS = ns
+	}
+}
+
+// RecordIndexMerge counts one delta-buffer fold into a rebuilt base
+// tree.
+func (m *Metrics) RecordIndexMerge() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ingest.indexMerges++
+}
+
+// RecordWALAppend counts one write-ahead log record of the given page
+// footprint.
+func (m *Metrics) RecordWALAppend(pages int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ingest.walRecords++
+	m.ingest.walPages += int64(pages)
+}
+
 // RecordSlowQuery appends an entry to the slow-query ring.
 func (m *Metrics) RecordSlowQuery(e SlowQuery) {
 	if m == nil {
@@ -196,12 +280,29 @@ type OpSnapshot struct {
 	MaxMicros float64 `json:"max_us"`
 }
 
+// IngestSnapshot is the JSON form of the write-path counters.
+type IngestSnapshot struct {
+	Batches            int64   `json:"batches"`
+	Observations       int64   `json:"observations"`
+	Backpressure       int64   `json:"backpressure"`
+	Flushes            int64   `json:"flushes"`
+	Applied            int64   `json:"applied"`
+	DroppedNonMonotone int64   `json:"dropped_non_monotone"`
+	Compacted          int64   `json:"compacted"`
+	AvgFlushMillis     float64 `json:"avg_flush_ms"`
+	MaxFlushMillis     float64 `json:"max_flush_ms"`
+	IndexMerges        int64   `json:"index_merges"`
+	WALRecords         int64   `json:"wal_records"`
+	WALPages           int64   `json:"wal_pages"`
+}
+
 // Snapshot is the full registry state served at /v1/metrics.
 type Snapshot struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
 	Requests      map[string]RouteSnapshot `json:"requests"`
 	Operators     map[string]OpSnapshot    `json:"operators"`
 	SlowQueries   []SlowQuery              `json:"slow_queries"`
+	Ingest        IngestSnapshot           `json:"ingest"`
 }
 
 // Snapshot copies the registry into its JSON-serialisable form. Safe on
@@ -250,6 +351,23 @@ func (m *Metrics) Snapshot() Snapshot {
 	for i := 0; i < m.slowLen; i++ {
 		idx := (m.slowNext - m.slowLen + i + m.slowCap) % m.slowCap
 		out.SlowQueries = append(out.SlowQueries, m.slow[idx])
+	}
+	ing := m.ingest
+	out.Ingest = IngestSnapshot{
+		Batches:            ing.batches,
+		Observations:       ing.observations,
+		Backpressure:       ing.backpressure,
+		Flushes:            ing.flushes,
+		Applied:            ing.applied,
+		DroppedNonMonotone: ing.dropped,
+		Compacted:          ing.compacted,
+		MaxFlushMillis:     float64(ing.flushMaxNS) / 1e6,
+		IndexMerges:        ing.indexMerges,
+		WALRecords:         ing.walRecords,
+		WALPages:           ing.walPages,
+	}
+	if ing.flushes > 0 {
+		out.Ingest.AvgFlushMillis = float64(ing.flushTotalNS) / float64(ing.flushes) / 1e6
 	}
 	return out
 }

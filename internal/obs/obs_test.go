@@ -101,3 +101,34 @@ func TestConcurrentRecording(t *testing.T) {
 		t.Fatalf("lost updates: %+v", s)
 	}
 }
+
+func TestIngestMetrics(t *testing.T) {
+	m := New(0)
+	m.RecordIngestBatch(5)
+	m.RecordIngestBatch(3)
+	m.RecordIngestBackpressure()
+	m.RecordIngestFlush(4, 1, 2, 2*time.Millisecond)
+	m.RecordIngestFlush(4, 0, 0, 4*time.Millisecond)
+	m.RecordIndexMerge()
+	m.RecordWALAppend(3)
+	s := m.Snapshot().Ingest
+	if s.Batches != 2 || s.Observations != 8 || s.Backpressure != 1 {
+		t.Fatalf("admission counters: %+v", s)
+	}
+	if s.Flushes != 2 || s.Applied != 8 || s.DroppedNonMonotone != 1 || s.Compacted != 2 {
+		t.Fatalf("flush counters: %+v", s)
+	}
+	if s.AvgFlushMillis < 2.9 || s.AvgFlushMillis > 3.1 || s.MaxFlushMillis < 3.9 {
+		t.Fatalf("flush latencies: %+v", s)
+	}
+	if s.IndexMerges != 1 || s.WALRecords != 1 || s.WALPages != 3 {
+		t.Fatalf("maintenance counters: %+v", s)
+	}
+	// The nil registry swallows all ingest recording.
+	var nilM *Metrics
+	nilM.RecordIngestBatch(1)
+	nilM.RecordIngestBackpressure()
+	nilM.RecordIngestFlush(1, 0, 0, time.Millisecond)
+	nilM.RecordIndexMerge()
+	nilM.RecordWALAppend(1)
+}

@@ -17,6 +17,12 @@ const (
 	CodeNotFound     = "not_found"
 	CodeTimeout      = "timeout"
 	CodeInternal     = "internal"
+	// CodeBackpressure signals a full ingest queue (HTTP 429); the client
+	// should retry with backoff.
+	CodeBackpressure = "backpressure"
+	// CodeUnavailable signals a feature not enabled on this server, such
+	// as POSTing to /v1/ingest when no live pipeline is configured.
+	CodeUnavailable = "unavailable"
 )
 
 // apiError is the envelope payload.
@@ -27,6 +33,14 @@ type apiError struct {
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeJSONStatus is writeJSON with an explicit status code (the ingest
+// route acknowledges with 202).
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
 }
 

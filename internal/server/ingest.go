@@ -1,0 +1,60 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"movingdb/internal/ingest"
+)
+
+// handleIngest accepts a JSON array of observations
+// [{"id": "...", "t": .., "x": .., "y": ..}, ...] and enqueues it on
+// the live pipeline. 202 means the batch is in the write-ahead log and
+// will be applied — it survives a crash from the ack on; it is not
+// necessarily queryable yet unless ?sync=1 forces a flush before the
+// response (read-your-writes). A full queue is 429 with the
+// backpressure code and nothing logged.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.ingest == nil {
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable,
+			"this server has no live ingestion pipeline; restart it with ingestion enabled")
+		return
+	}
+	var batch []ingest.Observation
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&batch); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("bad ingest body: %v", err))
+		return
+	}
+	if len(batch) > s.cfg.MaxIngestBatch {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("batch has %d observations; the limit is %d", len(batch), s.cfg.MaxIngestBatch))
+		return
+	}
+	seq, err := s.ingest.Ingest(batch)
+	switch {
+	case errors.Is(err, ingest.ErrBackpressure):
+		writeError(w, http.StatusTooManyRequests, CodeBackpressure, err.Error())
+		return
+	case errors.Is(err, ingest.ErrInvalidObservation):
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	case errors.Is(err, ingest.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	synced := false
+	if r.URL.Query().Get("sync") == "1" {
+		s.ingest.Flush()
+		synced = true
+	}
+	writeJSONStatus(w, http.StatusAccepted, map[string]any{
+		"accepted": len(batch), "seq": seq, "synced": synced,
+	})
+}

@@ -8,7 +8,13 @@
 // that the query evaluator observes, errors share one JSON envelope,
 // list responses paginate, and an observability registry (internal/obs)
 // counts requests, latencies, per-operator timings and slow queries,
-// served at /v1/metrics. All handlers are read-only.
+// served at /v1/metrics.
+//
+// With a live ingestion pipeline configured, POST /v1/ingest accepts
+// observation batches (202 on enqueue, 429 under backpressure) and the
+// object-reading routes (/v1/atinstant, /v1/window, /v1/objects) answer
+// from the live store, so acknowledged writes become queryable; without
+// one, every handler is read-only over the static objects.
 package server
 
 import (
@@ -24,6 +30,7 @@ import (
 	"movingdb/internal/db"
 	"movingdb/internal/geom"
 	"movingdb/internal/index"
+	"movingdb/internal/ingest"
 	"movingdb/internal/moving"
 	"movingdb/internal/obs"
 	"movingdb/internal/temporal"
@@ -40,6 +47,13 @@ type Config struct {
 	// objects feed the R-tree window index).
 	ObjectIDs []string
 	Objects   []moving.MPoint
+	// Ingest enables the live write path: POST /v1/ingest feeds the
+	// pipeline and the object-reading routes answer from its store
+	// instead of the static Objects. Nil serves read-only.
+	Ingest *ingest.Pipeline
+	// MaxIngestBatch bounds the number of observations per POST
+	// /v1/ingest request. Default 10000.
+	MaxIngestBatch int
 
 	// QueryTimeout is the default evaluation deadline per request
 	// (overridable per request with ?timeout_ms=). Default 10s.
@@ -89,6 +103,9 @@ func (c Config) withDefaults() Config {
 	if c.SlowQueryThreshold == 0 {
 		c.SlowQueryThreshold = 500 * time.Millisecond
 	}
+	if c.MaxIngestBatch == 0 {
+		c.MaxIngestBatch = 10000
+	}
 	if c.Logger == nil {
 		c.Logger = log.New(io.Discard, "", 0)
 	}
@@ -108,6 +125,7 @@ type Server struct {
 
 	cfg     Config
 	idx     *index.MPointIndex
+	ingest  *ingest.Pipeline
 	logger  *log.Logger
 	metrics *obs.Metrics
 }
@@ -124,6 +142,7 @@ func New(cfg Config) (*Server, error) {
 		Objects:   cfg.Objects,
 		cfg:       cfg,
 		idx:       index.BuildMPointIndex(cfg.Objects),
+		ingest:    cfg.Ingest,
 		logger:    cfg.Logger,
 		metrics:   cfg.Metrics,
 	}, nil
@@ -133,23 +152,29 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Metrics() *obs.Metrics { return s.metrics }
 
 // Handler returns the HTTP mux with the v1 routes, the deprecated
-// unversioned aliases, and an enveloped 404 for everything else.
+// unversioned aliases, and an enveloped 404 for everything else. Each
+// alias is named explicitly in the route table — deriving it by slicing
+// the versioned path breaks as soon as a route (like POST /v1/ingest)
+// has no legacy counterpart.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	for _, rt := range []struct {
-		path string
-		h    http.HandlerFunc
+		method, path, alias string
+		h                   http.HandlerFunc
 	}{
-		{"/v1/query", s.handleQuery},
-		{"/v1/atinstant", s.handleAtInstant},
-		{"/v1/window", s.handleWindow},
-		{"/v1/objects", s.handleObjects},
-		{"/v1/metrics", s.handleMetrics},
-		{"/v1/healthz", s.handleHealthz},
+		{"GET", "/v1/query", "/query", s.handleQuery},
+		{"GET", "/v1/atinstant", "/atinstant", s.handleAtInstant},
+		{"GET", "/v1/window", "/window", s.handleWindow},
+		{"GET", "/v1/objects", "/objects", s.handleObjects},
+		{"GET", "/v1/metrics", "/metrics", s.handleMetrics},
+		{"GET", "/v1/healthz", "/healthz", s.handleHealthz},
+		{"POST", "/v1/ingest", "", s.handleIngest},
 	} {
 		h := s.instrument(rt.path, rt.h)
-		mux.Handle("GET "+rt.path, h)
-		mux.Handle("GET "+rt.path[len("/v1"):], deprecated(rt.path, h))
+		mux.Handle(rt.method+" "+rt.path, h)
+		if rt.alias != "" {
+			mux.Handle(rt.method+" "+rt.alias, deprecated(rt.path, h))
+		}
 	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("no route %s %s", r.Method, r.URL.Path))
@@ -297,6 +322,10 @@ func (s *Server) handleAtInstant(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
+	if s.ingest != nil {
+		writeJSON(w, map[string]any{"t": t, "positions": s.ingest.AtInstant(temporal.Instant(t))})
+		return
+	}
 	ctx, cancel, err := s.requestContext(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
@@ -351,13 +380,25 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 		MaxX: max(vals[0], vals[2]), MaxY: max(vals[1], vals[3]),
 	}
 	iv := temporal.Closed(temporal.Instant(vals[4]), temporal.Instant(vals[5]))
-	hits := s.idx.Window(rect, iv)
-	lo, hi := pageBounds(len(hits), limit, offset)
-	ids := make([]string, 0, hi-lo)
-	for _, oi := range hits[lo:hi] {
-		ids = append(ids, s.ObjectIDs[oi])
+	var ids []string
+	var total int
+	if s.ingest != nil {
+		// Live path: the dynamic index (base tree + delta buffer) sees
+		// every flushed write.
+		all := s.ingest.Window(rect, iv)
+		total = len(all)
+		lo, hi := pageBounds(total, limit, offset)
+		ids = all[lo:hi]
+	} else {
+		hits := s.idx.Window(rect, iv)
+		total = len(hits)
+		lo, hi := pageBounds(total, limit, offset)
+		ids = make([]string, 0, hi-lo)
+		for _, oi := range hits[lo:hi] {
+			ids = append(ids, s.ObjectIDs[oi])
+		}
 	}
-	writeJSON(w, map[string]any{"total": len(hits), "limit": limit, "offset": offset, "ids": ids})
+	writeJSON(w, map[string]any{"total": total, "limit": limit, "offset": offset, "ids": ids})
 }
 
 // handleObjects lists the tracked objects with their definition times
@@ -366,6 +407,12 @@ func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
 	limit, offset, err := s.pageParams(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	if s.ingest != nil {
+		sums := s.ingest.Summaries()
+		lo, hi := pageBounds(len(sums), limit, offset)
+		writeJSON(w, map[string]any{"total": len(sums), "limit": limit, "offset": offset, "objects": sums[lo:hi]})
 		return
 	}
 	type obj struct {
@@ -390,13 +437,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.metrics.Snapshot())
 }
 
-// handleHealthz reports liveness and the sizes of the served data.
+// handleHealthz reports liveness and the sizes of the served data; with
+// a live pipeline it also carries the pipeline counters.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, map[string]any{
+	body := map[string]any{
 		"status":    "ok",
 		"objects":   len(s.Objects),
 		"relations": len(s.Catalog),
-	})
+	}
+	if s.ingest != nil {
+		st := s.ingest.Stats()
+		body["objects"] = st.Objects
+		body["ingest"] = st
+	}
+	writeJSON(w, body)
 }
 
 func floatParam(r *http.Request, name string) (float64, error) {

@@ -1,7 +1,9 @@
 package storage
 
 import (
+	"encoding/binary"
 	"fmt"
+	"io"
 )
 
 // PageSize is the unit of space management in the page store, matching
@@ -73,6 +75,61 @@ func (s *PageStore) Get(ref LOBRef) ([]byte, error) {
 
 // NumPages returns the total number of allocated pages.
 func (s *PageStore) NumPages() int { return len(s.pages) }
+
+// Truncate drops every page from n on. WAL recovery uses it to discard
+// a torn tail so subsequent appends are reachable by the next scan.
+func (s *PageStore) Truncate(n int) {
+	if n >= 0 && n < len(s.pages) {
+		s.pages = s.pages[:n]
+	}
+}
+
+// pageStoreMagic identifies a serialised page store image.
+const pageStoreMagic = 0x4D504753 // "MPGS"
+
+// WriteTo serialises the page store — magic, page count, raw pages —
+// producing the "disk image" of the simulated buffer manager, so state
+// built on the store (such as the ingestion WAL) genuinely survives a
+// process restart. Statistics counters are not persisted.
+func (s *PageStore) WriteTo(w io.Writer) (int64, error) {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], pageStoreMagic)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(len(s.pages)))
+	n, err := w.Write(hdr[:])
+	written := int64(n)
+	if err != nil {
+		return written, err
+	}
+	for _, p := range s.pages {
+		n, err := w.Write(p)
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// ReadPageStore reverses WriteTo.
+func ReadPageStore(r io.Reader) (*PageStore, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: page store header: %v", ErrCorrupt, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != pageStoreMagic {
+		return nil, fmt.Errorf("%w: not a page store image", ErrCorrupt)
+	}
+	count := binary.LittleEndian.Uint64(hdr[4:])
+	s := NewPageStore()
+	for i := uint64(0); i < count; i++ {
+		page := make([]byte, PageSize)
+		if _, err := io.ReadFull(r, page); err != nil {
+			return nil, fmt.Errorf("%w: page %d: %v", ErrCorrupt, i, err)
+		}
+		s.pages = append(s.pages, page)
+	}
+	return s, nil
+}
 
 // InlineThreshold is the array size up to which arrays are stored inline
 // in the tuple; larger arrays go to the page store (the FLOB policy of

@@ -1,0 +1,75 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPageStoreSerialisationRoundTrip(t *testing.T) {
+	s := NewPageStore()
+	refs := []LOBRef{
+		s.Put(bytes.Repeat([]byte{1}, 10)),
+		s.Put(bytes.Repeat([]byte{2}, PageSize)),
+		s.Put(bytes.Repeat([]byte{3}, PageSize+1)),
+	}
+	var img bytes.Buffer
+	if _, err := s.WriteTo(&img); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadPageStore(bytes.NewReader(img.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumPages() != s.NumPages() {
+		t.Fatalf("pages: %d != %d", r.NumPages(), s.NumPages())
+	}
+	for i, ref := range refs {
+		want, _ := s.Get(ref)
+		got, err := r.Get(ref)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("object %d differs after round trip (err=%v)", i, err)
+		}
+	}
+}
+
+func TestReadPageStoreRejectsCorruption(t *testing.T) {
+	s := NewPageStore()
+	s.Put(bytes.Repeat([]byte{9}, 2*PageSize))
+	var img bytes.Buffer
+	if _, err := s.WriteTo(&img); err != nil {
+		t.Fatal(err)
+	}
+	full := img.Bytes()
+	if _, err := ReadPageStore(bytes.NewReader(full[:len(full)-1])); err == nil {
+		t.Fatal("short image must not decode")
+	}
+	bad := append([]byte(nil), full...)
+	bad[0] ^= 0xFF // break the magic
+	if _, err := ReadPageStore(bytes.NewReader(bad)); err == nil {
+		t.Fatal("wrong magic must not decode")
+	}
+}
+
+func TestPageStoreTruncate(t *testing.T) {
+	s := NewPageStore()
+	s.Put(bytes.Repeat([]byte{1}, PageSize))
+	ref := s.Put(bytes.Repeat([]byte{2}, 2*PageSize))
+	s.Truncate(2) // drop the second half of the second object
+	if s.NumPages() != 2 {
+		t.Fatalf("pages after truncate: %d", s.NumPages())
+	}
+	if _, err := s.Get(ref); err == nil {
+		t.Fatal("truncated object must not read back")
+	}
+	// Out-of-range truncations are no-ops.
+	s.Truncate(-1)
+	s.Truncate(10)
+	if s.NumPages() != 2 {
+		t.Fatalf("no-op truncate changed pages: %d", s.NumPages())
+	}
+	// New appends land after the truncation point.
+	ref2 := s.Put([]byte{7})
+	if ref2.FirstPage != 2 {
+		t.Fatalf("append after truncate at page %d", ref2.FirstPage)
+	}
+}

@@ -76,6 +76,64 @@ func reflect(x float64) float64 {
 	return x
 }
 
+// Observation is one timestamped position report — the wire unit of the
+// live ingestion path. It mirrors the ingest package's observation
+// shape without importing it, so the generator stays usable from that
+// package's own tests.
+type Observation struct {
+	ID string
+	T  temporal.Instant
+	P  geom.Point
+}
+
+// ObservationStream simulates n GPS trackers reporting for the given
+// number of steps: observations arrive round-robin interleaved across
+// objects in global time order, one per object per step, stepDur apart.
+// Motion mixes fresh random headings with held velocities and rests so
+// the online compaction path (merging continued motion into the
+// previous unit) is exercised, not just the general append. Object ids
+// are prefix0, prefix1, ... Equal seeds yield equal streams.
+func (g *Gen) ObservationStream(prefix string, n, steps int, t0 temporal.Instant, stepDur, maxSpeed float64) []Observation {
+	type tracker struct {
+		pos geom.Point
+		vel geom.Point
+	}
+	trackers := make([]tracker, n)
+	out := make([]Observation, 0, n*(steps+1))
+	for i := range trackers {
+		trackers[i].pos = geom.Pt(g.rng.Float64()*WorldSize, g.rng.Float64()*WorldSize)
+		out = append(out, Observation{ID: fmt.Sprintf("%s%d", prefix, i), T: t0, P: trackers[i].pos})
+	}
+	for s := 1; s <= steps; s++ {
+		t := t0 + temporal.Instant(float64(s)*stepDur)
+		for i := range trackers {
+			tr := &trackers[i]
+			switch r := g.rng.Float64(); {
+			case r < 0.2:
+				tr.vel = geom.Pt(0, 0) // rest: consecutive static units merge
+			case r < 0.6 && tr.vel != geom.Pt(0, 0):
+				// Hold velocity: continued linear motion compacts into
+				// the previous unit.
+			default:
+				ang := g.rng.Float64() * 2 * math.Pi
+				speed := g.rng.Float64() * maxSpeed
+				tr.vel = geom.Pt(math.Cos(ang), math.Sin(ang)).Scale(speed)
+			}
+			next := tr.pos.Add(tr.vel.Scale(stepDur))
+			rx, ry := reflect(next.X), reflect(next.Y)
+			if rx != next.X || ry != next.Y {
+				// A boundary reflection bends the path; the held
+				// velocity no longer describes it.
+				next = geom.Pt(rx, ry)
+				tr.vel = geom.Pt(0, 0)
+			}
+			tr.pos = next
+			out = append(out, Observation{ID: fmt.Sprintf("%s%d", prefix, i), T: t, P: next})
+		}
+	}
+	return out
+}
+
 // Airport is a named location for flight generation.
 type Airport struct {
 	Code string

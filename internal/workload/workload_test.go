@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"movingdb/internal/geom"
+	"movingdb/internal/moving"
 	"movingdb/internal/spatial"
 	"movingdb/internal/temporal"
 )
@@ -183,4 +184,49 @@ func TestStormWithEye(t *testing.T) {
 	// A point resting inside the eye at t=0 should not be inside.
 	eyeProbe := snap.Faces()[0].Holes[0].Vertices()[0]
 	_ = eyeProbe
+}
+
+func TestObservationStream(t *testing.T) {
+	a := New(77).ObservationStream("s", 5, 20, 10, 2, 6)
+	b := New(77).ObservationStream("s", 5, 20, 10, 2, 6)
+	if len(a) != 5*21 {
+		t.Fatalf("want one observation per object per step (+initial): %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stream not deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	perObject := map[string][]moving.Sample{}
+	for i, o := range a {
+		// Global time order, round-robin interleaved.
+		if i > 0 && o.T < a[i-1].T {
+			t.Fatalf("observation %d goes back in time", i)
+		}
+		if o.P.X < 0 || o.P.X > WorldSize || o.P.Y < 0 || o.P.Y > WorldSize {
+			t.Fatalf("observation %d outside the world: %v", i, o.P)
+		}
+		perObject[o.ID] = append(perObject[o.ID], moving.Sample{T: o.T, P: o.P})
+	}
+	if len(perObject) != 5 {
+		t.Fatalf("object count: %d", len(perObject))
+	}
+	units := 0
+	for id, samples := range perObject {
+		for i := 1; i < len(samples); i++ {
+			if samples[i].T <= samples[i-1].T {
+				t.Fatalf("%s: non-increasing per-object times", id)
+			}
+		}
+		mp, err := moving.MPointFromSamples(samples)
+		if err != nil {
+			t.Fatalf("%s: stream not buildable offline: %v", id, err)
+		}
+		units += mp.M.Len()
+	}
+	// Held velocities and rests must make compaction visible: strictly
+	// fewer units than legs.
+	if legs := 5 * 20; units >= legs {
+		t.Fatalf("no compaction opportunity in the stream: %d units for %d legs", units, legs)
+	}
 }

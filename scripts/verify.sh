@@ -1,0 +1,17 @@
+#!/bin/sh
+# Tier-1 verify recipe (ROADMAP.md): everything must build, pass vet,
+# and pass the full test suite under the race detector.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "verify: OK"
