@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench docs
+.PHONY: all build vet test race verify bench docs fuzz faultinject
 
 all: verify
 
@@ -16,9 +16,20 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The tier-1 recipe (ROADMAP.md): build, vet, race-enabled tests.
+# The tier-1 recipe (ROADMAP.md) plus the robustness checks: build,
+# vet, race-enabled tests, the faultinject build variant, and a fuzz
+# smoke run over the WAL decoders.
 verify:
 	./scripts/verify.sh
+
+# Fuzz the WAL recovery decoders (longer than the verify smoke run).
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzWALDecode -fuzztime=60s ./internal/ingest
+
+# Build and vet the failpoint-enabled binary variant.
+faultinject:
+	$(GO) build -tags=faultinject ./...
+	$(GO) vet -tags=faultinject ./...
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -1,0 +1,22 @@
+//go:build !faultinject
+
+package main
+
+import (
+	"errors"
+	"log"
+
+	"movingdb/internal/ingest"
+)
+
+// buildWALMedium returns the WAL medium for the ingest pipeline. In
+// production builds there is no fault-injection layer: a non-empty
+// -failpoints spec is a configuration error (failing loudly beats
+// silently ignoring an operator who thinks faults are being injected),
+// and nil selects the pipeline's default in-memory page store.
+func buildWALMedium(failpoints string, _ int64, _ *log.Logger) (ingest.PageIO, error) {
+	if failpoints != "" {
+		return nil, errors.New("-failpoints requires a build with -tags=faultinject")
+	}
+	return nil, nil
+}

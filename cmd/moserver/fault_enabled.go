@@ -1,0 +1,32 @@
+//go:build faultinject
+
+package main
+
+import (
+	"log"
+
+	"movingdb/internal/fault"
+	"movingdb/internal/ingest"
+	"movingdb/internal/storage"
+)
+
+// buildWALMedium returns the WAL medium for the ingest pipeline. This
+// is the -tags=faultinject variant: a non-empty -failpoints spec wraps
+// the page store in the deterministic fault-injection layer, seeded
+// with the workload seed so probabilistic fault schedules replay
+// identically run to run.
+func buildWALMedium(failpoints string, seed int64, logger *log.Logger) (ingest.PageIO, error) {
+	if failpoints == "" {
+		return nil, nil
+	}
+	specs, err := fault.ParseSpecs(failpoints)
+	if err != nil {
+		return nil, err
+	}
+	in := fault.New(seed)
+	for site, spec := range specs {
+		in.Set(site, spec)
+		logger.Printf("failpoint armed: %s=%s", site, spec.Mode)
+	}
+	return fault.NewStore(in, "wal", storage.NewPageStore()), nil
+}

@@ -61,6 +61,11 @@ func main() {
 	flushSize := flag.Int("ingest-flush-size", 32, "observations per object buffered before a flush")
 	flushAge := flag.Duration("ingest-flush-age", 100*time.Millisecond, "maximum buffering delay before a flush")
 	maxQueued := flag.Int("ingest-max-queued", 65536, "queued observations before backpressure (429)")
+	ckptPages := flag.Int("ingest-checkpoint-pages", 256, "WAL pages between checkpoints (-1 disables)")
+	retries := flag.Int("ingest-retries", 4, "WAL append attempts before a batch is dead-lettered")
+	degradedAfter := flag.Int("ingest-degraded-after", 3, "consecutive failed batches before degraded mode (503)")
+	probeEvery := flag.Duration("ingest-probe-interval", time.Second, "store probe interval while degraded")
+	failpoints := flag.String("failpoints", "", "fault injection spec, e.g. 'wal.put=error:3' (requires -tags=faultinject build)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "moserver ", log.LstdFlags)
@@ -102,20 +107,31 @@ func main() {
 		Logger:             logger,
 		Metrics:            metrics,
 	}
+	var pipe *ingest.Pipeline
 	if *liveIngest {
-		pipe, err := ingest.Open(ingest.Config{
-			SeedIDs:   ids,
-			Seeds:     objects,
-			FlushSize: *flushSize,
-			MaxAge:    *flushAge,
-			MaxQueued: *maxQueued,
-			Metrics:   metrics,
+		walIO, err := buildWALMedium(*failpoints, *seed, logger)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		pipe, err = ingest.Open(ingest.Config{
+			SeedIDs:           ids,
+			Seeds:             objects,
+			FlushSize:         *flushSize,
+			MaxAge:            *flushAge,
+			MaxQueued:         *maxQueued,
+			LogIO:             walIO,
+			CheckpointPages:   *ckptPages,
+			RetryAttempts:     *retries,
+			DegradedThreshold: *degradedAfter,
+			ProbeInterval:     *probeEvery,
+			Metrics:           metrics,
 		})
 		if err != nil {
 			logger.Fatal(err)
 		}
-		defer pipe.Close()
 		cfg.Ingest = pipe
+	} else if *failpoints != "" {
+		logger.Fatal("-failpoints requires -ingest")
 	}
 	s, err := server.New(cfg)
 	if err != nil {
@@ -157,5 +173,13 @@ func main() {
 		if err := srv.Shutdown(shCtx); err != nil {
 			logger.Printf("shutdown: %v", err)
 		}
+	}
+	if pipe != nil {
+		// After the HTTP drain no new batches can arrive; Close flushes
+		// every buffered observation into the store so acknowledged
+		// writes are applied, not just logged, before the process exits.
+		pipe.Close()
+		st := pipe.Stats()
+		logger.Printf("ingest pipeline drained: %d observations applied, wal seq %d", st.Applied, st.WALSeq)
 	}
 }

@@ -1,0 +1,213 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"movingdb/internal/storage"
+)
+
+func TestErrorOnceThenClean(t *testing.T) {
+	in := New(1)
+	in.Set("wal.put", Spec{Mode: ModeError, Times: 1})
+	st := NewStore(in, "wal", storage.NewPageStore())
+	if _, err := st.Put([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first put: want injected error, got %v", err)
+	}
+	if st.NumPages() != 0 {
+		t.Fatalf("failed put landed pages: %d", st.NumPages())
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := st.Put([]byte("x")); err != nil {
+			t.Fatalf("put %d after budget spent: %v", i, err)
+		}
+	}
+	if got := in.Trips("wal.put"); got != 1 {
+		t.Fatalf("trips = %d, want 1", got)
+	}
+}
+
+func TestErrorNTimes(t *testing.T) {
+	in := New(1)
+	in.Set("wal.put", Spec{Mode: ModeError, Times: 3})
+	st := NewStore(in, "wal", storage.NewPageStore())
+	for i := 0; i < 3; i++ {
+		if _, err := st.Put([]byte("x")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("put %d: want injected error, got %v", i, err)
+		}
+	}
+	if _, err := st.Put([]byte("x")); err != nil {
+		t.Fatalf("put after budget: %v", err)
+	}
+}
+
+func TestPersistentFaultAndClear(t *testing.T) {
+	in := New(1)
+	in.Set("wal.put", Spec{Mode: ModeError}) // Times 0 = forever
+	st := NewStore(in, "wal", storage.NewPageStore())
+	for i := 0; i < 10; i++ {
+		if _, err := st.Put([]byte("x")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("put %d: want injected error, got %v", i, err)
+		}
+	}
+	in.Clear("wal.put")
+	if _, err := st.Put([]byte("x")); err != nil {
+		t.Fatalf("put after clear: %v", err)
+	}
+}
+
+// TestProbDeterminism pins the seeded-RNG contract: the same seed and
+// hit sequence trip the same subset of hits, and a different seed trips
+// a different one.
+func TestProbDeterminism(t *testing.T) {
+	trace := func(seed int64) []bool {
+		in := New(seed)
+		in.Set("wal.put", Spec{Mode: ModeError, Prob: 0.3})
+		st := NewStore(in, "wal", storage.NewPageStore())
+		var out []bool
+		for i := 0; i < 64; i++ {
+			_, err := st.Put([]byte("x"))
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b := trace(7), trace(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	c := trace(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 64-hit schedules")
+	}
+}
+
+// TestTornWrite checks the partial-write mode: a prefix of the bytes
+// lands (whole pages, like a real device) and the operation fails.
+func TestTornWrite(t *testing.T) {
+	in := New(1)
+	in.Set("wal.put", Spec{Mode: ModeTorn, Times: 1, KeepFraction: 0.5})
+	ps := storage.NewPageStore()
+	st := NewStore(in, "wal", ps)
+	data := bytes.Repeat([]byte{0xCD}, 4*storage.PageSize)
+	_, err := st.Put(data)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn put: want injected error, got %v", err)
+	}
+	if n := ps.NumPages(); n == 0 || n >= 4 {
+		t.Fatalf("torn put landed %d pages, want a strict non-empty prefix of 4", n)
+	}
+	got, gerr := ps.Get(storage.LOBRef{FirstPage: 0, Length: storage.PageSize})
+	if gerr != nil || !bytes.Equal(got, data[:storage.PageSize]) {
+		t.Fatalf("torn bytes are not a prefix of the write")
+	}
+}
+
+func TestLatencyProceeds(t *testing.T) {
+	in := New(1)
+	in.Set("wal.put", Spec{Mode: ModeLatency, Times: 1, Delay: 10 * time.Millisecond})
+	st := NewStore(in, "wal", storage.NewPageStore())
+	start := time.Now()
+	if _, err := st.Put([]byte("x")); err != nil {
+		t.Fatalf("latency put failed: %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("latency not injected: took %v", d)
+	}
+	if st.NumPages() == 0 {
+		t.Fatal("latency put did not land")
+	}
+}
+
+func TestGetAndCompactSites(t *testing.T) {
+	in := New(1)
+	ps := storage.NewPageStore()
+	st := NewStore(in, "wal", ps)
+	ref, _ := st.Put(bytes.Repeat([]byte{1}, 3*storage.PageSize))
+	in.Set("wal.get", Spec{Mode: ModeError, Times: 1})
+	if _, err := st.Get(ref); !errors.Is(err, ErrInjected) {
+		t.Fatalf("get: want injected error, got %v", err)
+	}
+	if _, err := st.Get(ref); err != nil {
+		t.Fatalf("get after budget: %v", err)
+	}
+	in.Set("wal.compact", Spec{Mode: ModeError, Times: 1})
+	if err := st.Compact(1); !errors.Is(err, ErrInjected) {
+		t.Fatalf("compact: want injected error, got %v", err)
+	}
+	if ps.NumPages() != 3 {
+		t.Fatalf("refused compact mutated the store: %d pages", ps.NumPages())
+	}
+	if err := st.Compact(1); err != nil || ps.NumPages() != 2 {
+		t.Fatalf("compact after budget: err=%v pages=%d", err, ps.NumPages())
+	}
+}
+
+// TestNilInjector pins the nil-safety contract: a nil injector never
+// trips, so production wiring can pass one through unconditionally.
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	in.Set("x", Spec{Mode: ModeError})
+	in.Clear("x")
+	in.ClearAll()
+	if in.Trips("x") != 0 {
+		t.Fatal("nil injector reported trips")
+	}
+	st := NewStore(in, "wal", storage.NewPageStore())
+	if _, err := st.Put([]byte("x")); err != nil {
+		t.Fatalf("nil-injector put failed: %v", err)
+	}
+}
+
+func TestWriterFailsAfterBudget(t *testing.T) {
+	var buf bytes.Buffer
+	w := &Writer{W: &buf, FailAfter: 10}
+	if n, err := w.Write([]byte("12345")); n != 5 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	n, err := w.Write([]byte("6789012345"))
+	if n != 5 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("budget-crossing write: n=%d err=%v", n, err)
+	}
+	if buf.String() != "1234567890" {
+		t.Fatalf("written bytes %q, want the first 10", buf.String())
+	}
+	if n, err := w.Write([]byte("x")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after failure: n=%d err=%v", n, err)
+	}
+}
+
+func TestParseSpecs(t *testing.T) {
+	specs, err := ParseSpecs("wal.put=error:3; wal.get=latency:5ms,prob=0.1 ;wal.compact=torn:0.25,times=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := specs["wal.put"]; s.Mode != ModeError || s.Times != 3 {
+		t.Fatalf("wal.put = %+v", s)
+	}
+	if s := specs["wal.get"]; s.Mode != ModeLatency || s.Delay != 5*time.Millisecond || s.Prob != 0.1 {
+		t.Fatalf("wal.get = %+v", s)
+	}
+	if s := specs["wal.compact"]; s.Mode != ModeTorn || s.KeepFraction != 0.25 || s.Times != 2 {
+		t.Fatalf("wal.compact = %+v", s)
+	}
+	for _, bad := range []string{
+		"", "   ", "x", "x=", "=error", "x=nope", "x=error:y", "x=error:-1",
+		"x=torn:0", "x=torn:1", "x=torn:2", "x=latency", "x=latency:fast",
+		"x=error,prob=0", "x=error,prob=1.5", "x=error,times=-1", "x=error,bogus=1",
+	} {
+		if _, err := ParseSpecs(bad); err == nil {
+			t.Fatalf("ParseSpecs(%q) accepted", bad)
+		}
+	}
+}

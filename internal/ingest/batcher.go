@@ -147,6 +147,18 @@ func (b *batcher) flushOrdered(pred func(*objBuf) bool) {
 	b.order = remaining
 }
 
+// quiesce drains every buffer and then runs f, all under the lock, so
+// no admission (and therefore no WAL append) can interleave: f observes
+// a store that reflects exactly the batches logged so far. Checkpoints
+// run under it — the snapshot's state and the WAL sequence it is
+// stamped with cannot drift apart. f must not re-enter the batcher.
+func (b *batcher) quiesce(f func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.flushOrdered(func(*objBuf) bool { return true })
+	f()
+}
+
 // close stops the ticker goroutine and drains the remaining buffers.
 func (b *batcher) close() {
 	b.mu.Lock()

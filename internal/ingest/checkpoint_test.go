@@ -1,0 +1,226 @@
+package ingest
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"movingdb/internal/storage"
+	"movingdb/internal/workload"
+)
+
+// fingerprint renders the queryable state of a pipeline: every object's
+// full unit array plus the admission counters. Two pipelines with equal
+// fingerprints answer every atinstant/window query identically.
+func fingerprint(p *Pipeline) string {
+	var buf bytes.Buffer
+	for _, s := range p.Summaries() {
+		m, _ := p.Snapshot(s.ID)
+		fmt.Fprintf(&buf, "%s: %v\n", s.ID, m.M.Units())
+	}
+	applied, dropped, compacted := p.store.Counters()
+	fmt.Fprintf(&buf, "counters: %d %d %d\n", applied, dropped, compacted)
+	return buf.String()
+}
+
+// reopenFromImage round-trips the WAL medium through its durable image
+// (WriteTo/ReadPageStore — the crash model) and opens a pipeline on it.
+func reopenFromImage(t *testing.T, ps *storage.PageStore, cfg Config) (*Pipeline, *storage.PageStore) {
+	t.Helper()
+	var img bytes.Buffer
+	if _, err := ps.WriteTo(&img); err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := storage.ReadPageStore(bytes.NewReader(img.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Log = recovered
+	cfg.LogIO = nil
+	p, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, recovered
+}
+
+// ingestStream pushes the stream through p in small batches, fataling
+// on any rejection.
+func ingestStream(t *testing.T, p *Pipeline, stream []Observation, chunk int) {
+	t.Helper()
+	for lo := 0; lo < len(stream); lo += chunk {
+		if _, err := p.Ingest(stream[lo:min(lo+chunk, len(stream))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCheckpointBoundsReplay drives enough traffic to cross the
+// checkpoint threshold repeatedly and checks the contract: checkpoints
+// happen, compaction keeps the log near two checkpoint intervals
+// instead of growing with history, and a restart from the compacted
+// image reproduces the exact pre-crash state.
+func TestCheckpointBoundsReplay(t *testing.T) {
+	g := workload.New(11)
+	stream := toObservations(g.ObservationStream("o", 8, 60, 0, 1, 4))
+	cfg := Config{FlushSize: 4, MaxAge: time.Hour, CheckpointPages: 4}
+	cfg.Log = storage.NewPageStore()
+	p, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestStream(t, p, stream, 7)
+	p.Flush()
+	st := p.Stats()
+	if st.WALCheckpoints == 0 {
+		t.Fatal("no checkpoint despite crossing the threshold many times")
+	}
+	// The log never carries more than the previous checkpoint, one
+	// interval of batches, the newest checkpoint, and one more interval
+	// (plus the page-granular records straddling the boundaries).
+	if limit := 4*cfg.CheckpointPages + 8; st.WALPages > limit {
+		t.Fatalf("log grew to %d pages; want compaction to keep it under %d", st.WALPages, limit)
+	}
+	want := fingerprint(p)
+	p2, _ := reopenFromImage(t, cfg.Log, Config{CheckpointPages: 4})
+	defer p2.Close()
+	if got := fingerprint(p2); got != want {
+		t.Fatalf("restart from compacted log diverged:\n got %s\nwant %s", got, want)
+	}
+	p.Close()
+}
+
+// TestCheckpointStateRoundTrip pins the state codec on its own: encode
+// the live store, rebuild from the payload, compare fingerprints.
+func TestCheckpointStateRoundTrip(t *testing.T) {
+	g := workload.New(3)
+	stream := toObservations(g.ObservationStream("s", 5, 40, 0, 1, 4))
+	p, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ingestStream(t, p, stream, 9)
+	p.Flush()
+	state := encodeState(p.store)
+	if err := validateState(state); err != nil {
+		t.Fatalf("freshly encoded state rejected: %v", err)
+	}
+	st, err := storeFromState(state, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := &Pipeline{store: st, wal: &wal{io: pageStoreIO{storage.NewPageStore()}}, health: newHealth(3, time.Second), dead: newDeadLetter(16)}
+	p2.bat = newBatcher(1<<20, 1<<20, time.Hour, p2.applyFlush)
+	defer p2.Close()
+	if got, want := fingerprint(p2), fingerprint(p); got != want {
+		t.Fatalf("state round trip diverged:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestCorruptCheckpointFallsBack rots the newest checkpoint record in
+// the durable image. Recovery must quarantine it and reconstruct the
+// identical state from the previous checkpoint plus suffix replay —
+// never failing open, never losing an acked batch.
+func TestCorruptCheckpointFallsBack(t *testing.T) {
+	g := workload.New(17)
+	stream := toObservations(g.ObservationStream("f", 6, 60, 0, 1, 4))
+	cfg := Config{FlushSize: 1 << 20, MaxAge: time.Hour, CheckpointPages: -1}
+	cfg.Log = storage.NewPageStore()
+	p, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	third := len(stream) / 3
+	ingestStream(t, p, stream[:third], 7)
+	p.checkpointNow(false) // ckpt1
+	ingestStream(t, p, stream[third:2*third], 7)
+	p.checkpointNow(false) // ckpt2: log is now [ckpt1][batches][ckpt2]
+	ingestStream(t, p, stream[2*third:], 7)
+	p.Flush()
+	want := fingerprint(p)
+	ckptPage := p.wal.ckptPage
+	if ckptPage <= 0 {
+		t.Fatalf("test premise broken: newest checkpoint at page %d, want a retained predecessor before it", ckptPage)
+	}
+
+	var img bytes.Buffer
+	if _, err := cfg.Log.WriteTo(&img); err != nil {
+		t.Fatal(err)
+	}
+	raw := img.Bytes()
+	// Flip a payload byte inside the newest checkpoint record. The image
+	// prefixes pages with a 12-byte header (see TestWALCorruptPayload).
+	raw[12+ckptPage*storage.PageSize+walHeaderSize+3] ^= 0xFF
+	damaged, err := storage.ReadPageStore(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Open(Config{Log: damaged, CheckpointPages: -1})
+	if err != nil {
+		t.Fatalf("recovery failed open on a corrupt checkpoint: %v", err)
+	}
+	defer p2.Close()
+	if got := fingerprint(p2); got != want {
+		t.Fatalf("fallback recovery diverged:\n got %s\nwant %s", got, want)
+	}
+	if st := p2.Stats(); st.WALQuarantined == 0 {
+		t.Fatal("corrupt checkpoint was not quarantined")
+	}
+}
+
+// TestDirtyRecoveryRecheckpoints: when recovery quarantined damage and
+// checkpointing is enabled, Open writes a fresh checkpoint immediately
+// so the next open no longer re-reads the damaged region.
+func TestDirtyRecoveryRecheckpoints(t *testing.T) {
+	g := workload.New(23)
+	stream := toObservations(g.ObservationStream("d", 4, 40, 0, 1, 4))
+	cfg := Config{FlushSize: 1 << 20, MaxAge: time.Hour, CheckpointPages: -1}
+	cfg.Log = storage.NewPageStore()
+	p, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(stream) / 2
+	ingestStream(t, p, stream[:half], 7)
+	p.checkpointNow(false)
+	ingestStream(t, p, stream[half:], 7)
+	p.Flush()
+	want := fingerprint(p)
+	ckptPage := p.wal.ckptPage
+
+	var img bytes.Buffer
+	if _, err := cfg.Log.WriteTo(&img); err != nil {
+		t.Fatal(err)
+	}
+	raw := img.Bytes()
+	raw[12+ckptPage*storage.PageSize+walHeaderSize+1] ^= 0xFF
+	damaged, err := storage.ReadPageStore(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open with checkpointing on: the dirty scan triggers an immediate
+	// re-checkpoint, compacting the quarantined hole away.
+	p2, err := Open(Config{Log: damaged, CheckpointPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fingerprint(p2); got != want {
+		t.Fatalf("dirty recovery diverged:\n got %s\nwant %s", got, want)
+	}
+	if st := p2.Stats(); st.WALCheckpoints == 0 {
+		t.Fatal("dirty recovery did not re-checkpoint")
+	}
+	p2.Close()
+	// A third open of the re-checkpointed medium is clean: no further
+	// quarantine, same state.
+	p3, _ := reopenFromImage(t, damaged, Config{CheckpointPages: 4})
+	defer p3.Close()
+	if st := p3.Stats(); st.WALQuarantined != 0 {
+		t.Fatalf("re-checkpointed log still carries damage: %d quarantined pages", st.WALQuarantined)
+	}
+	if got := fingerprint(p3); got != want {
+		t.Fatalf("third open diverged:\n got %s\nwant %s", got, want)
+	}
+}

@@ -1,0 +1,135 @@
+package ingest
+
+import (
+	"sync"
+	"time"
+)
+
+// health is the store-health state machine behind graceful degradation.
+// Consecutive exhausted-retry failures past the threshold flip the
+// pipeline to degraded: ingest fails fast with ErrDegraded (503 at the
+// HTTP layer) instead of burning retry budgets per request, while reads
+// keep serving the last consistent state. While degraded, one attempt
+// per probe interval is let through as the health probe; the first
+// success clears the state — recovery is automatic once the fault
+// clears.
+type health struct {
+	mu         sync.Mutex
+	threshold  int
+	probeEvery time.Duration
+
+	consec    int
+	degraded  bool
+	cause     string
+	since     time.Time
+	lastProbe time.Time
+}
+
+func newHealth(threshold int, probeEvery time.Duration) *health {
+	return &health{threshold: threshold, probeEvery: probeEvery}
+}
+
+// allowAttempt reports whether the write path should try the store at
+// all. Healthy: always. Degraded: only when the probe timer has
+// expired, and then the caller's attempt is the probe.
+func (h *health) allowAttempt(now time.Time) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.degraded {
+		return true
+	}
+	if now.Sub(h.lastProbe) >= h.probeEvery {
+		h.lastProbe = now
+		return true
+	}
+	return false
+}
+
+// onFailure records one exhausted-retry failure and flips to degraded
+// at the threshold.
+func (h *health) onFailure(cause string, now time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.consec++
+	if !h.degraded && h.consec >= h.threshold {
+		h.degraded = true
+		h.cause = cause
+		h.since = now
+		h.lastProbe = now
+	}
+}
+
+// onSuccess clears the failure streak and, if degraded, restores
+// healthy operation.
+func (h *health) onSuccess() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.consec = 0
+	h.degraded = false
+	h.cause = ""
+}
+
+func (h *health) state() (degraded bool, cause string, since time.Time, consec int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.degraded, h.cause, h.since, h.consec
+}
+
+// deadLetter is the capped buffer of batches that exhausted their
+// retries — poisoned or unlucky work kept for operator inspection and
+// replay instead of silently vanishing. The cap is in observations;
+// when adding a batch would exceed it, the oldest batches are evicted
+// (and counted) first: recent failures are the ones an operator will
+// look at.
+type deadLetter struct {
+	mu       sync.Mutex
+	capObs   int
+	batches  [][]Observation
+	obsCount int
+	dropped  int64
+}
+
+func newDeadLetter(capObs int) *deadLetter { return &deadLetter{capObs: capObs} }
+
+func (d *deadLetter) add(batch []Observation) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(batch) > d.capObs {
+		d.dropped += int64(len(batch))
+		return
+	}
+	for d.obsCount+len(batch) > d.capObs && len(d.batches) > 0 {
+		d.dropped += int64(len(d.batches[0]))
+		d.obsCount -= len(d.batches[0])
+		d.batches = d.batches[1:]
+	}
+	d.batches = append(d.batches, batch)
+	d.obsCount += len(batch)
+}
+
+// drain removes and returns every buffered batch, oldest first.
+func (d *deadLetter) drain() [][]Observation {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := d.batches
+	d.batches = nil
+	d.obsCount = 0
+	return out
+}
+
+func (d *deadLetter) stats() (batches, observations int, dropped int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.batches), d.obsCount, d.dropped
+}
+
+// Health is the pipeline's health report, served by /v1/healthz.
+type Health struct {
+	Degraded            bool   `json:"degraded"`
+	Cause               string `json:"cause,omitempty"`
+	SinceUnixMS         int64  `json:"since_unix_ms,omitempty"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	DeadLetterBatches   int    `json:"dead_letter_batches"`
+	DeadLetterObs       int    `json:"dead_letter_observations"`
+	DeadLetterDropped   int64  `json:"dead_letter_dropped"`
+}

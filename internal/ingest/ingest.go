@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -51,11 +52,18 @@ type Observation struct {
 }
 
 // Errors surfaced by the write path. ErrBackpressure maps to HTTP 429,
-// ErrInvalidObservation to 400.
+// ErrInvalidObservation to 400, ErrDegraded to 503 with the "degraded"
+// envelope code.
 var (
 	ErrBackpressure       = errors.New("ingest: write queue full")
 	ErrInvalidObservation = errors.New("ingest: invalid observation")
 	ErrClosed             = errors.New("ingest: pipeline closed")
+	// ErrDegraded means the WAL medium is failing past the retry budget:
+	// the batch was NOT acknowledged and is not durable. While the
+	// pipeline is degraded, writes fail fast with this error and reads
+	// keep serving the last consistent state; a background probe clears
+	// the state automatically once the store recovers.
+	ErrDegraded = errors.New("ingest: store degraded")
 )
 
 // Config assembles a Pipeline. Zero-valued tuning fields get defaults;
@@ -84,11 +92,41 @@ type Config struct {
 	MergeThreshold int
 	// Metrics receives ingest counters and flush latencies (nil-safe).
 	Metrics *obs.Metrics
+	// LogIO overrides Log with a custom page-I/O implementation — the
+	// fault-injection seam (internal/fault.Store satisfies it
+	// structurally). When set, Log is ignored.
+	LogIO PageIO
+	// CheckpointPages is how many pages of batch records accumulate
+	// before the WAL writes a checkpoint and compacts, bounding replay.
+	// Default 256; -1 disables checkpointing.
+	CheckpointPages int
+	// RetryAttempts is the number of tries a WAL append gets before the
+	// batch is declared failed (so RetryAttempts-1 retries). Default 4.
+	RetryAttempts int
+	// RetryBase is the first backoff delay; it doubles per retry, with
+	// jitter, capped at RetryMaxWait. Defaults 2ms and 50ms.
+	RetryBase    time.Duration
+	RetryMaxWait time.Duration
+	// RetrySeed seeds the jitter RNG, making backoff schedules
+	// reproducible in tests. Default 1.
+	RetrySeed int64
+	// DeadLetterCap bounds the dead-letter buffer in observations.
+	// Default 4096.
+	DeadLetterCap int
+	// DegradedThreshold is how many consecutive exhausted-retry failures
+	// flip the pipeline to degraded (fail-fast) mode. Default 3.
+	DegradedThreshold int
+	// ProbeInterval is how often, while degraded, one write is let
+	// through to probe the store for recovery. Default 1s.
+	ProbeInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
 	if c.Log == nil {
 		c.Log = storage.NewPageStore()
+	}
+	if c.LogIO == nil {
+		c.LogIO = pageStoreIO{ps: c.Log}
 	}
 	if c.FlushSize == 0 {
 		c.FlushSize = 32
@@ -98,6 +136,30 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxQueued == 0 {
 		c.MaxQueued = 65536
+	}
+	if c.CheckpointPages == 0 {
+		c.CheckpointPages = 256
+	}
+	if c.RetryAttempts == 0 {
+		c.RetryAttempts = 4
+	}
+	if c.RetryBase == 0 {
+		c.RetryBase = 2 * time.Millisecond
+	}
+	if c.RetryMaxWait == 0 {
+		c.RetryMaxWait = 50 * time.Millisecond
+	}
+	if c.RetrySeed == 0 {
+		c.RetrySeed = 1
+	}
+	if c.DeadLetterCap == 0 {
+		c.DeadLetterCap = 4096
+	}
+	if c.DegradedThreshold == 0 {
+		c.DegradedThreshold = 3
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = time.Second
 	}
 	return c
 }
@@ -109,31 +171,66 @@ type Pipeline struct {
 	store     *Store
 	wal       *wal
 	bat       *batcher
+	health    *health
+	dead      *deadLetter
 	metrics   *obs.Metrics
 	closeOnce sync.Once
+
+	retryAttempts int
+	retryBase     time.Duration
+	retryMaxWait  time.Duration
+	rng           *rand.Rand // jitter; touched only under bat.mu (logAppend)
 }
 
-// Open builds the pipeline: it seeds the object store, replays any
-// write-ahead log records found in cfg.Log (restoring every batch that
-// was acknowledged before a crash), and starts the flush loop.
+// Open builds the pipeline: it seeds the object store, recovers the
+// write-ahead log found on the medium — newest valid checkpoint state,
+// if any, plus replay of the batch records after it — and starts the
+// flush loop. Recovery never fails open on damage: torn tails are
+// truncated and corrupt records quarantined (see openWAL); only
+// impossible configurations (mismatched seeds) error.
 func Open(cfg Config) (*Pipeline, error) {
 	if len(cfg.SeedIDs) != len(cfg.Seeds) {
 		return nil, errors.New("ingest: seed ids and objects length mismatch")
 	}
 	cfg = cfg.withDefaults()
-	st, err := newStore(cfg.SeedIDs, cfg.Seeds, cfg.MergeThreshold, cfg.Metrics)
+	w, rec, err := openWAL(cfg.LogIO, cfg.Metrics)
 	if err != nil {
 		return nil, err
 	}
-	w, batches, err := openWAL(cfg.Log, cfg.Metrics)
+	w.ckptEvery = cfg.CheckpointPages
+	var st *Store
+	if rec.state != nil {
+		// The checkpoint state already contains the seed objects from the
+		// first open (they were live when it was written), so it
+		// supersedes cfg.Seeds entirely.
+		st, err = storeFromState(rec.state, cfg.MergeThreshold, cfg.Metrics)
+	} else {
+		st, err = newStore(cfg.SeedIDs, cfg.Seeds, cfg.MergeThreshold, cfg.Metrics)
+	}
 	if err != nil {
 		return nil, err
 	}
-	for _, b := range batches {
+	for _, b := range rec.batches {
 		st.Apply(b)
 	}
-	p := &Pipeline{store: st, wal: w, metrics: cfg.Metrics}
+	p := &Pipeline{
+		store:         st,
+		wal:           w,
+		health:        newHealth(cfg.DegradedThreshold, cfg.ProbeInterval),
+		dead:          newDeadLetter(cfg.DeadLetterCap),
+		metrics:       cfg.Metrics,
+		retryAttempts: cfg.RetryAttempts,
+		retryBase:     cfg.RetryBase,
+		retryMaxWait:  cfg.RetryMaxWait,
+		rng:           rand.New(rand.NewSource(cfg.RetrySeed)),
+	}
 	p.bat = newBatcher(cfg.FlushSize, cfg.MaxQueued, cfg.MaxAge, p.applyFlush)
+	if rec.dirty && cfg.CheckpointPages > 0 {
+		// The scan quarantined damage; re-checkpoint now, compacting all
+		// the way to the fresh record, so the log stops carrying (and
+		// re-reading) the damaged region on every open.
+		p.checkpointNow(true)
+	}
 	return p, nil
 }
 
@@ -161,15 +258,82 @@ func (p *Pipeline) Ingest(batch []Observation) (uint64, error) {
 			return 0, fmt.Errorf("%w: observation %d (%q) has a non-finite field", ErrInvalidObservation, i, o.ObjectID)
 		}
 	}
-	seq, err := p.bat.enqueue(batch, p.wal.append)
+	if !p.health.allowAttempt(time.Now()) {
+		_, cause, _, _ := p.health.state()
+		p.metrics.RecordIngestCause("degraded_fast_fail", 1)
+		return 0, fmt.Errorf("%w (%s)", ErrDegraded, cause)
+	}
+	seq, err := p.bat.enqueue(batch, p.logAppend)
 	switch {
 	case err == nil:
 		p.metrics.RecordIngestBatch(len(batch))
+		if p.wal.checkpointDue() {
+			p.checkpointNow(false)
+		}
 	case errors.Is(err, ErrBackpressure):
 		p.metrics.RecordIngestBackpressure()
 	}
 	return seq, err
 }
+
+// logAppend is the batcher's log hook: the WAL append wrapped in a
+// bounded retry loop with exponential backoff and jitter for transient
+// store faults. Exhausting the budget moves the batch to the
+// dead-letter buffer, advances the health state machine toward
+// degraded mode, and reports ErrDegraded — the batch was never
+// acknowledged, so the caller knows it is not durable. Runs under the
+// batcher lock (which also serialises p.rng).
+func (p *Pipeline) logAppend(batch []Observation) (uint64, error) {
+	var err error
+	wait := p.retryBase
+	for attempt := 0; attempt < p.retryAttempts; attempt++ {
+		if attempt > 0 {
+			// Full jitter over the doubling window, capped.
+			d := min(wait, p.retryMaxWait)
+			time.Sleep(time.Duration(p.rng.Int63n(int64(d))) + d/2)
+			wait *= 2
+			p.metrics.RecordIngestCause("wal_retry", 1)
+		}
+		var seq uint64
+		if seq, err = p.wal.append(batch); err == nil {
+			p.health.onSuccess()
+			return seq, nil
+		}
+	}
+	p.health.onFailure(err.Error(), time.Now())
+	p.dead.add(batch)
+	p.metrics.RecordIngestCause("dead_letter", len(batch))
+	return 0, fmt.Errorf("%w: %w", ErrDegraded, err)
+}
+
+// checkpointNow quiesces the batcher (drain all buffers, block
+// admission), snapshots the store, and writes the checkpoint — the
+// snapshot is therefore consistent with exactly the WAL sequence it is
+// stamped with. Checkpoint failure is not an ingest failure: the log
+// stays valid, just longer, and the next trigger retries.
+func (p *Pipeline) checkpointNow(dropPrevious bool) {
+	p.bat.quiesce(func() {
+		if err := p.wal.checkpoint(encodeState(p.store), dropPrevious); err != nil {
+			p.metrics.RecordIngestCause("checkpoint_failed", 1)
+		}
+	})
+}
+
+// Health reports the degradation state machine and dead-letter buffer.
+func (p *Pipeline) Health() Health {
+	degraded, cause, since, consec := p.health.state()
+	h := Health{Degraded: degraded, Cause: cause, ConsecutiveFailures: consec}
+	if degraded {
+		h.SinceUnixMS = since.UnixMilli()
+	}
+	h.DeadLetterBatches, h.DeadLetterObs, h.DeadLetterDropped = p.dead.stats()
+	return h
+}
+
+// DrainDeadLetters removes and returns the batches that exhausted
+// their retries, oldest first — for operator inspection or replay once
+// the store recovers.
+func (p *Pipeline) DrainDeadLetters() [][]Observation { return p.dead.drain() }
 
 func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
@@ -204,35 +368,47 @@ func (p *Pipeline) Snapshot(id string) (moving.MPoint, bool) { return p.store.Sn
 
 // Stats is a point-in-time view of the pipeline.
 type Stats struct {
-	Objects      int    `json:"objects"`
-	Units        int    `json:"units"`
-	QueueDepth   int    `json:"queue_depth"`
-	Applied      int64  `json:"applied"`
-	Dropped      int64  `json:"dropped"`
-	Compacted    int64  `json:"compacted"`
-	BaseEntries  int    `json:"base_entries"`
-	DeltaEntries int    `json:"delta_entries"`
-	IndexMerges  int    `json:"index_merges"`
-	WALSeq       uint64 `json:"wal_seq"`
-	WALPages     int    `json:"wal_pages"`
+	Objects         int    `json:"objects"`
+	Units           int    `json:"units"`
+	QueueDepth      int    `json:"queue_depth"`
+	Applied         int64  `json:"applied"`
+	Dropped         int64  `json:"dropped"`
+	Compacted       int64  `json:"compacted"`
+	BaseEntries     int    `json:"base_entries"`
+	DeltaEntries    int    `json:"delta_entries"`
+	IndexMerges     int    `json:"index_merges"`
+	WALSeq          uint64 `json:"wal_seq"`
+	WALPages        int    `json:"wal_pages"`
+	WALCheckpoints  int64  `json:"wal_checkpoints"`
+	WALQuarantined  int    `json:"wal_quarantined_pages"`
+	DeadLetterBatch int    `json:"dead_letter_batches"`
+	DeadLetterObs   int    `json:"dead_letter_observations"`
+	Degraded        bool   `json:"degraded"`
 }
 
 // Stats snapshots the pipeline counters.
 func (p *Pipeline) Stats() Stats {
 	applied, dropped, compacted := p.store.Counters()
 	base, delta, merges := p.store.IndexStats()
-	seq, pages := p.wal.stats()
+	ws := p.wal.stats()
+	degraded, _, _, _ := p.health.state()
+	dlb, dlo, _ := p.dead.stats()
 	return Stats{
-		Objects:      p.store.Len(),
-		Units:        p.store.UnitCount(),
-		QueueDepth:   p.bat.depth(),
-		Applied:      applied,
-		Dropped:      dropped,
-		Compacted:    compacted,
-		BaseEntries:  base,
-		DeltaEntries: delta,
-		IndexMerges:  merges,
-		WALSeq:       seq,
-		WALPages:     pages,
+		Objects:         p.store.Len(),
+		Units:           p.store.UnitCount(),
+		QueueDepth:      p.bat.depth(),
+		Applied:         applied,
+		Dropped:         dropped,
+		Compacted:       compacted,
+		BaseEntries:     base,
+		DeltaEntries:    delta,
+		IndexMerges:     merges,
+		WALSeq:          ws.seq,
+		WALPages:        ws.pages,
+		WALCheckpoints:  ws.checkpoints,
+		WALQuarantined:  ws.quarantinedPages,
+		DeadLetterBatch: dlb,
+		DeadLetterObs:   dlo,
+		Degraded:        degraded,
 	}
 }

@@ -158,7 +158,7 @@ func TestNonMonotoneDropped(t *testing.T) {
 	batch := []Observation{
 		{ObjectID: "a", T: 1, X: 0, Y: 0},
 		{ObjectID: "a", T: 2, X: 1, Y: 0},
-		{ObjectID: "a", T: 2, X: 9, Y: 9}, // duplicate time
+		{ObjectID: "a", T: 2, X: 9, Y: 9},   // duplicate time
 		{ObjectID: "a", T: 1.5, X: 9, Y: 9}, // goes back
 		{ObjectID: "a", T: 3, X: 2, Y: 0},
 	}

@@ -11,103 +11,270 @@ import (
 	"movingdb/internal/storage"
 )
 
-// The write-ahead log stores one record per acknowledged batch as a
-// large object in the page store, so each record starts on a page
-// boundary and recovery is a linear page scan. Record layout
-// (little-endian):
+// The write-ahead log stores one record per acknowledged batch — plus
+// periodic checkpoint records — as large objects in the page store, so
+// each record starts on a page boundary and recovery is a linear page
+// scan. Record layout (little-endian):
 //
 //	magic   uint32  walMagic
-//	seq     uint64  1-based, strictly consecutive
+//	kind    uint32  1 = batch, 2 = checkpoint
+//	seq     uint64  batch: 1-based, strictly consecutive
+//	                checkpoint: the seq its state covers
 //	payload uint32  payload length in bytes
-//	crc     uint32  CRC-32 (IEEE) of the payload
-//	payload: count uint32, then per observation
-//	         idLen uint32, id bytes, t/x/y float64
+//	crc     uint32  CRC-32 (IEEE) of header bytes [4, 20) + payload,
+//	                so a flipped kind/seq/length is caught too
+//	payload: batch — count uint32, then per observation
+//	         idLen uint32, id bytes, t/x/y float64;
+//	         checkpoint — the encoded appender state (checkpoint.go)
 //
-// A record that fails any check — wrong magic, short pages, CRC
-// mismatch, a gap in the sequence, or a truncated payload — ends the
-// scan: it and everything after it is a torn tail from an interrupted
-// write and is discarded (truncated) so later appends stay reachable.
+// Recovery classifies damage by where and what it is:
+//
+//   - A record whose header does not parse, or whose pages extend past
+//     the end of the medium, is a torn tail from an interrupted write:
+//     it and everything after it is truncated (the normal crash
+//     artifact, not corruption).
+//   - A checkpoint record that is fully present but fails its CRC,
+//     its sequence rule, or state validation is quarantined (its pages
+//     are moved aside and counted) and skipped: the records around it
+//     still chain on seq, so the previous checkpoint plus the suffix
+//     replay reconstruct the same state. Recovery never fails open.
+//   - A batch record that is fully present but corrupt ends trust in
+//     the suffix: it is quarantined and the log is truncated there, so
+//     the recovered state is the longest clean prefix of acked batches.
+//
+// Periodically (every CheckpointPages pages of appends) the pipeline
+// writes a checkpoint carrying the full appender state and compacts
+// the log down to [previous checkpoint][suffix], keeping replay
+// bounded by roughly two checkpoint intervals while always retaining
+// one older checkpoint as the corruption fallback.
 const (
 	walMagic      = 0x4D4F574C // "MOWL"
-	walHeaderSize = 20
+	walHeaderSize = 24
+
+	walKindBatch      = 1
+	walKindCheckpoint = 2
+
+	// quarantineKeepPages bounds the in-memory copy of quarantined
+	// pages (the count is unbounded; the bytes are a diagnostic aid).
+	quarantineKeepPages = 64
 )
 
 type wal struct {
-	mu      sync.Mutex
-	ps      *storage.PageStore
-	seq     uint64
-	pages   int
+	mu        sync.Mutex
+	io        PageIO
+	seq       uint64
+	pages     int // committed log length in pages
+	ckptEvery int // batch pages between checkpoints; <= 0 disables
+	sinceCkpt int // batch pages appended since the last checkpoint
+	ckptPage  int // first page of the newest valid checkpoint, -1 none
+
+	checkpoints      int64
+	quarantinedPages int
+	quarantined      [][]byte
+
 	metrics *obs.Metrics
 }
 
-// openWAL scans ps from page 0, decoding every intact record in
-// sequence order, and returns the recovered batches for replay. The
-// store is truncated at the first invalid record.
-func openWAL(ps *storage.PageStore, metrics *obs.Metrics) (*wal, [][]Observation, error) {
-	w := &wal{ps: ps, metrics: metrics}
-	var batches [][]Observation
-	p := 0
-	for p < ps.NumPages() {
-		hdr, err := ps.Get(storage.LOBRef{FirstPage: p, Length: walHeaderSize})
-		if err != nil {
+// walStats is the point-in-time WAL view for Pipeline.Stats.
+type walStats struct {
+	seq              uint64
+	pages            int
+	checkpoints      int64
+	quarantinedPages int
+}
+
+// walRecovery is what openWAL salvaged: the newest valid checkpoint
+// state (nil if none), the batch records after it, and whether the
+// scan quarantined anything — a dirty log should be re-checkpointed so
+// the damaged region stops being re-read on every open.
+type walRecovery struct {
+	state   []byte
+	batches [][]Observation
+	dirty   bool
+}
+
+// openWAL scans pio from page 0 and salvages everything the damage
+// taxonomy above allows. The medium is truncated after the last record
+// it still trusts. openWAL never fails open: any byte prefix of a log
+// image recovers to a clean prefix of the acked history.
+func openWAL(pio PageIO, metrics *obs.Metrics) (*wal, walRecovery, error) {
+	w := &wal{io: pio, ckptPage: -1, metrics: metrics}
+	var rec walRecovery
+	p, committed, ckptEnd := 0, 0, 0
+	for p < pio.NumPages() {
+		hdr, err := pio.Get(storage.LOBRef{FirstPage: p, Length: walHeaderSize})
+		if err != nil || len(hdr) < walHeaderSize ||
+			binary.LittleEndian.Uint32(hdr[0:]) != walMagic {
+			break // torn tail (or pre-WAL bytes): discard
+		}
+		kind := binary.LittleEndian.Uint32(hdr[4:])
+		seq := binary.LittleEndian.Uint64(hdr[8:])
+		payloadLen := int(binary.LittleEndian.Uint32(hdr[16:]))
+		sum := binary.LittleEndian.Uint32(hdr[20:])
+		if kind != walKindBatch && kind != walKindCheckpoint {
+			break // not a record header: torn tail
+		}
+		n := pagesFor(walHeaderSize + payloadLen)
+		if p+n > pio.NumPages() {
+			break // record extends past the medium: torn write
+		}
+		body, err := pio.Get(storage.LOBRef{FirstPage: p, Length: walHeaderSize + payloadLen})
+		bad := err != nil
+		var payload []byte
+		if !bad {
+			payload = body[walHeaderSize:]
+			bad = recordCRC(body[4:20], payload) != sum
+		}
+		if !bad {
+			switch kind {
+			case walKindBatch:
+				var batch []Observation
+				batch, err = decodeBatch(payload)
+				if bad = err != nil || seq != w.seq+1; !bad {
+					rec.batches = append(rec.batches, batch)
+					w.seq = seq
+				}
+			case walKindCheckpoint:
+				// After compaction the log starts at a checkpoint whose
+				// seq is absolute, so the rule is seq >= current, not
+				// equality; the state then covers everything seen.
+				if bad = seq < w.seq || validateState(payload) != nil; !bad {
+					rec.state = payload
+					rec.batches = rec.batches[:0]
+					w.seq = seq
+					w.ckptPage = p
+					ckptEnd = p + n
+				}
+			}
+		}
+		if bad {
+			rec.dirty = true
+			if kind == walKindCheckpoint {
+				w.quarantine(p, n, "checkpoint")
+				p += n
+				continue
+			}
+			w.quarantine(p, pio.NumPages()-p, "record")
 			break
 		}
-		if binary.LittleEndian.Uint32(hdr[0:]) != walMagic {
-			break
-		}
-		seq := binary.LittleEndian.Uint64(hdr[4:])
-		payloadLen := int(binary.LittleEndian.Uint32(hdr[12:]))
-		crc := binary.LittleEndian.Uint32(hdr[16:])
-		if seq != w.seq+1 {
-			break
-		}
-		body, err := ps.Get(storage.LOBRef{FirstPage: p, Length: walHeaderSize + payloadLen})
-		if err != nil {
-			break
-		}
-		payload := body[walHeaderSize:]
-		if crc32.ChecksumIEEE(payload) != crc {
-			break
-		}
-		batch, err := decodeBatch(payload)
-		if err != nil {
-			break
-		}
-		batches = append(batches, batch)
-		w.seq = seq
-		p += pagesFor(walHeaderSize + payloadLen)
+		p += n
+		committed = p
 	}
-	ps.Truncate(p)
-	w.pages = p
-	return w, batches, nil
+	pio.Truncate(committed)
+	w.pages = committed
+	w.sinceCkpt = committed - ckptEnd
+	return w, rec, nil
+}
+
+// quarantine moves the pages of a corrupt record aside: their bytes
+// are copied into a bounded in-memory buffer (the "file moved aside")
+// and the damage is counted per cause.
+func (w *wal) quarantine(p, n int, cause string) {
+	if raw, err := w.io.Get(storage.LOBRef{FirstPage: p, Length: n * storage.PageSize}); err == nil {
+		for off := 0; off < len(raw) && len(w.quarantined) < quarantineKeepPages; off += storage.PageSize {
+			w.quarantined = append(w.quarantined, raw[off:off+storage.PageSize])
+		}
+	}
+	w.quarantinedPages += n
+	w.metrics.RecordWALQuarantine(n, cause)
 }
 
 func pagesFor(n int) int { return (n + storage.PageSize - 1) / storage.PageSize }
 
+// recordCRC covers the header fields after the magic plus the payload,
+// so corruption of kind, seq or length is detected, not just payload
+// rot.
+func recordCRC(hdrPart, payload []byte) uint32 {
+	return crc32.Update(crc32.ChecksumIEEE(hdrPart), crc32.IEEETable, payload)
+}
+
+func encodeRecord(kind uint32, seq uint64, payload []byte) []byte {
+	rec := make([]byte, walHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:], walMagic)
+	binary.LittleEndian.PutUint32(rec[4:], kind)
+	binary.LittleEndian.PutUint64(rec[8:], seq)
+	binary.LittleEndian.PutUint32(rec[16:], uint32(len(payload)))
+	copy(rec[walHeaderSize:], payload)
+	binary.LittleEndian.PutUint32(rec[20:], recordCRC(rec[4:20], rec[walHeaderSize:]))
+	return rec
+}
+
 // append logs one batch and returns its sequence number. The caller
 // (the batcher) serialises appends with enqueue admission, so WAL order
-// equals apply order.
+// equals apply order. A failed Put may have left torn pages behind;
+// they are truncated away so the committed prefix stays scannable and
+// the next append lands exactly where recovery will look for it.
 func (w *wal) append(batch []Observation) (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	payload := encodeBatch(batch)
-	rec := make([]byte, walHeaderSize+len(payload))
-	binary.LittleEndian.PutUint32(rec[0:], walMagic)
-	binary.LittleEndian.PutUint64(rec[4:], w.seq+1)
-	binary.LittleEndian.PutUint32(rec[12:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(rec[16:], crc32.ChecksumIEEE(payload))
-	copy(rec[walHeaderSize:], payload)
-	ref := w.ps.Put(rec)
+	rec := encodeRecord(walKindBatch, w.seq+1, encodeBatch(batch))
+	ref, err := w.io.Put(rec)
+	if err != nil {
+		w.io.Truncate(w.pages)
+		return 0, err
+	}
 	w.seq++
 	w.pages += ref.NumPages()
+	w.sinceCkpt += ref.NumPages()
 	w.metrics.RecordWALAppend(ref.NumPages())
 	return w.seq, nil
 }
 
-func (w *wal) stats() (seq uint64, pages int) {
+// checkpointDue reports whether enough batch pages have accumulated
+// since the last checkpoint.
+func (w *wal) checkpointDue() bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.seq, w.pages
+	return w.ckptEvery > 0 && w.sinceCkpt >= w.ckptEvery
+}
+
+// checkpoint writes a checkpoint record carrying state — the appender
+// snapshot at exactly the current seq; the caller guarantees every
+// logged batch is applied and no append can interleave — then compacts
+// the log to [previous checkpoint][suffix]. The previous checkpoint is
+// retained deliberately: it is the fallback when the newer record
+// rots. With dropPrevious the compaction goes all the way to the new
+// record instead — the dirty-recovery path uses it, because there the
+// region before the new checkpoint is exactly where quarantined damage
+// lives. A refused compact (injectable) just leaves a longer, still
+// valid log for the next round to shrink.
+func (w *wal) checkpoint(state []byte, dropPrevious bool) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rec := encodeRecord(walKindCheckpoint, w.seq, state)
+	ref, err := w.io.Put(rec)
+	if err != nil {
+		w.io.Truncate(w.pages)
+		return err
+	}
+	ckpt := ref.FirstPage
+	w.pages += ref.NumPages()
+	w.metrics.RecordWALCheckpoint(ref.NumPages())
+	keep := w.ckptPage
+	if dropPrevious {
+		keep = ckpt
+	}
+	if keep > 0 {
+		if cerr := w.io.Compact(keep); cerr == nil {
+			ckpt -= keep
+			w.pages -= keep
+		}
+	}
+	w.ckptPage = ckpt
+	w.sinceCkpt = 0
+	w.checkpoints++
+	return nil
+}
+
+func (w *wal) stats() walStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return walStats{
+		seq:              w.seq,
+		pages:            w.pages,
+		checkpoints:      w.checkpoints,
+		quarantinedPages: w.quarantinedPages,
+	}
 }
 
 func encodeBatch(batch []Observation) []byte {
@@ -127,11 +294,20 @@ func encodeBatch(batch []Observation) []byte {
 	return buf
 }
 
+// minObservationSize is the smallest wire footprint of one observation
+// (empty id): the idLen word plus three float64s. Decoders use it to
+// bound counts against the payload actually present, so a corrupt
+// count cannot drive allocation.
+const minObservationSize = 4 + 24
+
 func decodeBatch(payload []byte) ([]Observation, error) {
 	if len(payload) < 4 {
 		return nil, fmt.Errorf("%w: short batch payload", storage.ErrCorrupt)
 	}
 	count := int(binary.LittleEndian.Uint32(payload))
+	if count < 0 || count > (len(payload)-4)/minObservationSize {
+		return nil, fmt.Errorf("%w: batch count %d exceeds payload", storage.ErrCorrupt, count)
+	}
 	off := 4
 	batch := make([]Observation, 0, count)
 	for i := 0; i < count; i++ {

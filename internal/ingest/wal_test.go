@@ -15,9 +15,9 @@ import (
 
 func TestWALRoundTrip(t *testing.T) {
 	ps := storage.NewPageStore()
-	w, batches, err := openWAL(ps, nil)
-	if err != nil || len(batches) != 0 {
-		t.Fatalf("fresh wal: %v, %d batches", err, len(batches))
+	w, rec, err := openWAL(pageStoreIO{ps}, nil)
+	if err != nil || len(rec.batches) != 0 {
+		t.Fatalf("fresh wal: %v, %d batches", err, len(rec.batches))
 	}
 	want := [][]Observation{
 		{{ObjectID: "a", T: 1, X: 2, Y: 3}},
@@ -30,12 +30,12 @@ func TestWALRoundTrip(t *testing.T) {
 			t.Fatalf("append %d: seq=%d err=%v", i, seq, err)
 		}
 	}
-	_, got, err := openWAL(ps, nil)
+	_, rec2, err := openWAL(pageStoreIO{ps}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fmt.Sprint(got) != fmt.Sprint(want) {
-		t.Fatalf("replayed %v, want %v", got, want)
+	if fmt.Sprint(rec2.batches) != fmt.Sprint(want) {
+		t.Fatalf("replayed %v, want %v", rec2.batches, want)
 	}
 }
 
@@ -45,7 +45,7 @@ func TestWALRoundTrip(t *testing.T) {
 // with the new record reachable by the next scan.
 func TestWALTornTailTruncated(t *testing.T) {
 	ps := storage.NewPageStore()
-	w, _, err := openWAL(ps, nil)
+	w, _, err := openWAL(pageStoreIO{ps}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,11 +66,11 @@ func TestWALTornTailTruncated(t *testing.T) {
 	}
 	ps.Truncate(2) // tear the big record
 
-	w2, got, err := openWAL(ps, nil)
+	w2, rec2, err := openWAL(pageStoreIO{ps}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 1 || fmt.Sprint(got[0]) != fmt.Sprint(small) {
+	if got := rec2.batches; len(got) != 1 || fmt.Sprint(got[0]) != fmt.Sprint(small) {
 		t.Fatalf("after tear: %v", got)
 	}
 	if ps.NumPages() != 1 {
@@ -80,8 +80,8 @@ func TestWALTornTailTruncated(t *testing.T) {
 	if seq, err := w2.append(small); err != nil || seq != 2 {
 		t.Fatalf("append after recovery: seq=%d err=%v", seq, err)
 	}
-	if _, got, _ := openWAL(ps, nil); len(got) != 2 {
-		t.Fatalf("post-recovery append not replayed: %d batches", len(got))
+	if _, r, _ := openWAL(pageStoreIO{ps}, nil); len(r.batches) != 2 {
+		t.Fatalf("post-recovery append not replayed: %d batches", len(r.batches))
 	}
 }
 
@@ -89,7 +89,7 @@ func TestWALTornTailTruncated(t *testing.T) {
 // the CRC must stop replay at the damaged record.
 func TestWALCorruptPayload(t *testing.T) {
 	ps := storage.NewPageStore()
-	w, _, err := openWAL(ps, nil)
+	w, _, err := openWAL(pageStoreIO{ps}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,12 +110,12 @@ func TestWALCorruptPayload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, got, err := openWAL(damaged, nil)
+	_, rec2, err := openWAL(pageStoreIO{damaged}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 1 {
-		t.Fatalf("want replay to stop at the damaged record: got %d batches", len(got))
+	if len(rec2.batches) != 1 {
+		t.Fatalf("want replay to stop at the damaged record: got %d batches", len(rec2.batches))
 	}
 	if damaged.NumPages() != 1 {
 		t.Fatalf("damaged tail not truncated: %d pages", damaged.NumPages())
@@ -127,9 +127,9 @@ func TestWALCorruptPayload(t *testing.T) {
 func TestWALGarbageStore(t *testing.T) {
 	ps := storage.NewPageStore()
 	ps.Put(bytes.Repeat([]byte{0xAB}, 3*storage.PageSize))
-	w, got, err := openWAL(ps, nil)
-	if err != nil || len(got) != 0 {
-		t.Fatalf("garbage store: %v, %d batches", err, len(got))
+	w, rec, err := openWAL(pageStoreIO{ps}, nil)
+	if err != nil || len(rec.batches) != 0 {
+		t.Fatalf("garbage store: %v, %d batches", err, len(rec.batches))
 	}
 	if ps.NumPages() != 0 {
 		t.Fatalf("garbage not truncated: %d pages", ps.NumPages())
@@ -137,8 +137,8 @@ func TestWALGarbageStore(t *testing.T) {
 	if _, err := w.append([]Observation{{ObjectID: "a", T: 1, X: 0, Y: 0}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, got, _ := openWAL(ps, nil); len(got) != 1 {
-		t.Fatalf("append after garbage recovery not replayed: %d batches", len(got))
+	if _, r, _ := openWAL(pageStoreIO{ps}, nil); len(r.batches) != 1 {
+		t.Fatalf("append after garbage recovery not replayed: %d batches", len(r.batches))
 	}
 }
 

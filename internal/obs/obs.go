@@ -82,6 +82,14 @@ type ingestStats struct {
 	indexMerges  int64 // delta-buffer folds into a rebuilt base tree
 	walRecords   int64
 	walPages     int64
+
+	// Fault-path counters (PR 3): WAL checkpoint/quarantine volume and
+	// the per-cause event map (retries, dead-letters, degraded flips,
+	// fail-fast rejections, quarantine causes).
+	walCheckpoints     int64
+	walCheckpointPages int64
+	walQuarantined     int64 // pages moved aside as corrupt
+	causes             map[string]int64
 }
 
 // SlowQuery is one entry of the slow-query log.
@@ -99,12 +107,12 @@ type SlowQuery struct {
 // receiver (they become no-ops), so instrumented code does not need to
 // guard against a missing registry.
 type Metrics struct {
-	mu      sync.Mutex
-	start   time.Time
-	routes  map[string]*routeStats
-	ops     map[string]*opStats
-	slow    []SlowQuery // ring buffer, slowNext is the write cursor
-	slowCap int
+	mu       sync.Mutex
+	start    time.Time
+	routes   map[string]*routeStats
+	ops      map[string]*opStats
+	slow     []SlowQuery // ring buffer, slowNext is the write cursor
+	slowCap  int
 	slowNext int
 	slowLen  int
 	ingest   ingestStats
@@ -248,6 +256,49 @@ func (m *Metrics) RecordWALAppend(pages int) {
 	m.ingest.walPages += int64(pages)
 }
 
+// RecordWALCheckpoint counts one checkpoint record of the given page
+// footprint.
+func (m *Metrics) RecordWALCheckpoint(pages int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ingest.walCheckpoints++
+	m.ingest.walCheckpointPages += int64(pages)
+}
+
+// RecordWALQuarantine counts pages moved aside as corrupt during WAL
+// recovery, keyed by what kind of record rotted.
+func (m *Metrics) RecordWALQuarantine(pages int, cause string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ingest.walQuarantined += int64(pages)
+	m.causeLocked("wal_quarantine_"+cause, 1)
+}
+
+// RecordIngestCause counts n write-path fault events of the named
+// cause — "retry", "dead_letter", "degraded_enter", "degraded_exit",
+// "degraded_fast_fail", "checkpoint_error", and the quarantine causes.
+func (m *Metrics) RecordIngestCause(cause string, n int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.causeLocked(cause, int64(n))
+}
+
+func (m *Metrics) causeLocked(cause string, n int64) {
+	if m.ingest.causes == nil {
+		m.ingest.causes = map[string]int64{}
+	}
+	m.ingest.causes[cause] += n
+}
+
 // RecordSlowQuery appends an entry to the slow-query ring.
 func (m *Metrics) RecordSlowQuery(e SlowQuery) {
 	if m == nil {
@@ -294,6 +345,11 @@ type IngestSnapshot struct {
 	IndexMerges        int64   `json:"index_merges"`
 	WALRecords         int64   `json:"wal_records"`
 	WALPages           int64   `json:"wal_pages"`
+	// Fault-path counters.
+	WALCheckpoints      int64            `json:"wal_checkpoints"`
+	WALCheckpointPages  int64            `json:"wal_checkpoint_pages"`
+	WALQuarantinedPages int64            `json:"wal_quarantined_pages"`
+	Causes              map[string]int64 `json:"causes"`
 }
 
 // Snapshot is the full registry state served at /v1/metrics.
@@ -354,17 +410,24 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	ing := m.ingest
 	out.Ingest = IngestSnapshot{
-		Batches:            ing.batches,
-		Observations:       ing.observations,
-		Backpressure:       ing.backpressure,
-		Flushes:            ing.flushes,
-		Applied:            ing.applied,
-		DroppedNonMonotone: ing.dropped,
-		Compacted:          ing.compacted,
-		MaxFlushMillis:     float64(ing.flushMaxNS) / 1e6,
-		IndexMerges:        ing.indexMerges,
-		WALRecords:         ing.walRecords,
-		WALPages:           ing.walPages,
+		Batches:             ing.batches,
+		Observations:        ing.observations,
+		Backpressure:        ing.backpressure,
+		Flushes:             ing.flushes,
+		Applied:             ing.applied,
+		DroppedNonMonotone:  ing.dropped,
+		Compacted:           ing.compacted,
+		MaxFlushMillis:      float64(ing.flushMaxNS) / 1e6,
+		IndexMerges:         ing.indexMerges,
+		WALRecords:          ing.walRecords,
+		WALPages:            ing.walPages,
+		WALCheckpoints:      ing.walCheckpoints,
+		WALCheckpointPages:  ing.walCheckpointPages,
+		WALQuarantinedPages: ing.walQuarantined,
+		Causes:              make(map[string]int64, len(ing.causes)),
+	}
+	for cause, n := range ing.causes {
+		out.Ingest.Causes[cause] = n
 	}
 	if ing.flushes > 0 {
 		out.Ingest.AvgFlushMillis = float64(ing.flushTotalNS) / float64(ing.flushes) / 1e6

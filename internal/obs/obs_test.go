@@ -132,3 +132,37 @@ func TestIngestMetrics(t *testing.T) {
 	nilM.RecordIndexMerge()
 	nilM.RecordWALAppend(1)
 }
+
+func TestFaultRecoveryMetrics(t *testing.T) {
+	m := New(0)
+	m.RecordWALCheckpoint(2)
+	m.RecordWALCheckpoint(3)
+	m.RecordWALQuarantine(4, "checkpoint")
+	m.RecordWALQuarantine(1, "record")
+	m.RecordWALQuarantine(1, "record")
+	m.RecordIngestCause("wal_retry", 3)
+	m.RecordIngestCause("dead_letter", 7)
+	s := m.Snapshot().Ingest
+	if s.WALCheckpoints != 2 || s.WALCheckpointPages != 5 {
+		t.Fatalf("checkpoint counters: %+v", s)
+	}
+	if s.WALQuarantinedPages != 6 {
+		t.Fatalf("quarantine counter: %+v", s)
+	}
+	if s.Causes["wal_quarantine_checkpoint"] != 1 || s.Causes["wal_quarantine_record"] != 2 {
+		t.Fatalf("quarantine causes: %v", s.Causes)
+	}
+	if s.Causes["wal_retry"] != 3 || s.Causes["dead_letter"] != 7 {
+		t.Fatalf("ingest causes: %v", s.Causes)
+	}
+	// The snapshot map is a copy, detached from the live registry.
+	s.Causes["wal_retry"] = 999
+	if m.Snapshot().Ingest.Causes["wal_retry"] != 3 {
+		t.Fatal("snapshot causes map aliases the registry")
+	}
+	// The nil registry swallows the fault-path recording too.
+	var nilM *Metrics
+	nilM.RecordWALCheckpoint(1)
+	nilM.RecordWALQuarantine(1, "record")
+	nilM.RecordIngestCause("x", 1)
+}

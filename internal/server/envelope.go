@@ -23,6 +23,12 @@ const (
 	// CodeUnavailable signals a feature not enabled on this server, such
 	// as POSTing to /v1/ingest when no live pipeline is configured.
 	CodeUnavailable = "unavailable"
+	// CodeDegraded signals that the WAL medium is failing past the retry
+	// budget (HTTP 503): the batch was not acknowledged and is not
+	// durable. Reads keep working; clients should retry writes with
+	// backoff — the server probes the store and recovers automatically
+	// once the fault clears.
+	CodeDegraded = "degraded"
 )
 
 // apiError is the envelope payload.

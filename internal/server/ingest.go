@@ -45,6 +45,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ingest.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, err.Error())
 		return
+	case errors.Is(err, ingest.ErrDegraded):
+		writeError(w, http.StatusServiceUnavailable, CodeDegraded, err.Error())
+		return
 	case err != nil:
 		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return

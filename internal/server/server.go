@@ -438,7 +438,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleHealthz reports liveness and the sizes of the served data; with
-// a live pipeline it also carries the pipeline counters.
+// a live pipeline it also carries the pipeline counters and the health
+// state machine. A degraded store (writes failing past the retry
+// budget) reports status "degraded" with its cause — reads still work,
+// so the process stays "live" for orchestrators that only check the
+// HTTP status, while the body tells operators what is wrong.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	body := map[string]any{
 		"status":    "ok",
@@ -449,6 +453,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		st := s.ingest.Stats()
 		body["objects"] = st.Objects
 		body["ingest"] = st
+		h := s.ingest.Health()
+		body["health"] = h
+		if h.Degraded {
+			body["status"] = "degraded"
+			body["cause"] = h.Cause
+		}
 	}
 	writeJSON(w, body)
 }

@@ -84,6 +84,23 @@ func (s *PageStore) Truncate(n int) {
 	}
 }
 
+// Compact drops the first n pages, renumbering the remainder down to
+// start at page 0. It is the in-memory stand-in for the
+// write-new-segment-then-rename idiom a file-backed log uses to shrink
+// its head atomically: the operation either happens entirely or not at
+// all, never leaving a half-moved prefix. It is only meaningful for
+// stores whose refs are re-derived by scanning (such as the ingestion
+// WAL); LOBRefs held elsewhere are invalidated by the renumbering.
+func (s *PageStore) Compact(n int) {
+	if n <= 0 {
+		return
+	}
+	if n > len(s.pages) {
+		n = len(s.pages)
+	}
+	s.pages = append([][]byte(nil), s.pages[n:]...)
+}
+
 // pageStoreMagic identifies a serialised page store image.
 const pageStoreMagic = 0x4D504753 // "MPGS"
 
@@ -129,6 +146,38 @@ func ReadPageStore(r io.Reader) (*PageStore, error) {
 		s.pages = append(s.pages, page)
 	}
 	return s, nil
+}
+
+// RecoverPageStore is the crash-tolerant image loader: where
+// ReadPageStore rejects any truncation, this reads as much of the image
+// as survived. A header too short to parse yields an empty store; a
+// partial final page is discarded as a torn write; a page count larger
+// than the bytes present keeps exactly the whole pages read. Only a
+// foreign format (wrong magic) is an error — truncation is a crash
+// artifact the WAL layer recovers from, a different format is not. The
+// second result is the number of claimed pages that were lost.
+func RecoverPageStore(r io.Reader) (*PageStore, int, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return NewPageStore(), 0, nil
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != pageStoreMagic {
+		return nil, 0, fmt.Errorf("%w: not a page store image", ErrCorrupt)
+	}
+	count := binary.LittleEndian.Uint64(hdr[4:])
+	s := NewPageStore()
+	for i := uint64(0); i < count; i++ {
+		page := make([]byte, PageSize)
+		if _, err := io.ReadFull(r, page); err != nil {
+			break // torn: whole pages up to here survive
+		}
+		s.pages = append(s.pages, page)
+	}
+	lost := count - uint64(len(s.pages))
+	if lost > 1<<31 {
+		lost = 1 << 31 // a corrupt claimed count; the real loss is unknowable
+	}
+	return s, int(lost), nil
 }
 
 // InlineThreshold is the array size up to which arrays are stored inline

@@ -1,0 +1,130 @@
+// Error-path coverage for the page store: failing writers during image
+// serialisation, hostile inputs to the image readers, and the
+// Compact/Recover operations the WAL's checkpointing and crash recovery
+// are built on. Lives in package storage_test so it can drive WriteTo
+// through the fault package's failing writer.
+package storage_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"movingdb/internal/fault"
+	"movingdb/internal/storage"
+)
+
+func TestWriteToFailingWriter(t *testing.T) {
+	s := storage.NewPageStore()
+	s.Put(bytes.Repeat([]byte{1}, 3*storage.PageSize))
+	var full bytes.Buffer
+	total, err := s.WriteTo(&full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail at every interesting boundary: inside the header, at the
+	// header/page seam, inside a page, at a page seam, and right before
+	// the end.
+	for _, budget := range []int{0, 5, 12, 100, 12 + storage.PageSize, int(total) - 1} {
+		var buf bytes.Buffer
+		n, err := s.WriteTo(&fault.Writer{W: &buf, FailAfter: budget})
+		if !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("budget %d: want injected error, got %v", budget, err)
+		}
+		if n != int64(buf.Len()) {
+			t.Fatalf("budget %d: WriteTo reported %d bytes, writer saw %d", budget, n, buf.Len())
+		}
+		if n > int64(budget) {
+			t.Fatalf("budget %d: wrote %d bytes past the failure", budget, n)
+		}
+		if !bytes.Equal(buf.Bytes(), full.Bytes()[:buf.Len()]) {
+			t.Fatalf("budget %d: partial image is not a prefix of the full image", budget)
+		}
+	}
+}
+
+func TestReadPageStoreHostileInputs(t *testing.T) {
+	for name, img := range map[string][]byte{
+		"empty":        {},
+		"short header": {0x53, 0x47},
+		"garbage":      bytes.Repeat([]byte{0xA5}, 64),
+	} {
+		if _, err := storage.ReadPageStore(bytes.NewReader(img)); !errors.Is(err, storage.ErrCorrupt) {
+			t.Fatalf("%s: want ErrCorrupt, got %v", name, err)
+		}
+	}
+	// A header claiming more pages than the stream holds.
+	s := storage.NewPageStore()
+	s.Put(bytes.Repeat([]byte{7}, 2*storage.PageSize))
+	var img bytes.Buffer
+	if _, err := s.WriteTo(&img); err != nil {
+		t.Fatal(err)
+	}
+	truncated := img.Bytes()[:img.Len()-storage.PageSize/2]
+	if _, err := storage.ReadPageStore(bytes.NewReader(truncated)); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("truncated image: want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestRecoverPageStoreSalvagesPrefix(t *testing.T) {
+	s := storage.NewPageStore()
+	s.Put(bytes.Repeat([]byte{3}, 3*storage.PageSize))
+	var img bytes.Buffer
+	if _, err := s.WriteTo(&img); err != nil {
+		t.Fatal(err)
+	}
+	raw := img.Bytes()
+	// Mid-page cut: two whole pages survive, one page lost.
+	ps, lost, err := storage.RecoverPageStore(bytes.NewReader(raw[:12+2*storage.PageSize+100]))
+	if err != nil || ps.NumPages() != 2 || lost != 1 {
+		t.Fatalf("mid-page cut: pages=%d lost=%d err=%v", ps.NumPages(), lost, err)
+	}
+	// Header-only and sub-header cuts: empty store, nothing lost vs
+	// claimed-but-absent pages respectively.
+	ps, lost, err = storage.RecoverPageStore(bytes.NewReader(raw[:5]))
+	if err != nil || ps.NumPages() != 0 || lost != 0 {
+		t.Fatalf("sub-header cut: pages=%d lost=%d err=%v", ps.NumPages(), lost, err)
+	}
+	ps, lost, err = storage.RecoverPageStore(bytes.NewReader(raw[:12]))
+	if err != nil || ps.NumPages() != 0 || lost != 3 {
+		t.Fatalf("header-only cut: pages=%d lost=%d err=%v", ps.NumPages(), lost, err)
+	}
+	// Foreign bytes are the one hard error: recovery must not guess.
+	if _, _, err := storage.RecoverPageStore(bytes.NewReader(bytes.Repeat([]byte{0xEE}, 64))); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("foreign format: want ErrCorrupt, got %v", err)
+	}
+	// A corrupt page count (huge) must not overflow the loss counter.
+	huge := append([]byte(nil), raw[:12]...)
+	for i := 4; i < 12; i++ {
+		huge[i] = 0xFF
+	}
+	if _, lost, err := storage.RecoverPageStore(bytes.NewReader(huge)); err != nil || lost < 0 {
+		t.Fatalf("huge claimed count: lost=%d err=%v", lost, err)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	s := storage.NewPageStore()
+	for i := byte(0); i < 4; i++ {
+		s.Put(bytes.Repeat([]byte{i + 1}, storage.PageSize))
+	}
+	s.Compact(2)
+	if s.NumPages() != 2 {
+		t.Fatalf("pages after compact: %d", s.NumPages())
+	}
+	// The remainder is renumbered down to page 0.
+	got, err := s.Get(storage.LOBRef{FirstPage: 0, Length: storage.PageSize})
+	if err != nil || got[0] != 3 {
+		t.Fatalf("page 0 after compact holds %d (err=%v), want the old page 2", got[0], err)
+	}
+	// Degenerate arguments: no-ops or clamp to empty.
+	s.Compact(0)
+	s.Compact(-5)
+	if s.NumPages() != 2 {
+		t.Fatalf("no-op compact changed pages: %d", s.NumPages())
+	}
+	s.Compact(99)
+	if s.NumPages() != 0 {
+		t.Fatalf("over-compact left %d pages", s.NumPages())
+	}
+}

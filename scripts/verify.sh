@@ -14,4 +14,13 @@ go vet ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> go build -tags=faultinject ./..."
+go build -tags=faultinject ./...
+
+echo "==> go vet -tags=faultinject ./..."
+go vet -tags=faultinject ./...
+
+echo "==> fuzz smoke: FuzzWALDecode (10s)"
+go test -run='^$' -fuzz=FuzzWALDecode -fuzztime=10s ./internal/ingest
+
 echo "verify: OK"
