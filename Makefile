@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench docs fuzz faultinject
+.PHONY: all build vet test race verify bench docs fuzz faultinject lint debugcheck
 
 all: verify
 
@@ -15,6 +15,16 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Run the repository's own static-analysis suite (DESIGN.md §10) over
+# the default and faultinject build variants.
+lint:
+	$(GO) run ./cmd/molint ./...
+
+# Run the paper-kernel tests with the runtime invariant assertions
+# compiled in (sliced-representation and halfsegment-order checks).
+debugcheck:
+	$(GO) test -tags=debugcheck ./internal/mapping ./internal/spatial ./internal/moving
 
 # The tier-1 recipe (ROADMAP.md) plus the robustness checks: build,
 # vet, race-enabled tests, the faultinject build variant, and a fuzz

@@ -38,6 +38,7 @@ func (s *Store) Put(data []byte) (storage.LOBRef, error) {
 	if act, ok := s.in.eval(s.name + ".put"); ok {
 		switch act.mode {
 		case ModeLatency:
+			//molint:ignore det-path injected latency must really elapse; which calls sleep is decided by the seeded injector, so determinism of outcomes is preserved
 			time.Sleep(act.delay)
 		case ModeTorn:
 			keep := int(float64(len(data)) * act.keepFraction)
@@ -57,6 +58,7 @@ func (s *Store) Put(data []byte) (storage.LOBRef, error) {
 func (s *Store) Get(ref storage.LOBRef) ([]byte, error) {
 	if act, ok := s.in.eval(s.name + ".get"); ok {
 		if act.mode == ModeLatency {
+			//molint:ignore det-path injected latency must really elapse; which calls sleep is decided by the seeded injector, so determinism of outcomes is preserved
 			time.Sleep(act.delay)
 		} else {
 			return nil, act.err
@@ -78,6 +80,7 @@ func (s *Store) Truncate(n int) { s.ps.Truncate(n) }
 func (s *Store) Compact(n int) error {
 	if act, ok := s.in.eval(s.name + ".compact"); ok {
 		if act.mode == ModeLatency {
+			//molint:ignore det-path injected latency must really elapse; which calls sleep is decided by the seeded injector, so determinism of outcomes is preserved
 			time.Sleep(act.delay)
 		} else {
 			return act.err

@@ -27,6 +27,7 @@ func Plumbline(p Point, segs []Segment) bool {
 // exactly once.
 func crossesBelow(p Point, s Segment) bool {
 	a, b := s.Left, s.Right
+	//molint:ignore float-eq the half-open [min x, max x) rule needs exact coordinate classification so shared vertices count exactly once
 	if a.X == b.X {
 		return false // vertical segments never cross a vertical ray properly
 	}

@@ -80,7 +80,11 @@ func TestWALTornTailTruncated(t *testing.T) {
 	if seq, err := w2.append(small); err != nil || seq != 2 {
 		t.Fatalf("append after recovery: seq=%d err=%v", seq, err)
 	}
-	if _, r, _ := openWAL(pageStoreIO{ps}, nil); len(r.batches) != 2 {
+	_, r, err := openWAL(pageStoreIO{ps}, nil)
+	if err != nil {
+		t.Fatalf("reopen after recovery: %v", err)
+	}
+	if len(r.batches) != 2 {
 		t.Fatalf("post-recovery append not replayed: %d batches", len(r.batches))
 	}
 }
@@ -137,7 +141,11 @@ func TestWALGarbageStore(t *testing.T) {
 	if _, err := w.append([]Observation{{ObjectID: "a", T: 1, X: 0, Y: 0}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, r, _ := openWAL(pageStoreIO{ps}, nil); len(r.batches) != 1 {
+	_, r, err := openWAL(pageStoreIO{ps}, nil)
+	if err != nil {
+		t.Fatalf("reopen after garbage recovery: %v", err)
+	}
+	if len(r.batches) != 1 {
 		t.Fatalf("append after garbage recovery not replayed: %d batches", len(r.batches))
 	}
 }

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ctxLoop enforces the cooperative-cancellation convention on the
+// lifted operations: every exported function named ...Ctx that takes a
+// context must reach a cancellation poll inside each outermost loop
+// whose trip count depends on input. The serving layer relies on this
+// to abort Section 5 kernels when a request deadline expires; a loop
+// that never polls turns a cancelled request into a full scan. A poll
+// is ctx.Err()/ctx.Done(), or any call that receives the context (the
+// cancelCheck helper, or delegation to another ...Ctx function). Loops
+// bounded by a constant are exempt, as are inner loops — the outermost
+// loop polls once per iteration, which bounds cancellation latency by
+// one refinement step.
+type ctxLoop struct{ cfg *Config }
+
+func (ctxLoop) ID() string { return "ctx-loop" }
+
+func (c ctxLoop) Run(pass *Pass) {
+	if c.cfg.CtxLoopPkgs != nil && !inScope(c.cfg.CtxLoopPkgs, pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if len(fd.Name.Name) <= 3 || !strings.HasSuffix(fd.Name.Name, "Ctx") {
+				continue
+			}
+			if !c.hasCtxParam(pass, fd) {
+				continue
+			}
+			for _, loop := range outermostLoops(fd.Body) {
+				if c.constantBound(pass, loop) {
+					continue
+				}
+				if !c.polls(pass, loop) {
+					pass.Report(loop.Pos(), "input-bounded loop in exported Ctx kernel %s never polls cancellation", fd.Name.Name)
+				}
+			}
+		}
+	}
+}
+
+func (ctxLoop) hasCtxParam(pass *Pass, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		if tv, ok := pass.Info.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// outermostLoops collects the for/range statements not nested inside
+// another loop in the same body.
+func outermostLoops(body *ast.BlockStmt) []ast.Stmt {
+	var loops []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n.(ast.Stmt))
+			return false
+		}
+		return true
+	})
+	return loops
+}
+
+// constantBound reports whether a for loop's condition compares
+// against a compile-time constant (for i := 0; i < 4; i++), whose trip
+// count cannot depend on input.
+func (ctxLoop) constantBound(pass *Pass, loop ast.Stmt) bool {
+	fs, ok := loop.(*ast.ForStmt)
+	if !ok || fs.Cond == nil {
+		return false
+	}
+	be, ok := fs.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		if tv, ok := pass.Info.Types[side]; ok && tv.Value != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// polls reports whether the loop subtree contains a cancellation poll.
+func (c ctxLoop) polls(pass *Pass, loop ast.Stmt) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Err" || sel.Sel.Name == "Done" {
+				if tv, ok := pass.Info.Types[sel.X]; ok && isContextType(tv.Type) {
+					found = true
+					return false
+				}
+			}
+		}
+		for _, arg := range call.Args {
+			if tv, ok := pass.Info.Types[arg]; ok && isContextType(tv.Type) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

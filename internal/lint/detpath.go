@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detPath keeps the declared-deterministic paths deterministic: no
+// wall-clock reads and no global math/rand in fault injection, the
+// workload generator, index maintenance, or the ingest object
+// table/compaction path. These components are pinned by tests to
+// byte-identical outcomes (the crash-point sweep replays every prefix;
+// compaction must stay bit-identical to the offline builder), which
+// only holds when every source of variation flows from an explicit
+// seed. Seeded *rand.Rand methods and the rand.New/NewSource
+// constructors are fine; package-level rand functions and time.Now /
+// time.Since are not.
+type detPath struct{ cfg *Config }
+
+func (detPath) ID() string { return "det-path" }
+
+// wallClockFuncs are the time package functions that read or schedule
+// against the real clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "Sleep": true,
+	"NewTicker": true, "NewTimer": true, "AfterFunc": true,
+}
+
+// randConstructors are the package-level math/rand functions that only
+// build seeded generators and are therefore allowed.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func (c detPath) Run(pass *Pass) {
+	files, ok := c.cfg.DetPaths[pass.Path]
+	if !ok {
+		return
+	}
+	covered := map[string]bool{}
+	for _, f := range files {
+		covered[f] = true
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		if files != nil && !covered[fileBase(pass.Fset, f)] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. on a seeded *rand.Rand) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] {
+					pass.Report(call.Pos(), "wall-clock call time.%s in deterministic path; thread an explicit timestamp or seed", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					pass.Report(call.Pos(), "global rand.%s in deterministic path; use a seeded *rand.Rand", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errDrop bans discarded error returns in the ingestion and storage
+// packages — the WAL, checkpoint, and recovery surface, where a
+// swallowed error is exactly how a torn write or failed fsync turns
+// into silent data loss (the never-fail-open rule of DESIGN.md §9).
+// Three shapes are flagged: a call used as a bare statement whose
+// results include an error, a go/defer of such a call, and an error
+// result assigned to the blank identifier. Test files are covered too:
+// a test that ignores a Close or Decode error asserts nothing about
+// the path it exercises. Intentional discards (crash-only teardown,
+// "must not panic" probes) carry //molint:ignore err-drop <reason>.
+type errDrop struct{ cfg *Config }
+
+func (errDrop) ID() string { return "err-drop" }
+
+func (c errDrop) Run(pass *Pass) {
+	if !inScope(c.cfg.ErrDropPkgs, pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				c.checkCall(pass, s.X, "call discards error result")
+			case *ast.DeferStmt:
+				c.checkCall(pass, s.Call, "deferred call discards error result")
+			case *ast.GoStmt:
+				c.checkCall(pass, s.Call, "go statement discards error result")
+			case *ast.AssignStmt:
+				c.checkAssign(pass, s)
+			}
+			return true
+		})
+	}
+}
+
+// checkCall reports a call expression whose result list contains an
+// error that the surrounding statement cannot observe.
+func (errDrop) checkCall(pass *Pass, e ast.Expr, msg string) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if infallibleWrite(pass, call) {
+		return
+	}
+	tv, ok := pass.Info.Types[ast.Expr(call)]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				pass.Report(call.Pos(), "%s", msg)
+				return
+			}
+		}
+	default:
+		if isErrorType(t) {
+			pass.Report(call.Pos(), "%s", msg)
+		}
+	}
+}
+
+// checkAssign reports error results assigned to the blank identifier,
+// e.g. `v, _ := Decode(b)` where the second result is an error.
+func (errDrop) checkAssign(pass *Pass, s *ast.AssignStmt) {
+	// Single call with multiple results: match tuple positions to LHS.
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		call, ok := s.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tv, ok := pass.Info.Types[ast.Expr(call)]
+		if !ok {
+			return
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok || tuple.Len() != len(s.Lhs) {
+			return
+		}
+		for i, lh := range s.Lhs {
+			if isBlank(lh) && isErrorType(tuple.At(i).Type()) {
+				pass.Report(lh.Pos(), "error result assigned to blank identifier")
+			}
+		}
+		return
+	}
+	// 1:1 assignments: `_ = f()` where f returns exactly an error.
+	if len(s.Rhs) == len(s.Lhs) {
+		for i, lh := range s.Lhs {
+			if !isBlank(lh) {
+				continue
+			}
+			if _, ok := s.Rhs[i].(*ast.CallExpr); !ok {
+				continue
+			}
+			if tv, ok := pass.Info.Types[s.Rhs[i]]; ok && tv.Type != nil && isErrorType(tv.Type) {
+				pass.Report(lh.Pos(), "error result assigned to blank identifier")
+			}
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// infallibleWrite recognises fmt.Fprint/Fprintf/Fprintln into a
+// *bytes.Buffer or *strings.Builder. Those writers never return a
+// non-nil error, so the dropped error carries no information — the
+// one statically safe discard.
+func infallibleWrite(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	switch fn.Name() {
+	case "Fprint", "Fprintf", "Fprintln":
+	default:
+		return false
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	ptr, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return full == "bytes.Buffer" || full == "strings.Builder"
+}

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatEq bans raw ==/!= on float64 operands in the kernel packages.
+// The Section 5 algorithms meet degenerate configurations (touching
+// endpoints, double roots, collinear segments) that exact comparison
+// misclassifies after any inexact arithmetic; the geom package's
+// epsilon helpers (ApproxEq, ApproxZero, …) are the sanctioned
+// comparisons. Named float types (temporal.Instant) are exempt: unit
+// interval endpoints are copied, never recomputed, so the unique
+// representation of Section 3.2.4 makes their exact comparison sound.
+// Intentionally exact sites (sentinel zeros, representation identity)
+// carry a //molint:ignore float-eq <reason> suppression.
+type floatEq struct{ cfg *Config }
+
+func (floatEq) ID() string { return "float-eq" }
+
+func (c floatEq) Run(pass *Pass) {
+	if !inScope(c.cfg.FloatEqPkgs, pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		// Bodies of allowlisted order/identity definitions are exempt
+		// wholesale; everything else is visited.
+		var allowed [][2]token.Pos
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && c.cfg.FloatEqAllow[funcKey(pass.Path, fd)] {
+				allowed = append(allowed, [2]token.Pos{fd.Pos(), fd.End()})
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			for _, r := range allowed {
+				if be.Pos() >= r[0] && be.Pos() < r[1] {
+					return true
+				}
+			}
+			if tv, ok := pass.Info.Types[ast.Expr(be)]; ok && tv.Value != nil {
+				return true // constant-folded at compile time; exact by definition
+			}
+			if c.rawFloat(pass, be.X) || c.rawFloat(pass, be.Y) {
+				pass.Report(be.OpPos, "raw float64 %s comparison; use geom.ApproxEq/ApproxZero or suppress with a reason", be.Op)
+			}
+			return true
+		})
+	}
+}
+
+// rawFloat reports whether the expression has the predeclared float64
+// or float32 type. Named types with a float underlying are excluded by
+// design — their defining package chose exact-endpoint semantics.
+func (floatEq) rawFloat(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Float32, types.Float64, types.UntypedFloat:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// indexOnly enforces the Section 4 representation rule on the storage
+// and index packages: root records and index nodes reference database
+// arrays by position, never by stored pointer. Pointer-free records
+// are what make the arrays relocatable — a page can be compacted,
+// spilled, or rebuilt from a checkpoint and every reference stays
+// valid because it is an index, not an address. A struct field whose
+// type reaches *T for a data-model type T (directly or through a
+// slice/array/map) breaks that property.
+type indexOnly struct{ cfg *Config }
+
+func (indexOnly) ID() string { return "index-only" }
+
+func (c indexOnly) Run(pass *Pass) {
+	if !inScope(c.cfg.IndexOnlyPkgs, pass.Path) {
+		return
+	}
+	dataPkgs := map[string]bool{}
+	for _, p := range c.cfg.IndexOnlyDataPkgs {
+		dataPkgs[p] = true
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				tv, ok := pass.Info.Types[field.Type]
+				if !ok || tv.Type == nil {
+					continue
+				}
+				if bad := pointeeDataType(tv.Type, dataPkgs); bad != "" {
+					pass.Report(field.Pos(), "struct %s stores a pointer to data-model type %s; reference database arrays by index (§4)", ts.Name.Name, bad)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// pointeeDataType walks the structural part of a field type (slices,
+// arrays, maps, channels, pointers) and returns the name of the first
+// data-model type reached through a pointer, or "" if none. Named
+// types are not unfolded: a field of value type units.UPoint is an
+// embedded copy, not a reference.
+func pointeeDataType(t types.Type, dataPkgs map[string]bool) string {
+	switch tt := t.(type) {
+	case *types.Pointer:
+		if named, ok := tt.Elem().(*types.Named); ok {
+			if pkg := named.Obj().Pkg(); pkg != nil && dataPkgs[pkg.Path()] {
+				return types.TypeString(named, nil)
+			}
+		}
+		return pointeeDataType(tt.Elem(), dataPkgs)
+	case *types.Slice:
+		return pointeeDataType(tt.Elem(), dataPkgs)
+	case *types.Array:
+		return pointeeDataType(tt.Elem(), dataPkgs)
+	case *types.Map:
+		if bad := pointeeDataType(tt.Key(), dataPkgs); bad != "" {
+			return bad
+		}
+		return pointeeDataType(tt.Elem(), dataPkgs)
+	case *types.Chan:
+		return pointeeDataType(tt.Elem(), dataPkgs)
+	}
+	return ""
+}

@@ -1,0 +1,186 @@
+// Package lint implements molint, the repository's static-analysis
+// suite. The paper's data structures are correct only under conventions
+// no compiler checks — unique-representation constraints on region and
+// range values (Section 3.2.2), ordered pointer-free arrays with
+// index-only references (Section 4), epsilon-aware degeneracy handling
+// in the unit kernels (Section 5) — and the serving/ingestion layers
+// added conventions of their own: Ctx kernels must poll cancellation,
+// WAL and recovery paths must never drop errors, and compaction and
+// fault injection must stay seeded-deterministic. Each convention is a
+// Check; the suite runs over typechecked packages using only the
+// standard library (go/parser, go/ast, go/types with the source
+// importer), so go.mod stays dependency-free.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos     token.Position
+	Check   string // check ID, e.g. "float-eq"
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+}
+
+// Check is one analyzer. Run inspects a typechecked package and reports
+// findings through pass.Report; scope decisions (which packages and
+// files a check covers) live in the check itself, driven by Config.
+type Check interface {
+	ID() string
+	Run(pass *Pass)
+}
+
+// Pass is one typechecked package variant handed to every check.
+// Suppression comments are handled by the runner, not by checks:
+// Report drops findings covered by a molint:ignore directive and
+// records them in the suppressed tally instead.
+type Pass struct {
+	*Package
+	check      string
+	findings   *[]Finding
+	suppressed map[string]bool
+	directives []directive
+}
+
+// Report files a finding at pos unless a suppression directive covers
+// it.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	for _, d := range p.directives {
+		if d.covers(p.check, position) {
+			p.suppressed[fmt.Sprintf("%s:%d:%s", position.Filename, position.Line, p.check)] = true
+			return
+		}
+	}
+	*p.findings = append(*p.findings, Finding{Pos: position, Check: p.check, Message: fmt.Sprintf(format, args...)})
+}
+
+// directive is one parsed //molint:ignore comment.
+type directive struct {
+	file   string
+	line   int    // line the comment sits on
+	check  string // check ID being suppressed, or "*" (never written, reserved)
+	reason string // empty means malformed (missing reason)
+}
+
+// covers reports whether the directive suppresses a finding of the
+// given check at position: same file, matching check ID, and the
+// finding sits on the directive's own line or the line directly below
+// it (the "comment above the statement" idiom).
+func (d directive) covers(check string, pos token.Position) bool {
+	if d.reason == "" || d.check != check || d.file != pos.Filename {
+		return false
+	}
+	return pos.Line == d.line || pos.Line == d.line+1
+}
+
+const ignorePrefix = "//molint:ignore"
+
+// parseDirectives extracts molint:ignore directives from a file's
+// comments. Malformed directives (missing check ID or missing reason)
+// are returned as findings so a suppression can never silently widen.
+func parseDirectives(fset *token.FileSet, file *ast.File, knownChecks map[string]bool) (ds []directive, malformed []Finding) {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+			check, reason, _ := strings.Cut(rest, " ")
+			reason = strings.TrimSpace(reason)
+			if check == "" {
+				malformed = append(malformed, Finding{Pos: pos, Check: "suppress",
+					Message: "molint:ignore needs a check ID and a reason"})
+				continue
+			}
+			if knownChecks != nil && !knownChecks[check] {
+				malformed = append(malformed, Finding{Pos: pos, Check: "suppress",
+					Message: fmt.Sprintf("molint:ignore names unknown check %q", check)})
+				continue
+			}
+			if reason == "" {
+				malformed = append(malformed, Finding{Pos: pos, Check: "suppress",
+					Message: fmt.Sprintf("molint:ignore %s is missing a reason", check)})
+				continue
+			}
+			ds = append(ds, directive{file: pos.Filename, line: pos.Line, check: check, reason: reason})
+		}
+	}
+	return ds, malformed
+}
+
+// Result is the outcome of running checks over a set of packages.
+type Result struct {
+	Findings   []Finding
+	Suppressed int
+}
+
+// Run executes every check over every package and returns deduplicated,
+// position-sorted findings. Packages may contain the same file more
+// than once (tag-variant runs); duplicate findings collapse.
+func Run(pkgs []*Package, checks []Check) Result {
+	known := map[string]bool{"suppress": true}
+	for _, c := range checks {
+		known[c.ID()] = true
+	}
+	var res Result
+	suppressed := map[string]bool{}
+	seenDirectiveFile := map[string]bool{}
+	for _, pkg := range pkgs {
+		var ds []directive
+		for _, f := range pkg.Files {
+			fds, malformed := parseDirectives(pkg.Fset, f, known)
+			ds = append(ds, fds...)
+			name := pkg.Fset.Position(f.Pos()).Filename
+			if !seenDirectiveFile[name] {
+				seenDirectiveFile[name] = true
+				res.Findings = append(res.Findings, malformed...)
+			}
+		}
+		for _, c := range checks {
+			pass := &Pass{Package: pkg, check: c.ID(), findings: &res.Findings,
+				suppressed: suppressed, directives: ds}
+			c.Run(pass)
+		}
+	}
+	res.Findings = dedupe(res.Findings)
+	res.Suppressed = len(suppressed)
+	return res
+}
+
+func dedupe(fs []Finding) []Finding {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	out := fs[:0]
+	for i, f := range fs {
+		if i > 0 && f == fs[i-1] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+// Fixture for the ctx-loop check: exported ...Ctx functions must poll
+// cancellation inside input-bounded loops.
+package ctxloop
+
+import "context"
+
+func ScanCtx(ctx context.Context, xs []int) int {
+	total := 0
+	for _, x := range xs { // want `never polls cancellation`
+		total += x
+	}
+	return total
+}
+
+func TwoLoopsCtx(ctx context.Context, xs, ys []int) (int, error) {
+	total := 0
+	for i, x := range xs {
+		if err := pollEvery(ctx, i); err != nil {
+			return 0, err
+		}
+		total += x
+	}
+	for _, y := range ys { // want `never polls cancellation`
+		total += y
+	}
+	return total, nil
+}
+
+func SumCtx(ctx context.Context, xs []int) (int, error) {
+	total := 0
+	for i, x := range xs {
+		if i%8 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		total += x
+	}
+	return total, nil
+}
+
+// DelegateCtx polls by passing ctx to a helper each iteration.
+func DelegateCtx(ctx context.Context, xs []int) error {
+	for i := range xs {
+		if err := pollEvery(ctx, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NestedCtx polls in the outer loop only; the inner loop is covered by
+// the per-iteration poll of its parent.
+func NestedCtx(ctx context.Context, xs [][]int) (int, error) {
+	total := 0
+	for i, row := range xs {
+		if err := pollEvery(ctx, i); err != nil {
+			return 0, err
+		}
+		for _, x := range row {
+			total += x
+		}
+	}
+	return total, nil
+}
+
+// FixedCtx has a constant trip count: exempt.
+func FixedCtx(ctx context.Context) int {
+	t := 0
+	for i := 0; i < 4; i++ {
+		t += i
+	}
+	return t
+}
+
+// SelectCtx polls via ctx.Done in a select.
+func SelectCtx(ctx context.Context, ch <-chan int) int {
+	total := 0
+	for v := range ch {
+		select {
+		case <-ctx.Done():
+			return total
+		default:
+		}
+		total += v
+	}
+	return total
+}
+
+// unexportedCtx is not part of the convention's surface.
+func unexportedCtx(ctx context.Context, xs []int) {
+	for range xs {
+	}
+}
+
+func pollEvery(ctx context.Context, i int) error {
+	if i%64 != 0 {
+		return nil
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,28 @@
+// Fixture for the det-path check: wall-clock and global math/rand are
+// banned in deterministic paths; seeded generators are fine.
+package detpath
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Bad(start time.Time) (int64, int, time.Duration) {
+	t := time.Now().UnixNano() // want `wall-clock call time.Now`
+	n := rand.Intn(10)         // want `global rand.Intn`
+	d := time.Since(start)     // want `wall-clock call time.Since`
+	return t, n, d
+}
+
+func Wait(d time.Duration) {
+	time.Sleep(d) // want `wall-clock call time.Sleep`
+}
+
+func Good(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10) // method on a seeded generator: fine
+}
+
+func Format(t time.Time) string {
+	return t.Format(time.RFC3339) // formatting a passed-in time: fine
+}

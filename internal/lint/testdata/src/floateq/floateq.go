@@ -1,0 +1,54 @@
+// Fixture for the float-eq check: raw ==/!= on predeclared float64 is
+// flagged, ordering comparisons and named float types are not, and
+// allowlisted functions are exempt wholesale.
+package floateq
+
+type Instant float64
+
+type point struct{ X, Y float64 }
+
+func equal(a, b float64) bool {
+	return a == b // want `raw float64 == comparison`
+}
+
+func sentinel(a float64) bool {
+	if a != 0 { // want `raw float64 != comparison`
+		return true
+	}
+	return a < 1 // ordering is not equality: not flagged
+}
+
+func mixed(a float64, n int) bool {
+	return float64(n) == a // want `raw float64 == comparison`
+}
+
+func namedExempt(t, u Instant) bool {
+	return t == u // named float types carry exact-endpoint semantics
+}
+
+func structExempt(p, q point) bool {
+	return p == q // struct identity is representation equality
+}
+
+func constFolded() bool {
+	const eps = 1e-9
+	return eps == 1e-9 // compile-time constant: exact by definition
+}
+
+// allowed is in the fixture's FloatEqAllow set.
+func allowed(a, b float64) bool {
+	return a == b
+}
+
+type key struct{ v float64 }
+
+// Cmp is allowlisted as a method ("key.Cmp").
+func (k key) Cmp(o key) int {
+	if k.v != o.v {
+		if k.v < o.v {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,23 @@
+// Fixture for the index-only check: struct fields must not store
+// pointers to data-model types — database arrays are referenced by
+// position (Section 4). The fixture package itself plays the role of
+// the data-model package.
+package indexonly
+
+type Unit struct{ X, Y float64 }
+
+type Record struct {
+	First *Unit // want `stores a pointer to data-model type`
+	Index int   // index reference: fine
+}
+
+type Table struct {
+	Units []*Unit          // want `stores a pointer to data-model type`
+	ByID  map[string]*Unit // want `stores a pointer to data-model type`
+	Rows  []Unit           // value slice: fine
+	Name  *string          // pointer to a non-data type: fine
+}
+
+type Root struct {
+	Deep [][]*Unit // want `stores a pointer to data-model type`
+}

@@ -1,0 +1,23 @@
+// Fixture for the suppression machinery: a respected directive, a
+// directive missing its reason (which suppresses nothing and is itself
+// a finding), and a directive naming an unknown check.
+package suppress
+
+import "errors"
+
+func fail() error { return errors.New("x") }
+
+func respected() {
+	//molint:ignore err-drop teardown probe; a failure here cannot mask data loss
+	fail()
+}
+
+func missingReason() {
+	//molint:ignore err-drop
+	fail()
+}
+
+func unknownCheck() error {
+	//molint:ignore no-such-check reasons do not rescue unknown check IDs
+	return fail()
+}

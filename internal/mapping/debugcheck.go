@@ -1,0 +1,17 @@
+//go:build debugcheck
+
+package mapping
+
+import "movingdb/internal/units"
+
+// debugValidate re-runs the full Section 3.2.4 carrier-set check
+// (ordered, pairwise disjoint, minimal) on mappings assembled through
+// the trusted, validation-free construction paths. A failure here means
+// an operation produced a malformed sliced representation — a bug in
+// the producer, not in the input — so it panics instead of returning an
+// error. Compiled in only under the debugcheck build tag.
+func debugValidate[U units.Unit[U]](site string, m Mapping[U]) {
+	if err := m.Validate(); err != nil {
+		panic("debugcheck: mapping." + site + ": " + err.Error())
+	}
+}

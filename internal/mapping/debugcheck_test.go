@@ -1,0 +1,40 @@
+//go:build debugcheck
+
+package mapping
+
+import (
+	"testing"
+
+	"movingdb/internal/units"
+)
+
+// mustPanic runs f and fails the test unless it panics — the debugcheck
+// assertions are worthless if they compile in but never fire.
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic under debugcheck", what)
+		}
+	}()
+	f()
+}
+
+func TestDebugValidateFires(t *testing.T) {
+	mustPanic(t, "FromOrdered with overlapping units", func() {
+		FromOrdered([]units.UBool{ub(iv(0, 5), true), ub(iv(3, 8), false)})
+	})
+	mustPanic(t, "FromOrdered with out-of-order units", func() {
+		FromOrdered([]units.UBool{ub(rho(5, 7), true), ub(rho(0, 2), false)})
+	})
+	mustPanic(t, "FromOrdered with adjacent equal units", func() {
+		FromOrdered([]units.UBool{ub(rho(0, 2), true), ub(rho(2, 4), true)})
+	})
+}
+
+func TestDebugValidatePassesValidMapping(t *testing.T) {
+	m := FromOrdered([]units.UBool{ub(rho(0, 2), true), ub(rho(2, 4), false)})
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+}

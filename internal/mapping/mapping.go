@@ -69,7 +69,11 @@ func Must[U units.Unit[U]](us ...U) Mapping[U] {
 // copying or checking; for trusted construction paths (storage decode
 // verifies separately, operations produce ordered output by
 // construction).
-func FromOrdered[U units.Unit[U]](us []U) Mapping[U] { return Mapping[U]{us: us} }
+func FromOrdered[U units.Unit[U]](us []U) Mapping[U] {
+	m := Mapping[U]{us: us}
+	debugValidate("FromOrdered", m)
+	return m
+}
 
 // Validate checks the carrier set constraints of Section 3.2.4.
 func (m Mapping[U]) Validate() error {
@@ -183,7 +187,9 @@ func (m Mapping[U]) AtPeriods(p temporal.Periods) Mapping[U] {
 			out = appendMerged(out, m.us[r.A].WithInterval(r.Iv))
 		}
 	}
-	return Mapping[U]{us: out}
+	res := Mapping[U]{us: out}
+	debugValidate("AtPeriods", res)
+	return res
 }
 
 // appendMerged appends unit u, merging it into the previous unit when
@@ -249,7 +255,9 @@ func (b *Builder[U]) Build() (Mapping[U], error) {
 	if b.err != nil {
 		return Mapping[U]{}, b.err
 	}
-	return Mapping[U]{us: b.us}, nil
+	m := Mapping[U]{us: b.us}
+	debugValidate("Builder.Build", m)
+	return m, nil
 }
 
 // MustBuild returns the assembled mapping and panics on an invalid

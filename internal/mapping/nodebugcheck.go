@@ -1,0 +1,9 @@
+//go:build !debugcheck
+
+package mapping
+
+import "movingdb/internal/units"
+
+// debugValidate is a no-op unless built with -tags=debugcheck; see
+// debugcheck.go.
+func debugValidate[U units.Unit[U]](string, Mapping[U]) {}

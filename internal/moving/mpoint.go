@@ -216,7 +216,10 @@ func (p MPoint) InsideRegion(r spatial.Region) MBool {
 func (p MPoint) InsideRegionCtx(ctx context.Context, r spatial.Region) (MBool, error) {
 	if r.IsEmpty() {
 		var bld mapping.Builder[units.UBool]
-		for _, u := range p.M.Units() {
+		for i, u := range p.M.Units() {
+			if err := cancelCheck(ctx, i); err != nil {
+				return MBool{}, err
+			}
 			bld.Append(units.UBool{Iv: u.Iv, V: false})
 		}
 		return MBool{M: bld.MustBuild()}, nil

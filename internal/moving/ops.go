@@ -71,6 +71,7 @@ func comparableDiff(a, b units.UReal) (units.UReal, bool) {
 		// √p vs √q with p, q ≥ 0 on the interval: sign(√p − √q) =
 		// sign(p − q).
 		return units.UReal{Iv: a.Iv, A: a.A - b.A, B: a.B - b.B, C: a.C - b.C}, true
+	//molint:ignore float-eq representation classification: a ureal is a constant iff its quadratic and linear coefficients are stored as exact zeros
 	case a.Root && b.A == 0 && b.B == 0:
 		// √p vs constant c.
 		c := b.C
@@ -79,6 +80,7 @@ func comparableDiff(a, b units.UReal) (units.UReal, bool) {
 			return units.UReal{Iv: a.Iv, C: 1}, true
 		}
 		return units.UReal{Iv: a.Iv, A: a.A, B: a.B, C: a.C - c*c}, true
+	//molint:ignore float-eq representation classification: a ureal is a constant iff its quadratic and linear coefficients are stored as exact zeros
 	case b.Root && a.A == 0 && a.B == 0:
 		d, ok := comparableDiff(b, a)
 		if !ok {
@@ -98,6 +100,7 @@ func (p MPoint) Direction() MReal {
 	var bld mapping.Builder[units.UReal]
 	for _, u := range p.M.Units() {
 		v := u.M.Velocity()
+		//molint:ignore float-eq resting-unit classification: builders store resting units with exact zero velocity (Section 3.2.4 unique representation)
 		if v.X == 0 && v.Y == 0 {
 			continue
 		}
@@ -219,6 +222,7 @@ func (l MLine) Length() (MReal, bool) {
 		var total float64
 		for _, g := range u.Ms {
 			d1x, d1y := g.E.X1-g.S.X1, g.E.Y1-g.S.Y1
+			//molint:ignore float-eq rigid-translation classification must be exact: any nonzero relative velocity makes the length non-constant and unrepresentable as a ureal
 			if d1x != 0 || d1y != 0 {
 				return MReal{}, false
 			}

@@ -1,0 +1,24 @@
+//go:build debugcheck
+
+package spatial
+
+import (
+	"fmt"
+
+	"movingdb/internal/geom"
+)
+
+// debugCheckHalfSegments asserts the Section 3.2.2 invariant on an
+// assembled halfsegment array: strictly increasing in halfsegment order
+// (so ordered and duplicate-free). Region and line constructors
+// establish this by sorting; a violation means edge-disjointness
+// checking or segment merging let a duplicate through, so it panics.
+// Compiled in only under the debugcheck build tag.
+func debugCheckHalfSegments(site string, hs []geom.HalfSegment) {
+	for i := 1; i < len(hs); i++ {
+		if hs[i-1].Cmp(hs[i]) >= 0 {
+			panic(fmt.Sprintf("debugcheck: spatial.%s: halfsegments %d and %d out of order or duplicated: %v, %v",
+				site, i-1, i, hs[i-1], hs[i]))
+		}
+	}
+}

@@ -1,0 +1,26 @@
+//go:build debugcheck
+
+package spatial
+
+import (
+	"testing"
+
+	"movingdb/internal/geom"
+)
+
+// TestDebugCheckHalfSegmentsFires pins that the ordering assertion
+// actually panics on a malformed array; the public constructors sort
+// before the check, so the bad input is fed to the helper directly.
+func TestDebugCheckHalfSegmentsFires(t *testing.T) {
+	hs := geom.HalfSegments([]geom.Segment{
+		geom.Seg(0, 0, 1, 0),
+		geom.Seg(2, 0, 3, 0),
+	})
+	bad := []geom.HalfSegment{hs[1], hs[0]} // swapped: out of order
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order halfsegments did not panic under debugcheck")
+		}
+	}()
+	debugCheckHalfSegments("test", bad)
+}

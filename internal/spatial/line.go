@@ -57,6 +57,7 @@ func MergeLine(segs ...geom.Segment) Line {
 
 func lineFromSegments(segs []geom.Segment) Line {
 	hs := geom.HalfSegments(segs)
+	debugCheckHalfSegments("lineFromSegments", hs)
 	bbox := geom.EmptyRect()
 	var length float64
 	for _, s := range segs {
@@ -91,6 +92,7 @@ func keyOf(s geom.Segment) lineKey {
 	l := n.Norm()
 	n = n.Scale(1 / l)
 	c := n.Dot(s.Left)
+	//molint:ignore float-eq sign canonicalisation sentinel; the key is rounded to lineKeyScale afterwards so the exact-zero branch is the intent
 	if n.X < 0 || (n.X == 0 && n.Y < 0) {
 		n = n.Scale(-1)
 		c = -c

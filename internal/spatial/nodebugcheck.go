@@ -1,0 +1,9 @@
+//go:build !debugcheck
+
+package spatial
+
+import "movingdb/internal/geom"
+
+// debugCheckHalfSegments is a no-op unless built with -tags=debugcheck;
+// see debugcheck.go.
+func debugCheckHalfSegments(string, []geom.HalfSegment) {}

@@ -180,6 +180,7 @@ func regionFromFacesTrusted(faces []Face) Region {
 		perim += f.Perimeter()
 	}
 	hs := geom.HalfSegments(segs)
+	debugCheckHalfSegments("regionFromFacesTrusted", hs)
 	bbox := geom.EmptyRect()
 	for _, s := range segs {
 		bbox = bbox.Union(s.BBox())

@@ -24,7 +24,10 @@ func TestPageStoreSerialisationRoundTrip(t *testing.T) {
 		t.Fatalf("pages: %d != %d", r.NumPages(), s.NumPages())
 	}
 	for i, ref := range refs {
-		want, _ := s.Get(ref)
+		want, err := s.Get(ref)
+		if err != nil {
+			t.Fatalf("source get %d: %v", i, err)
+		}
 		got, err := r.Get(ref)
 		if err != nil || !bytes.Equal(got, want) {
 			t.Fatalf("object %d differs after round trip (err=%v)", i, err)

@@ -189,9 +189,12 @@ func TestMRealMPointRoundTrip(t *testing.T) {
 		t.Error("mreal round trip failed")
 	}
 
-	mp, _ := moving.MPointFromSamples([]moving.Sample{
+	mp, err := moving.MPointFromSamples([]moving.Sample{
 		{T: 0, P: geom.Pt(0, 0)}, {T: 10, P: geom.Pt(10, 0)}, {T: 20, P: geom.Pt(10, 10)},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	gotP, err := DecodeMPoint(EncodeMPoint(mp))
 	if err != nil {
 		t.Fatal(err)
@@ -280,9 +283,12 @@ func TestEqualityByRepresentation(t *testing.T) {
 	// Section 4: "two set values are equal iff their array
 	// representations are equal".
 	mk := func() moving.MPoint {
-		p, _ := moving.MPointFromSamples([]moving.Sample{
+		p, err := moving.MPointFromSamples([]moving.Sample{
 			{T: 0, P: geom.Pt(0, 0)}, {T: 10, P: geom.Pt(5, 5)}, {T: 20, P: geom.Pt(0, 10)},
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		return p
 	}
 	e1 := EncodeMPoint(mk()).Flatten()
@@ -408,7 +414,8 @@ func TestDecodeNeverPanicsOnTruncation(t *testing.T) {
 				if err != nil {
 					return // rejected at the framing layer: fine
 				}
-				decodeAll(name, e)
+				//molint:ignore err-drop hostile-input probe: an error is an acceptable outcome, only a panic fails the test
+				_ = decodeAll(name, e)
 			}()
 		}
 	}
@@ -417,9 +424,12 @@ func TestDecodeNeverPanicsOnTruncation(t *testing.T) {
 // workloadValues builds one encoding per attribute type.
 func workloadValues(t *testing.T) map[string]Encoded {
 	t.Helper()
-	mp, _ := moving.MPointFromSamples([]moving.Sample{
+	mp, err := moving.MPointFromSamples([]moving.Sample{
 		{T: 0, P: geom.Pt(0, 0)}, {T: 10, P: geom.Pt(5, 5)}, {T: 20, P: geom.Pt(0, 9)},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	reg := spatial.MustPolygonRegion(spatial.Ring(0, 0, 8, 0, 8, 8, 0, 8), spatial.Ring(2, 2, 4, 2, 4, 4, 2, 4))
 	a := units.MPoint{X0: 0, X1: 1}
 	b := units.MPoint{X0: 0, X1: 1, Y0: 5}
@@ -442,27 +452,31 @@ func workloadValues(t *testing.T) map[string]Encoded {
 	}
 }
 
-func decodeAll(name string, e Encoded) {
+// decodeAll dispatches one decode and reports its outcome; hostile-input
+// tests only assert it returns instead of panicking.
+func decodeAll(name string, e Encoded) error {
+	var err error
 	switch name {
 	case "points":
-		_, _ = DecodePoints(e)
+		_, err = DecodePoints(e)
 	case "line":
-		_, _ = DecodeLine(e)
+		_, err = DecodeLine(e)
 	case "region":
-		_, _ = DecodeRegion(e)
+		_, err = DecodeRegion(e)
 	case "periods":
-		_, _ = DecodePeriods(e)
+		_, err = DecodePeriods(e)
 	case "mpoint":
-		_, _ = DecodeMPoint(e)
+		_, err = DecodeMPoint(e)
 	case "mpoints":
-		_, _ = DecodeMPoints(e)
+		_, err = DecodeMPoints(e)
 	case "mregion":
-		_, _ = DecodeMRegion(e)
+		_, err = DecodeMRegion(e)
 	case "mreal":
-		_, _ = DecodeMReal(e)
+		_, err = DecodeMReal(e)
 	case "mbool":
-		_, _ = DecodeMBool(e)
+		_, err = DecodeMBool(e)
 	}
+	return err
 }
 
 func TestDecodeSurvivesBitFlips(t *testing.T) {
@@ -483,7 +497,8 @@ func TestDecodeSurvivesBitFlips(t *testing.T) {
 				if err != nil {
 					return
 				}
-				decodeAll(name, e)
+				//molint:ignore err-drop hostile-input probe: an error is an acceptable outcome, only a panic fails the test
+				_ = decodeAll(name, e)
 			}()
 		}
 	}

@@ -62,6 +62,7 @@ func UPointInsideURegion(up UPoint, ur URegion) []UBool {
 	for i := 0; i < len(crossings); {
 		j := i
 		flips := 0
+		//molint:ignore float-eq crossings at a shared vertex are computed from the same endpoint and coincide exactly; tolerant merging would cancel distinct near-crossings
 		for j < len(crossings) && crossings[j].t == crossings[i].t {
 			if !crossings[j].touch {
 				flips++
@@ -180,6 +181,7 @@ func stabTimes(p MPoint, g MSeg, iv temporal.Interval) []stab {
 		return nil
 	}
 	var out []stab
+	//molint:ignore float-eq degree classification: QuadRoots already folded near-zero leading coefficients, so a surviving nonzero is structural
 	touch := len(roots) == 1 && a != 0 // double root: tangential
 	for _, r := range roots {
 		t := temporal.Instant(r)

@@ -57,6 +57,7 @@ func boolPieces(iv temporal.Interval, critical []float64, eval func(temporal.Ins
 	}
 	sortF(inOpen)
 	for i, c := range inOpen {
+		//molint:ignore float-eq dedup of bit-identical critical instants after sorting; instants one ulp apart legitimately cut separate refinement pieces
 		if i == 0 || c != inOpen[i-1] {
 			cuts = append(cuts, temporal.Instant(c))
 		}

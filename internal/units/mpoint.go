@@ -78,7 +78,7 @@ func (m MPoint) meetTimes(n MPoint) (ts []float64, always bool) {
 	var out []float64
 	for _, tx := range xs {
 		for _, ty := range ys {
-			if tx == ty || geom.ApproxEq(tx, ty) {
+			if geom.ApproxEq(tx, ty) {
 				out = append(out, tx)
 			}
 		}

@@ -26,6 +26,7 @@ func QuadRoots(a, b, c float64) (roots []float64, all bool) {
 	switch {
 	case disc < 0:
 		return nil, false
+	//molint:ignore float-eq exact zero discriminant takes the closed-form double root; near-zero positives fall through to the stable two-root form that converges to the same value
 	case disc == 0:
 		return []float64{-b / (2 * a)}, false
 	}

@@ -61,6 +61,7 @@ func (u UReal) poly(t float64) float64 { return u.A*t*t + u.B*t + u.C }
 // quadratic has an interior vertex, that vertex.
 func (u UReal) extremumTimes() []temporal.Instant {
 	ts := []temporal.Instant{u.Iv.Start, u.Iv.End}
+	//molint:ignore float-eq vertex existence test; a near-zero quadratic coefficient puts the vertex far outside the unit interval where ContainsOpen discards it
 	if u.A != 0 {
 		v := temporal.Instant(-u.B / (2 * u.A))
 		if u.Iv.ContainsOpen(v) {
@@ -76,6 +77,7 @@ func (u UReal) extremumTimes() []temporal.Instant {
 func (u UReal) Min() (float64, temporal.Instant) {
 	best, at := math.Inf(1), u.Iv.Start
 	for _, t := range u.extremumTimes() {
+		//molint:ignore float-eq exact tie-break so the earliest attaining instant wins; a tolerant tie would misreport where the extremum is attained
 		if v := u.Eval(t); v < best || (v == best && t < at) {
 			best, at = v, t
 		}
@@ -88,6 +90,7 @@ func (u UReal) Min() (float64, temporal.Instant) {
 func (u UReal) Max() (float64, temporal.Instant) {
 	best, at := math.Inf(-1), u.Iv.Start
 	for _, t := range u.extremumTimes() {
+		//molint:ignore float-eq exact tie-break so the earliest attaining instant wins; a tolerant tie would misreport where the extremum is attained
 		if v := u.Eval(t); v > best || (v == best && t < at) {
 			best, at = v, t
 		}
@@ -187,10 +190,12 @@ func (u UReal) CmpIntervals(v float64) (less, equal, greater []temporal.Interval
 	}
 	cuts = append(cuts, u.Iv.End)
 	startLC, endRC := u.Iv.LC, u.Iv.RC
+	//molint:ignore float-eq boundary attainment of the query value decides interval closure; the cut instants are roots of Eval−v, so attainment at a bound is exact by construction
 	if startLC && u.Eval(u.Iv.Start) == v {
 		classify(temporal.AtInstant(u.Iv.Start), u.Iv.Start)
 		startLC = false
 	}
+	//molint:ignore float-eq boundary attainment of the query value decides interval closure; the cut instants are roots of Eval−v, so attainment at a bound is exact by construction
 	if endRC && u.Eval(u.Iv.End) == v {
 		classify(temporal.AtInstant(u.Iv.End), u.Iv.End)
 		endRC = false
@@ -272,12 +277,14 @@ func (u UReal) ValueRange() (lo, hi float64, loClosed, hiClosed bool) {
 		switch {
 		case v < lo:
 			lo, loClosed = v, attained
+		//molint:ignore float-eq closure bookkeeping: both sides are Eval results at candidate extremum instants, identical bits when they denote the same bound
 		case v == lo && attained:
 			loClosed = true
 		}
 		switch {
 		case v > hi:
 			hi, hiClosed = v, attained
+		//molint:ignore float-eq closure bookkeeping: both sides are Eval results at candidate extremum instants, identical bits when they denote the same bound
 		case v == hi && attained:
 			hiClosed = true
 		}

@@ -11,8 +11,14 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
+echo "==> molint (static analysis, default + faultinject variants)"
+go run ./cmd/molint ./...
+
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> go test -tags=debugcheck (runtime invariant assertions)"
+go test -tags=debugcheck ./internal/mapping ./internal/spatial ./internal/moving
 
 echo "==> go build -tags=faultinject ./..."
 go build -tags=faultinject ./...
