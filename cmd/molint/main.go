@@ -1,18 +1,23 @@
-// Command molint runs the repository's static-analysis suite: five
-// checks that enforce the paper's representation invariants and the
-// repo's determinism and cancellation conventions (see DESIGN.md §10
-// for the catalog). It uses only the standard library — packages are
-// typechecked from source — so go.mod gains no dependencies.
+// Command molint runs the repository's static-analysis suite: eight
+// checks that enforce the paper's representation invariants, the
+// repo's determinism and cancellation conventions, and the moguard
+// concurrency discipline (see DESIGN.md §10 for the catalog). It uses
+// only the standard library — packages are typechecked from source —
+// so go.mod gains no dependencies.
 //
 // Usage:
 //
-//	molint [-tags=t1,t2] [-checks=id1,id2] [patterns...]
+//	molint [-tags=t1,t2] [-checks=id1,id2] [-format=text|json|github] [-summary] [patterns...]
 //
 // Patterns default to ./... relative to the module root. Without
 // -tags, every package is analyzed in its default build configuration
 // and packages with tag-gated files are re-analyzed under faultinject,
-// so the fault-injection variant is covered by the same run. Exit
-// status: 0 clean, 1 findings, 2 operational error.
+// so the fault-injection variant is covered by the same run.
+// -format=json emits one JSON document (findings + per-check summary);
+// -format=github emits GitHub Actions ::error workflow commands that
+// become inline PR annotations; -summary appends the per-check
+// finding/suppression table to the text output. Exit status: 0 clean,
+// 1 findings, 2 operational error.
 package main
 
 import (
@@ -41,7 +46,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	tagsFlag := fs.String("tags", "", "comma-separated build tags; default analyzes the default and faultinject variants")
 	checksFlag := fs.String("checks", "", "comma-separated check IDs to run (default: all)")
+	formatFlag := fs.String("format", "text", "output format: text, json, or github")
+	summaryFlag := fs.Bool("summary", false, "append the per-check finding/suppression table (text format)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch *formatFlag {
+	case "text", "json", "github":
+	default:
+		emit(stderr, "molint: unknown format %q (want text, json, or github)\n", *formatFlag)
 		return 2
 	}
 	patterns := fs.Args()
@@ -110,11 +123,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	res := lint.Run(pkgs, checks)
-	for _, f := range res.Findings {
-		emit(stdout, "%s\n", rel(root, f))
+	report := lint.NewReport(root, res, len(pkgs))
+	switch *formatFlag {
+	case "json":
+		if err := report.WriteJSON(stdout); err != nil {
+			emit(stderr, "molint: %v\n", err)
+			return 2
+		}
+	case "github":
+		if err := report.WriteGitHub(stdout); err != nil {
+			emit(stderr, "molint: %v\n", err)
+			return 2
+		}
+	default:
+		for _, f := range res.Findings {
+			emit(stdout, "%s\n", rel(root, f))
+		}
+		if *summaryFlag {
+			//molint:ignore err-drop terminal write failures cannot be reported anywhere better
+			_ = report.WriteSummaryTable(stdout)
+		}
+		emit(stdout, "molint: %d finding(s), %d suppressed, %d package(s)\n",
+			len(res.Findings), res.Suppressed, len(pkgs))
 	}
-	emit(stdout, "molint: %d finding(s), %d suppressed, %d package(s)\n",
-		len(res.Findings), res.Suppressed, len(pkgs))
 	if len(res.Findings) > 0 {
 		return 1
 	}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"movingdb/internal/lint"
+)
+
+// runMolint invokes the command's run function capturing both streams.
+func runMolint(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestFixturesExitOne runs only the concurrency-discipline suite over
+// its golden fixtures: every check must produce at least one finding
+// and the process must signal failure.
+func TestFixturesExitOne(t *testing.T) {
+	code, stdout, stderr := runMolint(t,
+		"-checks=guarded-by,atomic-mix,goroutine-exit",
+		"-format=json",
+		"./internal/lint/testdata/src/guardedby",
+		"./internal/lint/testdata/src/atomicmix",
+		"./internal/lint/testdata/src/goroutineexit",
+	)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, stderr)
+	}
+	var rep lint.Report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("-format=json output does not round-trip: %v\noutput: %s", err, stdout)
+	}
+	if rep.Summary.Findings != len(rep.Findings) || len(rep.Findings) == 0 {
+		t.Fatalf("summary.findings = %d, len(findings) = %d; want equal and > 0",
+			rep.Summary.Findings, len(rep.Findings))
+	}
+	for _, check := range []string{"guarded-by", "atomic-mix", "goroutine-exit"} {
+		if rep.Summary.Checks[check].Findings == 0 {
+			t.Errorf("check %s produced no findings on its fixture", check)
+		}
+	}
+	for _, f := range rep.Findings {
+		if f.File == "" || f.Line == 0 || f.Check == "" || f.Message == "" {
+			t.Errorf("incomplete finding in JSON report: %+v", f)
+		}
+		if strings.HasPrefix(f.File, "/") {
+			t.Errorf("finding path %s is absolute; want module-root-relative", f.File)
+		}
+	}
+}
+
+// TestConcurrentPackagesClean asserts the annotation debt of the five
+// concurrent packages is zero: the new checks alone report nothing.
+func TestConcurrentPackagesClean(t *testing.T) {
+	code, stdout, stderr := runMolint(t,
+		"-checks=guarded-by,atomic-mix,goroutine-exit",
+		"./internal/obs", "./internal/ingest", "./internal/index",
+		"./internal/fault", "./internal/server",
+	)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+}
+
+// TestGitHubFormat checks the workflow-command rendering CI consumes.
+func TestGitHubFormat(t *testing.T) {
+	code, stdout, _ := runMolint(t,
+		"-checks=atomic-mix", "-format=github",
+		"./internal/lint/testdata/src/atomicmix",
+	)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "::error file=internal/lint/testdata/src/atomicmix/atomicmix.go,line=") {
+		t.Errorf("github format missing ::error annotation:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "::notice::molint:") {
+		t.Errorf("github format missing summary notice:\n%s", stdout)
+	}
+}
+
+// TestBadFlags covers the operational-error exit code.
+func TestBadFlags(t *testing.T) {
+	if code, _, _ := runMolint(t, "-format=yaml", "./internal/lint/testdata/src/atomicmix"); code != 2 {
+		t.Errorf("unknown format: exit = %d, want 2", code)
+	}
+	if code, _, _ := runMolint(t, "-checks=no-such-check", "./internal/lint/testdata/src/atomicmix"); code != 2 {
+		t.Errorf("unknown check: exit = %d, want 2", code)
+	}
+}

@@ -82,8 +82,8 @@ type point struct {
 // receiver (a nil injector never trips), so wiring one in is free.
 type Injector struct {
 	mu     sync.Mutex
-	rng    *rand.Rand
-	points map[string]*point
+	rng    *rand.Rand        // moguard: guarded by mu
+	points map[string]*point // moguard: guarded by mu
 }
 
 // New returns an injector whose probabilistic decisions replay

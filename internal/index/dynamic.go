@@ -20,10 +20,10 @@ const DefaultMergeThreshold = 4096
 // per insert. All methods are safe for concurrent use.
 type Dynamic struct {
 	mu        sync.RWMutex
-	base      *RTree
-	delta     []Entry
-	threshold int
-	merges    int
+	base      *RTree  // moguard: guarded by mu
+	delta     []Entry // moguard: guarded by mu
+	threshold int     // moguard: immutable
+	merges    int     // moguard: guarded by mu
 }
 
 // NewDynamic wraps a bulk-loaded base tree (nil means empty) with a

@@ -17,16 +17,16 @@ import (
 // live appender saw, and with it the same drop/merge decisions.
 type batcher struct {
 	mu        sync.Mutex
-	bufs      map[string]*objBuf
-	order     []string // objects with live buffers, oldest-admission first
-	queued    int
-	closed    bool
-	flushSize int
-	maxQueued int
-	maxAge    time.Duration
-	apply     func([]Observation)
+	bufs      map[string]*objBuf  // moguard: guarded by mu
+	order     []string            // moguard: guarded by mu // live buffers, oldest-admission first
+	queued    int                 // moguard: guarded by mu
+	closed    bool                // moguard: guarded by mu
+	flushSize int                 // moguard: immutable
+	maxQueued int                 // moguard: immutable
+	maxAge    time.Duration       // moguard: immutable
+	apply     func([]Observation) // moguard: immutable
 
-	done chan struct{}
+	done chan struct{} // moguard: immutable
 	wg   sync.WaitGroup
 }
 
@@ -113,7 +113,7 @@ func (b *batcher) flushAged() {
 	cutoff := time.Now().Add(-b.maxAge)
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.flushOrdered(func(buf *objBuf) bool { return !buf.first.After(cutoff) })
+	b.flushOrderedLocked(func(buf *objBuf) bool { return !buf.first.After(cutoff) })
 }
 
 // flushAll synchronously drains every buffer (also used for the final
@@ -121,12 +121,13 @@ func (b *batcher) flushAged() {
 func (b *batcher) flushAll() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.flushOrdered(func(*objBuf) bool { return true })
+	b.flushOrderedLocked(func(*objBuf) bool { return true })
 }
 
-// flushOrdered flushes the buffers selected by keep-predicate pred in
-// admission order, compacting the order list. Caller holds b.mu.
-func (b *batcher) flushOrdered(pred func(*objBuf) bool) {
+// flushOrderedLocked flushes the buffers selected by keep-predicate
+// pred in admission order, compacting the order list. Caller holds
+// b.mu.
+func (b *batcher) flushOrderedLocked(pred func(*objBuf) bool) {
 	remaining := b.order[:0]
 	seen := make(map[string]bool, len(b.order))
 	for _, id := range b.order {
@@ -155,7 +156,7 @@ func (b *batcher) flushOrdered(pred func(*objBuf) bool) {
 func (b *batcher) quiesce(f func()) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.flushOrdered(func(*objBuf) bool { return true })
+	b.flushOrderedLocked(func(*objBuf) bool { return true })
 	f()
 }
 

@@ -15,14 +15,14 @@ import (
 // clears.
 type health struct {
 	mu         sync.Mutex
-	threshold  int
-	probeEvery time.Duration
+	threshold  int           // moguard: immutable
+	probeEvery time.Duration // moguard: immutable
 
-	consec    int
-	degraded  bool
-	cause     string
-	since     time.Time
-	lastProbe time.Time
+	consec    int       // moguard: guarded by mu
+	degraded  bool      // moguard: guarded by mu
+	cause     string    // moguard: guarded by mu
+	since     time.Time // moguard: guarded by mu
+	lastProbe time.Time // moguard: guarded by mu
 }
 
 func newHealth(threshold int, probeEvery time.Duration) *health {
@@ -83,10 +83,10 @@ func (h *health) state() (degraded bool, cause string, since time.Time, consec i
 // look at.
 type deadLetter struct {
 	mu       sync.Mutex
-	capObs   int
-	batches  [][]Observation
-	obsCount int
-	dropped  int64
+	capObs   int             // moguard: immutable
+	batches  [][]Observation // moguard: guarded by mu
+	obsCount int             // moguard: guarded by mu
+	dropped  int64           // moguard: guarded by mu
 }
 
 func newDeadLetter(capObs int) *deadLetter { return &deadLetter{capObs: capObs} }

@@ -21,15 +21,15 @@ import (
 // and query interleave at flush granularity.
 type Store struct {
 	mu   sync.RWMutex
-	ids  map[string]int
-	objs []*object
-	idx  *index.Dynamic
+	ids  map[string]int // moguard: guarded by mu
+	objs []*object      // moguard: guarded by mu
+	idx  *index.Dynamic // moguard: immutable // set in newStore; synchronises itself
 
-	applied   int64
-	dropped   int64
-	compacted int64
+	applied   int64 // moguard: guarded by mu
+	dropped   int64 // moguard: guarded by mu
+	compacted int64 // moguard: guarded by mu
 
-	metrics *obs.Metrics
+	metrics *obs.Metrics // moguard: immutable // synchronises itself, nil-safe
 }
 
 // object is one tracked object's live state. The unit array keeps the

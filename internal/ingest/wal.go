@@ -61,18 +61,18 @@ const (
 
 type wal struct {
 	mu        sync.Mutex
-	io        PageIO
-	seq       uint64
-	pages     int // committed log length in pages
-	ckptEvery int // batch pages between checkpoints; <= 0 disables
-	sinceCkpt int // batch pages appended since the last checkpoint
-	ckptPage  int // first page of the newest valid checkpoint, -1 none
+	io        PageIO // moguard: immutable
+	seq       uint64 // moguard: guarded by mu
+	pages     int    // moguard: guarded by mu // committed log length in pages
+	ckptEvery int    // moguard: guarded by mu // batch pages between checkpoints; <= 0 disables
+	sinceCkpt int    // moguard: guarded by mu // batch pages appended since the last checkpoint
+	ckptPage  int    // moguard: guarded by mu // first page of the newest valid checkpoint, -1 none
 
-	checkpoints      int64
-	quarantinedPages int
-	quarantined      [][]byte
+	checkpoints      int64    // moguard: guarded by mu
+	quarantinedPages int      // moguard: guarded by mu
+	quarantined      [][]byte // moguard: guarded by mu
 
-	metrics *obs.Metrics
+	metrics *obs.Metrics // moguard: immutable // synchronises itself, nil-safe
 }
 
 // walStats is the point-in-time WAL view for Pipeline.Stats.
@@ -168,8 +168,14 @@ func openWAL(pio PageIO, metrics *obs.Metrics) (*wal, walRecovery, error) {
 
 // quarantine moves the pages of a corrupt record aside: their bytes
 // are copied into a bounded in-memory buffer (the "file moved aside")
-// and the damage is counted per cause.
+// and the damage is counted per cause. openWAL calls it during the
+// single-threaded scan, but it takes the lock anyway: a wal handed to
+// the pipeline serves stats() concurrently, and an unlocked write here
+// would race with that read the moment quarantine gained a post-open
+// caller.
 func (w *wal) quarantine(p, n int, cause string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if raw, err := w.io.Get(storage.LOBRef{FirstPage: p, Length: n * storage.PageSize}); err == nil {
 		for off := 0; off < len(raw) && len(w.quarantined) < quarantineKeepPages; off += storage.PageSize {
 			w.quarantined = append(w.quarantined, raw[off:off+storage.PageSize])

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// atomicMix enforces the all-or-nothing rule of sync/atomic: once any
+// access to a field goes through the atomic package, every access must
+// — a plain load can observe a torn or stale value the atomic store
+// ordered carefully, and the race detector only notices if the
+// interleaving happens in a run. A field is atomic if it is passed by
+// address to a sync/atomic function anywhere in the package, or if it
+// is annotated "// moguard: atomic"; every other selector resolving to
+// that field is a finding. Test files are exempt for the same reason
+// as guarded-by: they run single-threaded around the code under test.
+type atomicMix struct{ cfg *Config }
+
+func (atomicMix) ID() string { return "atomic-mix" }
+
+func (c atomicMix) Run(pass *Pass) {
+	if c.cfg.AtomicPkgs != nil && !inScope(c.cfg.AtomicPkgs, pass.Path) {
+		return
+	}
+	atomicFields := map[*types.Var]bool{}
+	// allowed are the selector nodes that ARE the atomic accesses (the
+	// &x.f argument inside atomic.AddUint64(&x.f, 1)).
+	allowed := map[*ast.SelectorExpr]bool{}
+	files := make([]*ast.File, 0, len(pass.Files))
+	for _, f := range pass.Files {
+		if !isTestFile(pass.Fset, f) {
+			files = append(files, f)
+		}
+	}
+	// Annotated fields are atomic even before the first atomic call
+	// lands, so the mix is caught while the migration is half-done.
+	for _, g := range collectStructGuards(pass, false) {
+		for v, name := range g.vars {
+			if g.fields[name].kind == guardAtomic {
+				atomicFields[v] = true
+			}
+		}
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !c.isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || ue.Op.String() != "&" {
+					continue
+				}
+				sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if v, ok := pass.Info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+					atomicFields[v] = true
+					allowed[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || allowed[sel] {
+				return true
+			}
+			if v, ok := pass.Info.Uses[sel.Sel].(*types.Var); ok && atomicFields[v] {
+				pass.Report(sel.Pos(), "plain access to field %s, which is accessed with sync/atomic elsewhere (mixing breaks the memory-order contract)", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicCall reports whether the call is a sync/atomic function.
+func (atomicMix) isAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}

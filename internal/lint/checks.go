@@ -38,6 +38,16 @@ type Config struct {
 	// IndexOnlyDataPkgs are the packages whose types count as database
 	// array elements for the index-only rule.
 	IndexOnlyDataPkgs []string
+	// GuardPkgs scopes the guarded-by lock-discipline check. Nil means
+	// every analyzed package: a mutex-bearing struct is a concurrency
+	// contract wherever it lives.
+	GuardPkgs []string
+	// AtomicPkgs scopes the atomic-mix check. Nil means every analyzed
+	// package.
+	AtomicPkgs []string
+	// GoroutineExitPkgs scopes the goroutine-exit check. Nil means
+	// every analyzed package.
+	GoroutineExitPkgs []string
 }
 
 // DefaultConfig returns the repository scope: which packages each
@@ -103,6 +113,9 @@ func Checks(cfg *Config) []Check {
 		errDrop{cfg},
 		detPath{cfg},
 		indexOnly{cfg},
+		guardedBy{cfg},
+		atomicMix{cfg},
+		goroutineExit{cfg},
 	}
 }
 

@@ -40,7 +40,7 @@ func (c ctxLoop) Run(pass *Pass) {
 				continue
 			}
 			for _, loop := range outermostLoops(fd.Body) {
-				if c.constantBound(pass, loop) {
+				if constantBoundLoop(pass, loop) {
 					continue
 				}
 				if !c.polls(pass, loop) {
@@ -75,10 +75,10 @@ func outermostLoops(body *ast.BlockStmt) []ast.Stmt {
 	return loops
 }
 
-// constantBound reports whether a for loop's condition compares
+// constantBoundLoop reports whether a for loop's condition compares
 // against a compile-time constant (for i := 0; i < 4; i++), whose trip
-// count cannot depend on input.
-func (ctxLoop) constantBound(pass *Pass, loop ast.Stmt) bool {
+// count cannot depend on input. Shared by ctx-loop and goroutine-exit.
+func constantBoundLoop(pass *Pass, loop ast.Stmt) bool {
 	fs, ok := loop.(*ast.ForStmt)
 	if !ok || fs.Cond == nil {
 		return false

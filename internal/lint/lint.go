@@ -47,8 +47,16 @@ type Pass struct {
 	*Package
 	check      string
 	findings   *[]Finding
-	suppressed map[string]bool
+	suppressed map[suppKey]bool
 	directives []directive
+}
+
+// suppKey identifies one suppressed finding site; the same site seen in
+// several package variants counts once.
+type suppKey struct {
+	file  string
+	line  int
+	check string
 }
 
 // Report files a finding at pos unless a suppression directive covers
@@ -57,7 +65,7 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	for _, d := range p.directives {
 		if d.covers(p.check, position) {
-			p.suppressed[fmt.Sprintf("%s:%d:%s", position.Filename, position.Line, p.check)] = true
+			p.suppressed[suppKey{position.Filename, position.Line, p.check}] = true
 			return
 		}
 	}
@@ -123,18 +131,37 @@ func parseDirectives(fset *token.FileSet, file *ast.File, knownChecks map[string
 type Result struct {
 	Findings   []Finding
 	Suppressed int
+	// Checks tallies findings and suppressions per check ID, for the
+	// summary table and the JSON report. Every check that ran has an
+	// entry, zero or not, so a silent no-op check is visible.
+	Checks map[string]CheckTally
+}
+
+// CheckTally is one check's row in the summary.
+type CheckTally struct {
+	Findings   int `json:"findings"`
+	Suppressed int `json:"suppressed"`
 }
 
 // Run executes every check over every package and returns deduplicated,
 // position-sorted findings. Packages may contain the same file more
 // than once (tag-variant runs); duplicate findings collapse.
 func Run(pkgs []*Package, checks []Check) Result {
+	// A directive may name any check in the registry, not just the ones
+	// enabled this run — otherwise molint -checks=<subset> would flag
+	// every suppression belonging to a disabled check as unknown.
 	known := map[string]bool{"suppress": true}
+	for _, c := range Checks(&Config{}) {
+		known[c.ID()] = true
+	}
 	for _, c := range checks {
 		known[c.ID()] = true
 	}
-	var res Result
-	suppressed := map[string]bool{}
+	res := Result{Checks: map[string]CheckTally{"suppress": {}}}
+	for _, c := range checks {
+		res.Checks[c.ID()] = CheckTally{}
+	}
+	suppressed := map[suppKey]bool{}
 	seenDirectiveFile := map[string]bool{}
 	for _, pkg := range pkgs {
 		var ds []directive
@@ -155,6 +182,16 @@ func Run(pkgs []*Package, checks []Check) Result {
 	}
 	res.Findings = dedupe(res.Findings)
 	res.Suppressed = len(suppressed)
+	for _, f := range res.Findings {
+		t := res.Checks[f.Check]
+		t.Findings++
+		res.Checks[f.Check] = t
+	}
+	for k := range suppressed {
+		t := res.Checks[k.check]
+		t.Suppressed++
+		res.Checks[k.check] = t
+	}
 	return res
 }
 

@@ -116,6 +116,9 @@ func TestFixtures(t *testing.T) {
 		{"errdrop", "err-drop"},
 		{"detpath", "det-path"},
 		{"indexonly", "index-only"},
+		{"guardedby", "guarded-by"},
+		{"atomicmix", "atomic-mix"},
+		{"goroutineexit", "goroutine-exit"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -167,12 +170,28 @@ func TestSuppressions(t *testing.T) {
 	}
 }
 
-// TestMolintSelfCheck turns every analyzer on the linter's own packages
-// with the scopes pointed at itself. The tool must hold itself to the
-// conventions it enforces; the single expected suppression is the
-// terminal-write discard in the command's emit helper.
+// TestMolintSelfCheck turns every analyzer on the linter's own package
+// and every command with the scopes pointed at themselves. The tool
+// must hold itself to the conventions it enforces — including the
+// concurrency-discipline suite, which is nil-scoped (repo-wide) and so
+// covers these packages in the default configuration too.
 func TestMolintSelfCheck(t *testing.T) {
 	l := newTestLoader(t)
+	dirs := []string{"internal/lint"}
+	ents, err := os.ReadDir(filepath.Join(l.Root, "cmd"))
+	if err != nil {
+		t.Fatalf("read cmd: %v", err)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			dirs = append(dirs, filepath.Join("cmd", e.Name()))
+		}
+	}
+	// The original five conventions are scoped to the linter and its
+	// command as in PR 4 (the other commands legitimately read the
+	// clock and print best-effort); the three concurrency checks are
+	// nil-scoped and cover every loaded package, closing the
+	// linter-lints-itself loop over all of cmd/.
 	self := []string{l.Module + "/internal/lint", l.Module + "/cmd/molint"}
 	cfg := &Config{
 		FloatEqPkgs:  self,
@@ -184,9 +203,11 @@ func TestMolintSelfCheck(t *testing.T) {
 		// trivially hold no pointers into the paper's arrays.
 		IndexOnlyPkgs:     self,
 		IndexOnlyDataPkgs: DefaultConfig(l.Module).IndexOnlyDataPkgs,
+		// Nil concurrency scopes: guarded-by, atomic-mix, and
+		// goroutine-exit run everywhere by construction.
 	}
 	var pkgs []*Package
-	for _, rel := range []string{"internal/lint", "cmd/molint"} {
+	for _, rel := range dirs {
 		got, err := l.LoadDir(filepath.Join(l.Root, rel))
 		if err != nil {
 			t.Fatalf("load %s: %v", rel, err)

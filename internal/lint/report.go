@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Report is the machine-readable form of a Result, with file paths
+// rendered relative to the module root so output is stable across
+// checkouts and usable as CI annotations.
+type Report struct {
+	Findings []ReportFinding `json:"findings"`
+	Summary  ReportSummary   `json:"summary"`
+}
+
+// ReportFinding is one finding with a root-relative path.
+type ReportFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// ReportSummary mirrors the text summary line plus the per-check table.
+type ReportSummary struct {
+	Findings   int                   `json:"findings"`
+	Suppressed int                   `json:"suppressed"`
+	Packages   int                   `json:"packages"`
+	Checks     map[string]CheckTally `json:"checks"`
+}
+
+// NewReport converts a Result. root is the module root for
+// path-relativising; packages is the number of package variants
+// analyzed.
+func NewReport(root string, res Result, packages int) Report {
+	r := Report{
+		Findings: []ReportFinding{}, // never null in JSON
+		Summary: ReportSummary{
+			Findings:   len(res.Findings),
+			Suppressed: res.Suppressed,
+			Packages:   packages,
+			Checks:     res.Checks,
+		},
+	}
+	for _, f := range res.Findings {
+		r.Findings = append(r.Findings, ReportFinding{
+			File:    relPath(root, f.Pos.Filename),
+			Line:    f.Pos.Line,
+			Column:  f.Pos.Column,
+			Check:   f.Check,
+			Message: f.Message,
+		})
+	}
+	return r
+}
+
+// relPath renders file relative to root when it lives under it.
+func relPath(root, file string) string {
+	if prefix := root + string(os.PathSeparator); strings.HasPrefix(file, prefix) {
+		return file[len(prefix):]
+	}
+	return file
+}
+
+// WriteJSON emits the report as one indented JSON document.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteGitHub emits findings as GitHub Actions workflow commands, which
+// the Actions runner turns into inline PR annotations.
+func (r Report) WriteGitHub(w io.Writer) error {
+	for _, f := range r.Findings {
+		if _, err := fmt.Fprintf(w, "::error file=%s,line=%d,col=%d::[%s] %s\n",
+			f.File, f.Line, f.Column, f.Check, f.Message); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "::notice::molint: %d finding(s), %d suppressed, %d package(s)\n",
+		r.Summary.Findings, r.Summary.Suppressed, r.Summary.Packages)
+	return err
+}
+
+// WriteSummaryTable renders the per-check finding/suppression tallies
+// as an aligned text table, checks sorted by ID.
+func (r Report) WriteSummaryTable(w io.Writer) error {
+	ids := make([]string, 0, len(r.Summary.Checks))
+	width := len("check")
+	for id := range r.Summary.Checks {
+		ids = append(ids, id)
+		if len(id) > width {
+			width = len(id)
+		}
+	}
+	sort.Strings(ids)
+	if _, err := fmt.Fprintf(w, "%-*s  %8s  %10s\n", width, "check", "findings", "suppressed"); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		t := r.Summary.Checks[id]
+		if _, err := fmt.Fprintf(w, "%-*s  %8d  %10d\n", width, id, t.Findings, t.Suppressed); err != nil {
+			return err
+		}
+	}
+	return nil
+}

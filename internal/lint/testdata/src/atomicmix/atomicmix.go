@@ -1,0 +1,40 @@
+// Fixture for the atomic-mix check: a field touched via sync/atomic
+// anywhere — or annotated moguard: atomic — must never be accessed
+// with plain loads or stores.
+package atomicmix
+
+import "sync/atomic"
+
+type hits struct {
+	n     uint64
+	total uint64 // moguard: atomic
+	plain int
+}
+
+func (h *hits) inc() {
+	atomic.AddUint64(&h.n, 1)
+}
+
+func (h *hits) okLoad() uint64 {
+	return atomic.LoadUint64(&h.n) + atomic.LoadUint64(&h.total)
+}
+
+func (h *hits) badLoad() uint64 {
+	return h.n // want `plain access to field n`
+}
+
+func (h *hits) badStore() {
+	// The annotation marks total atomic before any atomic call lands,
+	// so a half-migrated field is already a finding.
+	h.total = 9 // want `plain access to field total`
+}
+
+func (h *hits) okPlain() int {
+	h.plain++ // never touched by sync/atomic: plain access is fine
+	return h.plain
+}
+
+func reset(h *hits) {
+	h.n = 0 // want `plain access to field n`
+	atomic.StoreUint64(&h.total, 0)
+}

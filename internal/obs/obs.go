@@ -108,14 +108,14 @@ type SlowQuery struct {
 // guard against a missing registry.
 type Metrics struct {
 	mu       sync.Mutex
-	start    time.Time
-	routes   map[string]*routeStats
-	ops      map[string]*opStats
-	slow     []SlowQuery // ring buffer, slowNext is the write cursor
-	slowCap  int
-	slowNext int
-	slowLen  int
-	ingest   ingestStats
+	start    time.Time              // moguard: immutable
+	routes   map[string]*routeStats // moguard: guarded by mu
+	ops      map[string]*opStats    // moguard: guarded by mu
+	slow     []SlowQuery            // moguard: guarded by mu // ring buffer, slowNext is the write cursor
+	slowCap  int                    // moguard: immutable
+	slowNext int                    // moguard: guarded by mu
+	slowLen  int                    // moguard: guarded by mu
+	ingest   ingestStats            // moguard: guarded by mu
 }
 
 // New returns an empty registry keeping up to slowCap slow-query

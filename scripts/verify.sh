@@ -12,7 +12,7 @@ echo "==> go vet ./..."
 go vet ./...
 
 echo "==> molint (static analysis, default + faultinject variants)"
-go run ./cmd/molint ./...
+go run ./cmd/molint -summary ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
