@@ -14,8 +14,13 @@
 // under backpressure), acknowledged batches are write-ahead logged, and
 // the object-reading routes answer from the live store.
 //
-// Legacy unversioned routes remain as deprecated aliases. The process
-// shuts down gracefully on SIGINT/SIGTERM.
+// Read routes answer from immutable epoch snapshots behind a result
+// cache keyed on (route, canonical query, epoch): responses carry a
+// strong ETag and X-MO-Epoch, If-None-Match revalidates to 304, and
+// -cache-bytes / -cache-shards size the cache (negative bytes disable
+// it). Legacy unversioned routes remain as deprecated aliases carrying
+// Deprecation and Sunset headers. The process shuts down gracefully on
+// SIGINT/SIGTERM.
 //
 // Example:
 //
@@ -57,6 +62,8 @@ func main() {
 	maxQueryLen := flag.Int("max-query-len", 8192, "maximum ?q= length in bytes")
 	maxBody := flag.Int64("max-body", 1<<20, "maximum request body in bytes")
 	slowQuery := flag.Duration("slow-query", 500*time.Millisecond, "slow-query log threshold")
+	cacheBytes := flag.Int64("cache-bytes", 0, "result cache budget in bytes (0 = 32 MiB default, negative disables)")
+	cacheShards := flag.Int("cache-shards", 0, "result cache shard count, rounded up to a power of two (0 = default)")
 	liveIngest := flag.Bool("ingest", false, "enable the live ingestion pipeline (POST /v1/ingest)")
 	flushSize := flag.Int("ingest-flush-size", 32, "observations per object buffered before a flush")
 	flushAge := flag.Duration("ingest-flush-age", 100*time.Millisecond, "maximum buffering delay before a flush")
@@ -106,6 +113,8 @@ func main() {
 		SlowQueryThreshold: *slowQuery,
 		Logger:             logger,
 		Metrics:            metrics,
+		CacheBytes:         *cacheBytes,
+		CacheShards:        *cacheShards,
 	}
 	var pipe *ingest.Pipeline
 	if *liveIngest {

@@ -1,0 +1,89 @@
+package db
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Canonical re-renders a query string into one canonical spelling:
+// keywords uppercased, numbers in shortest round-trip form, strings
+// single-quoted, and whitespace normalised to single separators. Two
+// requests that differ only in case, spacing or numeric spelling
+// ("0.50" vs ".5e0") canonicalise to the same string, so the serving
+// layer can use the result as a cache-key component and as ETag input
+// without equivalent queries fragmenting the cache.
+//
+// Canonicalisation is lexical only — it does not parse, so it accepts
+// some strings the parser later rejects. That is sound for cache keys:
+// a canonical form maps to exactly one evaluation outcome, whether that
+// outcome is a result or a syntax error. Lexing failures are reported
+// as ErrSyntax.
+func Canonical(q string) (string, error) {
+	toks, err := lex(q)
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrSyntax, err)
+	}
+	var b strings.Builder
+	b.Grow(len(q))
+	prev := token{kind: tokEOF}
+	for _, t := range toks {
+		if t.kind == tokEOF {
+			break
+		}
+		if needSpace(prev, t) {
+			b.WriteByte(' ')
+		}
+		switch t.kind {
+		case tokNumber:
+			b.WriteString(strconv.FormatFloat(t.num, 'g', -1, 64))
+		case tokString:
+			b.WriteByte('\'')
+			b.WriteString(t.text)
+			b.WriteByte('\'')
+		default:
+			// Keywords are already uppercased by the lexer; idents and
+			// punctuation pass through verbatim.
+			b.WriteString(t.text)
+		}
+		prev = t
+	}
+	return b.String(), nil
+}
+
+// needSpace decides whether a separator goes between two adjacent
+// tokens in the canonical rendering. Punctuation binds tightly
+// (no space around '.', none before ',' or ')', none after '('); word
+// and operator tokens are separated by single spaces.
+func needSpace(prev, next token) bool {
+	if prev.kind == tokEOF {
+		return false
+	}
+	switch {
+	case prev.kind == tokLParen || prev.kind == tokDot:
+		return false
+	case next.kind == tokComma || next.kind == tokRParen || next.kind == tokDot:
+		return false
+	case next.kind == tokLParen && prev.kind == tokIdent:
+		// Function application: length(route), not length (route).
+		return false
+	}
+	return true
+}
+
+// Snapshot pins a catalog to the ingestion epoch it was derived from.
+// Every relation reachable through the catalog must be immutable — in
+// the serving layer they are materialised from one ingest.Epoch — so a
+// query result against a Snapshot is a pure function of
+// (canonical query, Epoch). That purity is what makes (query, epoch)
+// a sound cache key and a sound ETag.
+type Snapshot struct {
+	Catalog Catalog // moguard: immutable // relations materialised from one epoch
+	Epoch   uint64  // moguard: immutable
+}
+
+// QueryContext evaluates sql against the pinned catalog.
+func (s Snapshot) QueryContext(ctx context.Context, sql string) (*Relation, error) {
+	return QueryContext(ctx, s.Catalog, sql)
+}

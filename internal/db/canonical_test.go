@@ -1,0 +1,79 @@
+package db
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestCanonicalNormalises(t *testing.T) {
+	cases := []struct{ a, b string }{
+		{"select * from flights", "SELECT   *   FROM flights"},
+		{"SELECT id FROM f WHERE x = 0.50", "select id from f where x=0.5e0"},
+		{"SELECT length(f.route) FROM flights AS f", "select length( f . route )  from flights as f"},
+		{`SELECT id FROM f WHERE name = "LH 257"`, "SELECT id FROM f WHERE name = 'LH 257'"},
+		{"SELECT a+b, c FROM r", "select a + b , c from r"},
+	}
+	for _, c := range cases {
+		ca, err := Canonical(c.a)
+		if err != nil {
+			t.Fatalf("Canonical(%q): %v", c.a, err)
+		}
+		cb, err := Canonical(c.b)
+		if err != nil {
+			t.Fatalf("Canonical(%q): %v", c.b, err)
+		}
+		if ca != cb {
+			t.Errorf("equivalent queries canonicalised apart:\n %q -> %q\n %q -> %q", c.a, ca, c.b, cb)
+		}
+	}
+}
+
+func TestCanonicalDistinguishes(t *testing.T) {
+	a, _ := Canonical("SELECT id FROM f WHERE x = 1")
+	b, _ := Canonical("SELECT id FROM f WHERE x = 2")
+	if a == b {
+		t.Fatalf("distinct queries collapsed to %q", a)
+	}
+	// Identifier case is significant (column names are case-sensitive).
+	a, _ = Canonical("SELECT Id FROM f")
+	b, _ = Canonical("SELECT id FROM f")
+	if a == b {
+		t.Fatal("identifier case was erased")
+	}
+}
+
+func TestCanonicalIdempotent(t *testing.T) {
+	q := "select  id ,  length( route )  from flights where dist <= 52.8"
+	once, err := Canonical(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := Canonical(once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if once != twice {
+		t.Fatalf("not idempotent:\n once  %q\n twice %q", once, twice)
+	}
+}
+
+func TestCanonicalSyntaxError(t *testing.T) {
+	if _, err := Canonical("SELECT 'unterminated"); !errors.Is(err, ErrSyntax) {
+		t.Fatalf("err = %v, want ErrSyntax", err)
+	}
+}
+
+func TestSnapshotQueryContext(t *testing.T) {
+	r := NewRelation("nums", Schema{{Name: "n", Type: TReal}})
+	r.MustInsert(Tuple{1.0})
+	r.MustInsert(Tuple{5.0})
+	s := Snapshot{Catalog: Catalog{"nums": r}, Epoch: 42}
+	out, err := s.QueryContext(context.Background(), "SELECT n FROM nums WHERE n > 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || Get[float64](out, out.Scan()[0], "n") != 5 {
+		t.Fatalf("snapshot query returned %v", out.Scan())
+	}
+}

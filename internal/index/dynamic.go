@@ -77,6 +77,54 @@ func (d *Dynamic) mergeLocked() {
 	d.merges++
 }
 
+// Snapshot is an immutable point-in-time view of a Dynamic index: the
+// base tree pointer plus the delta buffer clipped to its length at
+// capture. Both are safe to search without any lock — the base tree is
+// never mutated after Build, and the delta slice's visible prefix is
+// append-only (inserts land past the captured length, merges swap in a
+// fresh slice and leave the captured one behind). The zero value is an
+// empty, searchable snapshot. Epoch-pinned readers hold one for their
+// whole lifetime, so a concurrent merge or insert never moves the data
+// out from under them.
+type Snapshot struct {
+	base  *RTree
+	delta []Entry
+}
+
+// Snapshot captures the current base tree and delta prefix. The lock is
+// held only for the two pointer reads, not for any search that follows.
+func (d *Dynamic) Snapshot() Snapshot {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return Snapshot{base: d.base, delta: d.delta}
+}
+
+// Search appends to out the IDs of all entries — base and captured
+// delta — whose cubes intersect q, and returns the number of nodes
+// visited plus delta entries scanned. Lock-free: the snapshot's data is
+// immutable. Duplicate IDs may appear exactly as in Dynamic.Search.
+func (s Snapshot) Search(q geom.Cube, out []int64) ([]int64, int) {
+	visited := 0
+	if s.base != nil {
+		out, visited = s.base.Search(q, out)
+	}
+	for _, e := range s.delta {
+		if e.Cube.Intersects(q) {
+			out = append(out, e.ID)
+		}
+	}
+	return out, visited + len(s.delta)
+}
+
+// Len returns the number of entries visible in the snapshot.
+func (s Snapshot) Len() int {
+	n := len(s.delta)
+	if s.base != nil {
+		n += s.base.Len()
+	}
+	return n
+}
+
 // Search appends to out the IDs of all entries — base and delta — whose
 // cubes intersect q, and returns the number of nodes visited plus delta
 // entries scanned. Duplicate IDs may appear when a unit was indexed in

@@ -25,6 +25,12 @@ type batcher struct {
 	maxQueued int                 // moguard: immutable
 	maxAge    time.Duration       // moguard: immutable
 	apply     func([]Observation) // moguard: immutable
+	// afterFlush runs once per batcher operation that flushed at least
+	// one buffer, still under the lock — the epoch-publication hook, so
+	// one admission or ticker pass that drains many objects publishes
+	// one epoch, not one per object. Takes the store lock inside (lock
+	// order batcher → store). Nil-safe.
+	afterFlush func() // moguard: immutable
 
 	done chan struct{} // moguard: immutable
 	wg   sync.WaitGroup
@@ -35,14 +41,15 @@ type objBuf struct {
 	first time.Time // admission time of the oldest buffered observation
 }
 
-func newBatcher(flushSize, maxQueued int, maxAge time.Duration, apply func([]Observation)) *batcher {
+func newBatcher(flushSize, maxQueued int, maxAge time.Duration, apply func([]Observation), afterFlush func()) *batcher {
 	b := &batcher{
-		bufs:      make(map[string]*objBuf),
-		flushSize: flushSize,
-		maxQueued: maxQueued,
-		maxAge:    maxAge,
-		apply:     apply,
-		done:      make(chan struct{}),
+		bufs:       make(map[string]*objBuf),
+		flushSize:  flushSize,
+		maxQueued:  maxQueued,
+		maxAge:     maxAge,
+		apply:      apply,
+		afterFlush: afterFlush,
+		done:       make(chan struct{}),
 	}
 	interval := max(maxAge/4, time.Millisecond)
 	b.wg.Add(1)
@@ -91,12 +98,23 @@ func (b *batcher) enqueue(batch []Observation, log func([]Observation) (uint64, 
 		buf.obs = append(buf.obs, o)
 		b.queued++
 	}
+	flushed := 0
 	for _, o := range batch {
 		if buf := b.bufs[o.ObjectID]; buf != nil && len(buf.obs) >= b.flushSize {
 			b.flushLocked(o.ObjectID, buf)
+			flushed++
 		}
 	}
+	b.publishLocked(flushed)
 	return seq, nil
+}
+
+// publishLocked fires the epoch-publication hook when n buffers were
+// flushed. Caller holds b.mu.
+func (b *batcher) publishLocked(n int) {
+	if n > 0 && b.afterFlush != nil {
+		b.afterFlush()
+	}
 }
 
 // flushLocked hands one object's buffered run to the apply sink and
@@ -113,7 +131,7 @@ func (b *batcher) flushAged() {
 	cutoff := time.Now().Add(-b.maxAge)
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.flushOrderedLocked(func(buf *objBuf) bool { return !buf.first.After(cutoff) })
+	b.publishLocked(b.flushOrderedLocked(func(buf *objBuf) bool { return !buf.first.After(cutoff) }))
 }
 
 // flushAll synchronously drains every buffer (also used for the final
@@ -121,15 +139,16 @@ func (b *batcher) flushAged() {
 func (b *batcher) flushAll() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.flushOrderedLocked(func(*objBuf) bool { return true })
+	b.publishLocked(b.flushOrderedLocked(func(*objBuf) bool { return true }))
 }
 
 // flushOrderedLocked flushes the buffers selected by keep-predicate
-// pred in admission order, compacting the order list. Caller holds
-// b.mu.
-func (b *batcher) flushOrderedLocked(pred func(*objBuf) bool) {
+// pred in admission order, compacting the order list, and returns how
+// many buffers it flushed. Caller holds b.mu.
+func (b *batcher) flushOrderedLocked(pred func(*objBuf) bool) int {
 	remaining := b.order[:0]
 	seen := make(map[string]bool, len(b.order))
+	flushed := 0
 	for _, id := range b.order {
 		if seen[id] {
 			continue // duplicate entry from a size-flush/re-admit cycle
@@ -141,11 +160,13 @@ func (b *batcher) flushOrderedLocked(pred func(*objBuf) bool) {
 		}
 		if pred(buf) {
 			b.flushLocked(id, buf)
+			flushed++
 		} else {
 			remaining = append(remaining, id)
 		}
 	}
 	b.order = remaining
+	return flushed
 }
 
 // quiesce drains every buffer and then runs f, all under the lock, so
@@ -156,7 +177,7 @@ func (b *batcher) flushOrderedLocked(pred func(*objBuf) bool) {
 func (b *batcher) quiesce(f func()) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.flushOrderedLocked(func(*objBuf) bool { return true })
+	b.publishLocked(b.flushOrderedLocked(func(*objBuf) bool { return true }))
 	f()
 }
 

@@ -222,6 +222,7 @@ func storeFromState(payload []byte, mergeThreshold int, metrics *obs.Metrics) (*
 	}
 	s := &Store{
 		ids:       make(map[string]int, len(img.objs)),
+		dirty:     make(map[int]struct{}),
 		metrics:   metrics,
 		applied:   img.applied,
 		dropped:   img.dropped,
@@ -237,5 +238,6 @@ func storeFromState(payload []byte, mergeThreshold int, metrics *obs.Metrics) (*
 		}
 	}
 	s.idx = index.NewDynamic(index.Build(entries), mergeThreshold)
+	s.publish()
 	return s, nil
 }

@@ -112,7 +112,7 @@ func TestCheckpointStateRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	p2 := &Pipeline{store: st, wal: &wal{io: pageStoreIO{storage.NewPageStore()}}, health: newHealth(3, time.Second), dead: newDeadLetter(16)}
-	p2.bat = newBatcher(1<<20, 1<<20, time.Hour, p2.applyFlush)
+	p2.bat = newBatcher(1<<20, 1<<20, time.Hour, p2.applyFlush, p2.publishEpoch)
 	defer p2.Close()
 	if got, want := fingerprint(p2), fingerprint(p); got != want {
 		t.Fatalf("state round trip diverged:\n got %s\nwant %s", got, want)

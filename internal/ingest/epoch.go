@@ -1,0 +1,186 @@
+package ingest
+
+import (
+	"slices"
+
+	"movingdb/internal/geom"
+	"movingdb/internal/index"
+	"movingdb/internal/mapping"
+	"movingdb/internal/moving"
+	"movingdb/internal/temporal"
+	"movingdb/internal/units"
+)
+
+// Epoch is one published, immutable snapshot of the live store: the
+// sealed per-object unit arrays plus the matching index view, stamped
+// with a sequence number. Queries pin an epoch once and read it for
+// their whole lifetime with no locks at all — flushes build the *next*
+// epoch behind the scenes and publish it atomically, so a reader's view
+// never moves and a writer never waits for readers (nor readers for
+// writers). Because every query operator is deterministic, any result
+// computed against an epoch is a pure function of (query, epoch
+// sequence) — which is exactly what makes the sequence a sound
+// result-cache key: a cached value can never go stale within its epoch,
+// and epoch advance invalidates by key mismatch, for free.
+//
+// Retirement is garbage collection: an old epoch stays alive exactly as
+// long as some in-flight query or cache reference pins it, then the
+// shared prefixes (which the next epoch re-uses) survive and only the
+// per-epoch view headers are collected.
+type Epoch struct {
+	seq  uint64
+	ids  map[string]int // frozen: never mutated after publish
+	objs []*objView     // frozen: slots never reassigned after publish
+	idx  index.Snapshot
+}
+
+// objView is one object's sealed state inside an epoch. The unit array
+// is captured copy-on-write: prefix aliases the live array's elements
+// [0, n-1), which the appender never touches again (it only rewrites
+// the final unit in place — re-opening the closed tail, merging a
+// continuation — and appends past it), and tail is a value copy of
+// element n-1, the only slot that can still change. Readers therefore
+// must go through unit(i), never through a raw slice.
+type objView struct {
+	id     string
+	prefix []units.UPoint // immutable alias: live units[0 : n-1]
+	tail   units.UPoint   // copy of live units[n-1] at capture
+	n      int            // unit count at capture (0 = no units yet)
+	seen   bool
+	last   moving.Sample
+}
+
+// viewOf seals an object's current state. Caller holds the store lock.
+func viewOf(o *object) *objView {
+	v := &objView{id: o.id, n: len(o.units), seen: o.seen, last: o.last}
+	if v.n > 0 {
+		v.prefix = o.units[: v.n-1 : v.n-1]
+		v.tail = o.units[v.n-1]
+	}
+	return v
+}
+
+// unit returns the i-th unit of the sealed array.
+func (v *objView) unit(i int) units.UPoint {
+	if i == v.n-1 {
+		return v.tail
+	}
+	return v.prefix[i]
+}
+
+// unitAt finds the unit whose interval contains t by binary search over
+// the temporally ordered, pairwise-disjoint sealed array (the same
+// search as mapping.FindUnit, routed through unit() so the live tail is
+// never read through the alias).
+func (v *objView) unitAt(t temporal.Instant) (units.UPoint, bool) {
+	lo, hi := 0, v.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		u := v.unit(mid)
+		switch {
+		case u.Iv.Contains(t):
+			return u, true
+		case t < u.Iv.Start || (t == u.Iv.Start && !u.Iv.LC):
+			hi = mid
+		default:
+			lo = mid + 1
+		}
+	}
+	return units.UPoint{}, false
+}
+
+// Seq returns the epoch's sequence number — the value served in the
+// X-MO-Epoch header and embedded in cache keys and ETags.
+func (e *Epoch) Seq() uint64 { return e.seq }
+
+// Objects returns the number of tracked objects in the epoch.
+func (e *Epoch) Objects() int { return len(e.objs) }
+
+// IndexEntries returns the number of index entries visible to the
+// epoch's pinned index view.
+func (e *Epoch) IndexEntries() int { return e.idx.Len() }
+
+// Window reports the ids of objects inside rect at some instant of iv,
+// in ascending registration order — the same answer Store.Window gives
+// for the epoch's state, computed without taking any lock: candidates
+// come from the pinned index snapshot and refinement runs against the
+// sealed unit views.
+func (e *Epoch) Window(rect geom.Rect, iv temporal.Interval) []string {
+	q := geom.Cube{Rect: rect, MinT: float64(iv.Start), MaxT: float64(iv.End)}
+	ids, _ := e.idx.Search(q, nil)
+	seen := make(map[int]bool)
+	var hits []int
+	for _, id := range ids {
+		oi, ui := int(id>>32), int(id&0xffffffff)
+		if seen[oi] || oi >= len(e.objs) {
+			continue
+		}
+		v := e.objs[oi]
+		if ui >= v.n {
+			// The entry references a unit appended after this epoch was
+			// sealed (a newer epoch's index snapshot would see it); it
+			// cannot contribute to this epoch's answer.
+			continue
+		}
+		// Refining against the sealed unit is safe for the same reason as
+		// the live path: units only grow, so the unit at capture contains
+		// every extent its earlier index entries covered.
+		if index.UPointInWindow(v.unit(ui), rect, iv) {
+			seen[oi] = true
+			hits = append(hits, oi)
+		}
+	}
+	slices.Sort(hits)
+	out := make([]string, 0, len(hits))
+	for _, oi := range hits {
+		out = append(out, e.objs[oi].id)
+	}
+	return out
+}
+
+// AtInstant returns the position of every object defined at t, in
+// registration order, lock-free against the sealed views.
+func (e *Epoch) AtInstant(t temporal.Instant) []Position {
+	out := []Position{}
+	for _, v := range e.objs {
+		if u, ok := v.unitAt(t); ok {
+			p := u.Eval(t)
+			out = append(out, Position{ID: v.id, X: p.X, Y: p.Y})
+		}
+	}
+	return out
+}
+
+// Summaries lists the tracked objects in registration order, exactly as
+// Store.Summaries does for the epoch's state.
+func (e *Epoch) Summaries() []ObjectSummary {
+	out := make([]ObjectSummary, 0, len(e.objs))
+	for _, v := range e.objs {
+		sum := ObjectSummary{ID: v.id, Units: v.n}
+		if v.n > 0 {
+			sum.From = float64(v.unit(0).Iv.Start)
+			sum.To = float64(v.tail.Iv.End)
+		} else if v.seen {
+			sum.From, sum.To = float64(v.last.T), float64(v.last.T)
+		}
+		out = append(out, sum)
+	}
+	return out
+}
+
+// Snapshot materialises a detached copy of one object's mapping as of
+// the epoch.
+func (e *Epoch) Snapshot(id string) (moving.MPoint, bool) {
+	oi, ok := e.ids[id]
+	if !ok {
+		return moving.MPoint{}, false
+	}
+	v := e.objs[oi]
+	us := make([]units.UPoint, 0, v.n)
+	us = append(us, v.prefix...)
+	if v.n > 0 {
+		us = append(us, v.tail)
+	}
+	return moving.MPoint{M: mapping.FromOrdered(us)}, true
+}
+

@@ -1,0 +1,275 @@
+package ingest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"movingdb/internal/geom"
+	"movingdb/internal/index"
+	"movingdb/internal/moving"
+	"movingdb/internal/temporal"
+	"movingdb/internal/workload"
+)
+
+func worldWindow() (geom.Rect, temporal.Interval) {
+	return geom.Rect{MinX: -1e9, MinY: -1e9, MaxX: 1e9, MaxY: 1e9},
+		temporal.Closed(temporal.Instant(-1e9), temporal.Instant(1e9))
+}
+
+// TestEpochReadersNeverBlockOnFlush is the tentpole's lock-freedom
+// proof: with the store mutex held exclusively — the state every flush
+// apply puts the store in — queries against a published epoch still
+// complete. Pre-epoch, these reads took the same mutex and would
+// deadlock here.
+func TestEpochReadersNeverBlockOnFlush(t *testing.T) {
+	g := workload.New(5)
+	p, err := Open(Config{FlushSize: 1 << 20, MaxAge: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Ingest(toObservations(g.ObservationStream("b", 6, 40, 0, 1, 4))); err != nil {
+		t.Fatal(err)
+	}
+	p.Flush()
+
+	ep := p.Epoch()
+	p.store.mu.Lock() // a flush apply is "in progress" forever
+	defer p.store.mu.Unlock()
+
+	done := make(chan int, 1)
+	go func() {
+		rect, iv := worldWindow()
+		n := len(ep.Window(rect, iv))
+		n += len(ep.AtInstant(20))
+		n += len(ep.Summaries())
+		if _, ok := ep.Snapshot("b0"); ok {
+			n++
+		}
+		done <- n
+	}()
+	select {
+	case n := <-done:
+		if n == 0 {
+			t.Fatal("epoch queries returned nothing")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("epoch reader blocked on the store mutex")
+	}
+}
+
+// TestEpochSnapshotIsolation pins the COW contract: an epoch captured
+// before further ingestion answers exactly as it did at capture time,
+// even as the appender re-opens and extends the very unit arrays the
+// epoch aliases (continuation merges mutate units[n-1] in place — the
+// epoch must hold a value copy of that tail).
+func TestEpochSnapshotIsolation(t *testing.T) {
+	p, err := Open(Config{FlushSize: 1 << 20, MaxAge: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	obs := func(id string, t0 float64, n int) []Observation {
+		out := make([]Observation, n)
+		for i := range out {
+			out[i] = Observation{ObjectID: id, T: t0 + float64(i), X: float64(i), Y: 1}
+		}
+		return out
+	}
+	if _, err := p.Ingest(obs("iso", 0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	p.Flush()
+	old := p.Epoch()
+	oldSum := old.Summaries()
+	oldSnap, ok := old.Snapshot("iso")
+	if !ok {
+		t.Fatal("iso missing from epoch")
+	}
+	oldUnits := oldSnap.M.Len()
+	rect, iv := worldWindow()
+	oldIDs := old.Window(rect, iv)
+	oldAt := old.AtInstant(2)
+
+	// Continue the same trajectory (tail re-open + merge) and add a new
+	// object, across several flushes.
+	for round := 0; round < 3; round++ {
+		if _, err := p.Ingest(obs("iso", float64(4+round*3), 3)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Ingest(obs(fmt.Sprintf("new%d", round), 0, 3)); err != nil {
+			t.Fatal(err)
+		}
+		p.Flush()
+	}
+
+	cur := p.Epoch()
+	if cur.Seq() <= old.Seq() {
+		t.Fatalf("epoch did not advance: %d -> %d", old.Seq(), cur.Seq())
+	}
+	if got, _ := cur.Snapshot("iso"); got.M.Len() <= oldUnits {
+		t.Fatalf("current epoch lost the continuation: %d units", got.M.Len())
+	}
+	if len(cur.Window(rect, iv)) != 4 {
+		t.Fatalf("current epoch window = %v", cur.Window(rect, iv))
+	}
+
+	// The old epoch is frozen: same summaries, same window, same
+	// interpolation, same unit count.
+	if got := old.Summaries(); len(got) != len(oldSum) || got[0] != oldSum[0] {
+		t.Fatalf("old epoch summaries drifted: %v vs %v", got, oldSum)
+	}
+	if got := old.Window(rect, iv); len(got) != len(oldIDs) {
+		t.Fatalf("old epoch window drifted: %v vs %v", got, oldIDs)
+	}
+	if got := old.AtInstant(2); len(got) != len(oldAt) || got[0] != oldAt[0] {
+		t.Fatalf("old epoch atinstant drifted: %v vs %v", got, oldAt)
+	}
+	if got, _ := old.Snapshot("iso"); got.M.Len() != oldUnits {
+		t.Fatalf("old epoch snapshot drifted: %d units, want %d", got.M.Len(), oldUnits)
+	}
+}
+
+// TestEpochEquivalence cross-checks the epoch read path against the
+// materialised MPoint snapshots (the paper-layer ground truth): window
+// membership and atinstant positions computed from the epoch views must
+// equal brute-force evaluation over Snapshot(id).
+func TestEpochEquivalence(t *testing.T) {
+	g := workload.New(29)
+	p, err := Open(Config{FlushSize: 16, MaxAge: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	stream := toObservations(g.ObservationStream("e", 10, 80, 0, 1, 4))
+	for lo := 0; lo < len(stream); lo += 23 {
+		if _, err := p.Ingest(stream[lo:min(lo+23, len(stream))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Flush()
+	ep := p.Epoch()
+
+	rects := []geom.Rect{
+		{MinX: 0, MinY: 0, MaxX: 40, MaxY: 40},
+		{MinX: 20, MinY: 10, MaxX: 60, MaxY: 50},
+		{MinX: -10, MinY: -10, MaxX: 5, MaxY: 5},
+	}
+	ivs := []temporal.Interval{
+		temporal.Closed(0, 30),
+		temporal.Closed(25, 60),
+	}
+	sums := ep.Summaries()
+	objs := make([]moving.MPoint, len(sums))
+	for i, sum := range sums {
+		m, ok := ep.Snapshot(sum.ID)
+		if !ok {
+			t.Fatalf("no snapshot for %s", sum.ID)
+		}
+		objs[i] = m
+	}
+	for _, rect := range rects {
+		for _, iv := range ivs {
+			got := ep.Window(rect, iv)
+			want := map[string]bool{}
+			for _, oi := range index.ScanWindow(objs, rect, iv) {
+				want[sums[oi].ID] = true
+			}
+			if len(got) != len(want) {
+				t.Fatalf("rect %v iv %v: epoch window %v, brute force %v", rect, iv, got, want)
+			}
+			for _, id := range got {
+				if !want[id] {
+					t.Fatalf("rect %v iv %v: epoch window has %s, brute force does not", rect, iv, id)
+				}
+			}
+		}
+	}
+	for _, ti := range []temporal.Instant{0, 17, 42, 79} {
+		got := ep.AtInstant(ti)
+		positions := map[string][2]float64{}
+		for _, pos := range got {
+			positions[pos.ID] = [2]float64{pos.X, pos.Y}
+		}
+		n := 0
+		for i, sum := range sums {
+			if v := objs[i].AtInstant(ti); v.Defined() {
+				n++
+				if p, ok := positions[sum.ID]; !ok || p[0] != v.P.X || p[1] != v.P.Y {
+					t.Fatalf("t=%v %s: epoch %v, snapshot (%v, %v)", ti, sum.ID, p, v.P.X, v.P.Y)
+				}
+			}
+		}
+		if n != len(got) {
+			t.Fatalf("t=%v: epoch returned %d positions, brute force %d", ti, len(got), n)
+		}
+	}
+}
+
+// TestConcurrentIngestAndEpochReads races continuous ingestion (with
+// continuation merges and index merges) against continuous epoch
+// queries — the race detector proves the COW publication protocol: no
+// read ever touches memory a writer mutates.
+func TestConcurrentIngestAndEpochReads(t *testing.T) {
+	g := workload.New(41)
+	p, err := Open(Config{FlushSize: 8, MaxAge: time.Hour, MergeThreshold: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	stream := toObservations(g.ObservationStream("r", 12, 200, 0, 1, 4))
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for lo := 0; lo < len(stream); lo += 17 {
+			if _, err := p.Ingest(stream[lo:min(lo+17, len(stream))]); err != nil {
+				t.Errorf("ingest: %v", err)
+				return
+			}
+			if lo%5 == 0 {
+				p.Flush()
+			}
+		}
+		p.Flush()
+	}()
+	rect, iv := worldWindow()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastSeq uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ep := p.Epoch()
+				if ep.Seq() < lastSeq {
+					t.Errorf("epoch went backward: %d after %d", ep.Seq(), lastSeq)
+					return
+				}
+				lastSeq = ep.Seq()
+				ids := ep.Window(rect, iv)
+				if len(ids) != len(ep.Summaries()) {
+					t.Errorf("epoch %d: window %d ids, %d objects", ep.Seq(), len(ids), len(ep.Summaries()))
+					return
+				}
+				ep.AtInstant(50)
+			}
+		}()
+	}
+	wg.Wait()
+
+	final := p.Epoch()
+	if got := len(final.Window(rect, iv)); got != 12 {
+		t.Fatalf("final window = %d objects, want 12", got)
+	}
+}

@@ -224,7 +224,10 @@ func Open(cfg Config) (*Pipeline, error) {
 		retryMaxWait:  cfg.RetryMaxWait,
 		rng:           rand.New(rand.NewSource(cfg.RetrySeed)),
 	}
-	p.bat = newBatcher(cfg.FlushSize, cfg.MaxQueued, cfg.MaxAge, p.applyFlush)
+	p.bat = newBatcher(cfg.FlushSize, cfg.MaxQueued, cfg.MaxAge, p.applyFlush, p.publishEpoch)
+	// Replayed batches were applied directly to the store above; publish
+	// them as the opening epoch so the first reader sees recovered data.
+	p.publishEpoch()
 	if rec.dirty && cfg.CheckpointPages > 0 {
 		// The scan quarantined damage; re-checkpoint now, compacting all
 		// the way to the fresh record, so the log stops carrying (and
@@ -240,6 +243,17 @@ func (p *Pipeline) applyFlush(batch []Observation) {
 	start := time.Now()
 	applied, dropped, compacted := p.store.Apply(batch)
 	p.metrics.RecordIngestFlush(applied, dropped, compacted, time.Since(start))
+}
+
+// publishEpoch is the batcher's post-flush hook: it seals everything
+// the flushes just applied into the next epoch and publishes it. Runs
+// once per batcher operation, after every per-object apply (and its
+// index insert) completed, so the epoch's object views and index
+// snapshot agree exactly.
+func (p *Pipeline) publishEpoch() {
+	if ep, advanced := p.store.publish(); advanced {
+		p.metrics.RecordEpochPublish(ep.Seq())
+	}
 }
 
 // Ingest validates and admits one batch. On success the batch is in the
@@ -348,23 +362,32 @@ func (p *Pipeline) Close() { p.closeOnce.Do(p.bat.close) }
 // Store exposes the object store for benchmarks and diagnostics.
 func (p *Pipeline) Store() *Store { return p.store }
 
+// Epoch returns the current published epoch — the immutable snapshot
+// queries pin for their lifetime. Every acknowledged-and-flushed write
+// is visible in it (Flush establishes read-your-writes by draining the
+// batcher and publishing).
+func (p *Pipeline) Epoch() *Epoch { return p.store.CurrentEpoch() }
+
 // Window reports the ids of objects inside rect at some instant of iv,
-// via the dynamic index (base tree + delta buffer) with exact
-// refinement, in ascending registration order.
+// answered lock-free against the current epoch's pinned index view with
+// exact refinement, in ascending registration order.
 func (p *Pipeline) Window(rect geom.Rect, iv temporal.Interval) []string {
-	return p.store.Window(rect, iv)
+	return p.Epoch().Window(rect, iv)
 }
 
-// AtInstant returns the position of every object defined at t.
+// AtInstant returns the position of every object defined at t, answered
+// lock-free against the current epoch.
 func (p *Pipeline) AtInstant(t temporal.Instant) []Position {
-	return p.store.AtInstant(t)
+	return p.Epoch().AtInstant(t)
 }
 
-// Summaries lists the tracked objects in registration order.
-func (p *Pipeline) Summaries() []ObjectSummary { return p.store.Summaries() }
+// Summaries lists the tracked objects in registration order, from the
+// current epoch.
+func (p *Pipeline) Summaries() []ObjectSummary { return p.Epoch().Summaries() }
 
-// Snapshot returns a copy of one object's mapping.
-func (p *Pipeline) Snapshot(id string) (moving.MPoint, bool) { return p.store.Snapshot(id) }
+// Snapshot returns a copy of one object's mapping as of the current
+// epoch.
+func (p *Pipeline) Snapshot(id string) (moving.MPoint, bool) { return p.Epoch().Snapshot(id) }
 
 // Stats is a point-in-time view of the pipeline.
 type Stats struct {
@@ -384,6 +407,7 @@ type Stats struct {
 	DeadLetterBatch int    `json:"dead_letter_batches"`
 	DeadLetterObs   int    `json:"dead_letter_observations"`
 	Degraded        bool   `json:"degraded"`
+	Epoch           uint64 `json:"epoch"`
 }
 
 // Stats snapshots the pipeline counters.
@@ -410,5 +434,6 @@ func (p *Pipeline) Stats() Stats {
 		DeadLetterBatch: dlb,
 		DeadLetterObs:   dlo,
 		Degraded:        degraded,
+		Epoch:           p.Epoch().Seq(),
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"movingdb/internal/geom"
 	"movingdb/internal/index"
@@ -16,14 +17,23 @@ import (
 
 // Store is the live object table: per-object unit arrays extended by
 // the appender plus the dynamic index over their bounding cubes. One
-// RWMutex guards the table; queries hold it only for the duration of
-// their scan, writers for the duration of a flush, so concurrent ingest
-// and query interleave at flush granularity.
+// RWMutex guards the table for the write path and the administrative
+// readers (stats, checkpoints); the serving read path does not use it —
+// queries pin the published Epoch (an immutable copy-on-write view, see
+// epoch.go) and never contend with a flush.
 type Store struct {
 	mu   sync.RWMutex
 	ids  map[string]int // moguard: guarded by mu
 	objs []*object      // moguard: guarded by mu
 	idx  *index.Dynamic // moguard: immutable // set in newStore; synchronises itself
+
+	// Epoch machinery: dirty is the set of object slots touched since
+	// the last publish, added flags new registrations (the frozen ids
+	// map must be recopied), epoch is the published snapshot readers
+	// load without the lock.
+	dirty map[int]struct{}      // moguard: guarded by mu
+	added bool                  // moguard: guarded by mu
+	epoch atomic.Pointer[Epoch] // moguard: atomic
 
 	applied   int64 // moguard: guarded by mu
 	dropped   int64 // moguard: guarded by mu
@@ -61,7 +71,7 @@ type ObjectSummary struct {
 // newStore registers the seed objects and bulk-loads the base index
 // tree over their units.
 func newStore(ids []string, seeds []moving.MPoint, mergeThreshold int, metrics *obs.Metrics) (*Store, error) {
-	s := &Store{ids: make(map[string]int, len(ids)), metrics: metrics}
+	s := &Store{ids: make(map[string]int, len(ids)), dirty: make(map[int]struct{}), metrics: metrics}
 	var entries []index.Entry
 	for i, id := range ids {
 		if id == "" {
@@ -84,6 +94,7 @@ func newStore(ids []string, seeds []moving.MPoint, mergeThreshold int, metrics *
 		}
 	}
 	s.idx = index.NewDynamic(index.Build(entries), mergeThreshold)
+	s.publish()
 	return s, nil
 }
 
@@ -107,11 +118,13 @@ func (s *Store) Apply(batch []Observation) (applied, dropped, compacted int) {
 			oi = len(s.objs)
 			s.ids[ob.ObjectID] = oi
 			s.objs = append(s.objs, &object{id: ob.ObjectID})
+			s.added = true
 		}
 		o := s.objs[oi]
 		smp := moving.Sample{T: temporal.Instant(ob.T), P: geom.Pt(ob.X, ob.Y)}
 		if !o.seen {
 			o.last, o.seen = smp, true
+			s.dirty[oi] = struct{}{}
 			applied++
 			continue
 		}
@@ -119,6 +132,7 @@ func (s *Store) Apply(batch []Observation) (applied, dropped, compacted int) {
 			dropped++
 			continue
 		}
+		s.dirty[oi] = struct{}{}
 		u := unitBetween(o.last, smp)
 		cube := u.Cube() // pre-merge: the extension's own extent
 		ui, merged := o.append(u)
@@ -193,6 +207,67 @@ func (o *object) append(u units.UPoint) (int, bool) {
 	}
 	o.units = append(o.units, u)
 	return n, false
+}
+
+// CurrentEpoch returns the published epoch — the immutable view the
+// serving read path queries. Lock-free; never nil once the store is
+// constructed (newStore and storeFromState both publish).
+func (s *Store) CurrentEpoch() *Epoch { return s.epoch.Load() }
+
+// publish seals the objects touched since the last publish into a new
+// epoch and atomically swaps it in. It reports the epoch now current
+// and whether it advanced; with nothing dirty the previous epoch stays
+// (so a flush of only-dropped observations does not move the ETag).
+func (s *Store) publish() (*Epoch, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.publishLocked()
+}
+
+// publishLocked builds the next epoch copy-on-write: untouched slots
+// share the previous epoch's views (an 8-byte pointer copy each), dirty
+// slots are re-sealed (constant work per object: a slice-header alias
+// of the immutable prefix plus one unit copied by value), and the
+// frozen ids map is recopied only when an object was registered. The
+// index snapshot is captured in the same critical section, so the view
+// and its index agree exactly — every flush completes its store apply
+// and its index insert before the batcher triggers publish. Caller
+// holds s.mu.
+func (s *Store) publishLocked() (*Epoch, bool) {
+	prev := s.epoch.Load()
+	if prev != nil && len(s.dirty) == 0 && !s.added {
+		return prev, false
+	}
+	next := &Epoch{seq: 1, idx: s.idx.Snapshot()}
+	if prev != nil {
+		next.seq = prev.seq + 1
+	}
+	if prev != nil && !s.added {
+		next.ids = prev.ids
+	} else {
+		ids := make(map[string]int, len(s.ids))
+		for id, oi := range s.ids {
+			ids[id] = oi
+		}
+		next.ids = ids
+	}
+	next.objs = make([]*objView, len(s.objs))
+	sealed := 0
+	if prev != nil {
+		sealed = copy(next.objs, prev.objs)
+	}
+	for oi := sealed; oi < len(s.objs); oi++ {
+		next.objs[oi] = viewOf(s.objs[oi])
+	}
+	for oi := range s.dirty {
+		if oi < sealed {
+			next.objs[oi] = viewOf(s.objs[oi])
+		}
+	}
+	clear(s.dirty)
+	s.added = false
+	s.epoch.Store(next)
+	return next, true
 }
 
 // Len returns the number of tracked objects.

@@ -12,8 +12,12 @@ import (
 // interleaving happens in a run. A field is atomic if it is passed by
 // address to a sync/atomic function anywhere in the package, or if it
 // is annotated "// moguard: atomic"; every other selector resolving to
-// that field is a finding. Test files are exempt for the same reason
-// as guarded-by: they run single-threaded around the code under test.
+// that field is a finding. Fields whose type is itself one of the
+// typed atomics (atomic.Pointer[T], atomic.Uint64, …) are exempt from
+// reporting: the type system already forces every access through the
+// Load/Store/… methods, so no mix is possible. Test files are exempt
+// for the same reason as guarded-by: they run single-threaded around
+// the code under test.
 type atomicMix struct{ cfg *Config }
 
 func (atomicMix) ID() string { return "atomic-mix" }
@@ -73,12 +77,26 @@ func (c atomicMix) Run(pass *Pass) {
 			if !ok || allowed[sel] {
 				return true
 			}
-			if v, ok := pass.Info.Uses[sel.Sel].(*types.Var); ok && atomicFields[v] {
+			if v, ok := pass.Info.Uses[sel.Sel].(*types.Var); ok && atomicFields[v] && !isTypedAtomic(v.Type()) {
 				pass.Report(sel.Pos(), "plain access to field %s, which is accessed with sync/atomic elsewhere (mixing breaks the memory-order contract)", sel.Sel.Name)
 			}
 			return true
 		})
 	}
+}
+
+// isTypedAtomic reports whether t is one of the method-based atomic
+// types declared in sync/atomic (atomic.Pointer[T], atomic.Uint64, …).
+// Selectors on such fields are method-call receivers, not plain memory
+// accesses: the unexported inner word is unreachable outside the
+// package, so every access is ordered by definition.
+func isTypedAtomic(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
 }
 
 // isAtomicCall reports whether the call is a sync/atomic function.

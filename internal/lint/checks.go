@@ -79,10 +79,16 @@ func DefaultConfig(module string) *Config {
 			j("internal/fault"):    nil,
 			j("internal/workload"): nil,
 			j("internal/index"):    nil,
+			// A cached result must be a pure function of (query, epoch):
+			// the whole cache package is deterministic (maphash seeding
+			// is allowed — it never reaches a result).
+			j("internal/cache"): nil,
 			// Only the live object table / compaction path of ingest is
-			// declared deterministic; the pipeline around it measures
-			// real time for metrics and health on purpose.
-			j("internal/ingest"): {"store.go"},
+			// declared deterministic — epochs included, since their
+			// purity is what makes them sound cache keys; the pipeline
+			// around them measures real time for metrics and health on
+			// purpose.
+			j("internal/ingest"): {"store.go", "epoch.go"},
 		},
 		IndexOnlyPkgs: []string{j("internal/storage"), j("internal/index")},
 		IndexOnlyDataPkgs: []string{

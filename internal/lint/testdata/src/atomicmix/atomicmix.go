@@ -9,6 +9,7 @@ type hits struct {
 	n     uint64
 	total uint64 // moguard: atomic
 	plain int
+	typed atomic.Uint64 // moguard: atomic
 }
 
 func (h *hits) inc() {
@@ -27,6 +28,13 @@ func (h *hits) badStore() {
 	// The annotation marks total atomic before any atomic call lands,
 	// so a half-migrated field is already a finding.
 	h.total = 9 // want `plain access to field total`
+}
+
+func (h *hits) okTyped() uint64 {
+	// Typed atomics are method-only by construction: every selector on
+	// the field is a receiver, never a plain memory access.
+	h.typed.Add(1)
+	return h.typed.Load()
 }
 
 func (h *hits) okPlain() int {

@@ -92,6 +92,28 @@ type ingestStats struct {
 	causes             map[string]int64
 }
 
+// cacheStats accumulates result-cache traffic (PR 6): hits and misses
+// at the lookup layer, puts and evictions at the adapter, plus running
+// byte/entry gauges maintained from the put/evict deltas.
+type cacheStats struct {
+	hits         int64
+	misses       int64
+	puts         int64
+	evictions    int64
+	evictedBytes int64
+	bytes        int64 // gauge: resident cached bytes
+	entries      int64 // gauge: resident cached entries
+}
+
+// epochStats tracks snapshot publication (PR 6): the current epoch
+// sequence, how many epochs have been published, and when the last one
+// was — /v1/metrics derives the epoch age from it.
+type epochStats struct {
+	seq         uint64
+	publishes   int64
+	publishedAt time.Time
+}
+
 // SlowQuery is one entry of the slow-query log.
 type SlowQuery struct {
 	Route    string  `json:"route"`
@@ -116,6 +138,8 @@ type Metrics struct {
 	slowNext int                    // moguard: guarded by mu
 	slowLen  int                    // moguard: guarded by mu
 	ingest   ingestStats            // moguard: guarded by mu
+	cache    cacheStats             // moguard: guarded by mu
+	epoch    epochStats             // moguard: guarded by mu
 }
 
 // New returns an empty registry keeping up to slowCap slow-query
@@ -299,6 +323,66 @@ func (m *Metrics) causeLocked(cause string, n int64) {
 	m.ingest.causes[cause] += n
 }
 
+// RecordCacheHit counts one result served from the cache.
+func (m *Metrics) RecordCacheHit() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cache.hits++
+}
+
+// RecordCacheMiss counts one lookup that had to evaluate.
+func (m *Metrics) RecordCacheMiss() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cache.misses++
+}
+
+// RecordCachePut counts one result stored, growing the byte/entry
+// gauges.
+func (m *Metrics) RecordCachePut(bytes int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cache.puts++
+	m.cache.bytes += int64(bytes)
+	m.cache.entries++
+}
+
+// RecordCacheEvict counts n entries of the given total size evicted to
+// stay inside the byte budget, shrinking the gauges.
+func (m *Metrics) RecordCacheEvict(n, bytes int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cache.evictions += int64(n)
+	m.cache.evictedBytes += int64(bytes)
+	m.cache.bytes -= int64(bytes)
+	m.cache.entries -= int64(n)
+}
+
+// RecordEpochPublish notes that the snapshot with the given sequence
+// number became the current epoch.
+func (m *Metrics) RecordEpochPublish(seq uint64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.epoch.seq = seq
+	m.epoch.publishes++
+	m.epoch.publishedAt = time.Now()
+}
+
 // RecordSlowQuery appends an entry to the slow-query ring.
 func (m *Metrics) RecordSlowQuery(e SlowQuery) {
 	if m == nil {
@@ -352,6 +436,25 @@ type IngestSnapshot struct {
 	Causes              map[string]int64 `json:"causes"`
 }
 
+// CacheSnapshot is the JSON form of the result-cache counters.
+type CacheSnapshot struct {
+	Hits         int64   `json:"hits"`
+	Misses       int64   `json:"misses"`
+	Puts         int64   `json:"puts"`
+	Evictions    int64   `json:"evictions"`
+	EvictedBytes int64   `json:"evicted_bytes"`
+	Bytes        int64   `json:"bytes"`
+	Entries      int64   `json:"entries"`
+	HitRatio     float64 `json:"hit_ratio"`
+}
+
+// EpochSnapshot is the JSON form of the snapshot-publication state.
+type EpochSnapshot struct {
+	Seq        uint64  `json:"seq"`
+	Publishes  int64   `json:"publishes"`
+	AgeSeconds float64 `json:"age_seconds"`
+}
+
 // Snapshot is the full registry state served at /v1/metrics.
 type Snapshot struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
@@ -359,6 +462,8 @@ type Snapshot struct {
 	Operators     map[string]OpSnapshot    `json:"operators"`
 	SlowQueries   []SlowQuery              `json:"slow_queries"`
 	Ingest        IngestSnapshot           `json:"ingest"`
+	Cache         CacheSnapshot            `json:"cache"`
+	Epoch         EpochSnapshot            `json:"epoch"`
 }
 
 // Snapshot copies the registry into its JSON-serialisable form. Safe on
@@ -431,6 +536,22 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	if ing.flushes > 0 {
 		out.Ingest.AvgFlushMillis = float64(ing.flushTotalNS) / float64(ing.flushes) / 1e6
+	}
+	out.Cache = CacheSnapshot{
+		Hits:         m.cache.hits,
+		Misses:       m.cache.misses,
+		Puts:         m.cache.puts,
+		Evictions:    m.cache.evictions,
+		EvictedBytes: m.cache.evictedBytes,
+		Bytes:        m.cache.bytes,
+		Entries:      m.cache.entries,
+	}
+	if lookups := m.cache.hits + m.cache.misses; lookups > 0 {
+		out.Cache.HitRatio = float64(m.cache.hits) / float64(lookups)
+	}
+	out.Epoch = EpochSnapshot{Seq: m.epoch.seq, Publishes: m.epoch.publishes}
+	if !m.epoch.publishedAt.IsZero() {
+		out.Epoch.AgeSeconds = time.Since(m.epoch.publishedAt).Seconds()
 	}
 	return out
 }

@@ -11,19 +11,25 @@ import (
 	"time"
 
 	"movingdb/internal/ingest"
+	"movingdb/internal/obs"
 	"movingdb/internal/storage"
 )
 
 // liveServer builds a server with an ingestion pipeline over the given
-// WAL medium.
+// WAL medium, sharing one obs registry between them (as cmd/moserver
+// does) so ingest and epoch counters surface at /v1/metrics.
 func liveServer(t *testing.T, icfg ingest.Config) (*Server, *ingest.Pipeline) {
 	t.Helper()
+	reg := obs.New(0)
+	if icfg.Metrics == nil {
+		icfg.Metrics = reg
+	}
 	p, err := ingest.Open(icfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(p.Close)
-	s, err := New(Config{Ingest: p})
+	s, err := New(Config{Ingest: p, Metrics: reg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +163,9 @@ func TestDeprecatedAliasesStillServe(t *testing.T) {
 		if rec.Code != 200 {
 			t.Fatalf("alias %s: %d %s", alias, rec.Code, rec.Body.String())
 		}
-		if rec.Header().Get("Deprecation") != "true" || !strings.Contains(rec.Header().Get("Link"), "/v1/") {
+		if !strings.HasPrefix(rec.Header().Get("Deprecation"), "@") ||
+			rec.Header().Get("Sunset") == "" ||
+			!strings.Contains(rec.Header().Get("Link"), "/v1/") {
 			t.Fatalf("alias %s: missing deprecation headers", alias)
 		}
 	}

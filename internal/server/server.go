@@ -27,8 +27,8 @@ import (
 	"strconv"
 	"time"
 
+	"movingdb/internal/cache"
 	"movingdb/internal/db"
-	"movingdb/internal/geom"
 	"movingdb/internal/index"
 	"movingdb/internal/ingest"
 	"movingdb/internal/moving"
@@ -54,6 +54,18 @@ type Config struct {
 	// MaxIngestBatch bounds the number of observations per POST
 	// /v1/ingest request. Default 10000.
 	MaxIngestBatch int
+
+	// Cache is the result cache behind the read routes. Nil builds the
+	// in-memory sharded LRU with CacheBytes budget; supply an adapter to
+	// use an external tier.
+	Cache cache.ResultCache
+	// CacheBytes is the in-memory cache budget when Cache is nil:
+	// 0 selects the default (32 MiB), negative disables result caching
+	// (misses still coalesce).
+	CacheBytes int64
+	// CacheShards is the shard count of the in-memory cache (0 selects
+	// the default; rounded up to a power of two).
+	CacheShards int
 
 	// QueryTimeout is the default evaluation deadline per request
 	// (overridable per request with ?timeout_ms=). Default 10s.
@@ -126,6 +138,7 @@ type Server struct {
 	cfg     Config
 	idx     *index.MPointIndex
 	ingest  *ingest.Pipeline
+	loader  *cache.Loader
 	logger  *log.Logger
 	metrics *obs.Metrics
 }
@@ -136,6 +149,10 @@ func New(cfg Config) (*Server, error) {
 		return nil, errors.New("server: ids and objects length mismatch")
 	}
 	cfg = cfg.withDefaults()
+	rc := cfg.Cache
+	if rc == nil && cfg.CacheBytes >= 0 {
+		rc = cache.NewMemory(cfg.CacheBytes, cfg.CacheShards, cfg.Metrics)
+	}
 	return &Server{
 		Catalog:   cfg.Catalog,
 		ObjectIDs: cfg.ObjectIDs,
@@ -143,6 +160,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:       cfg,
 		idx:       index.BuildMPointIndex(cfg.Objects),
 		ingest:    cfg.Ingest,
+		loader:    cache.NewLoader(rc),
 		logger:    cfg.Logger,
 		metrics:   cfg.Metrics,
 	}, nil
@@ -182,49 +200,11 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// requestContext derives the evaluation context: the request context
-// (canceled when the client disconnects) plus the server's default
-// query deadline, overridable per request with ?timeout_ms= up to
-// MaxTimeout, with the obs registry attached for operator timings.
-func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
-	ctx := obs.NewContext(r.Context(), s.metrics)
-	timeout := s.cfg.QueryTimeout
-	if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
-		ms, err := strconv.Atoi(raw)
-		if err != nil || ms <= 0 {
-			return nil, nil, fmt.Errorf("bad timeout_ms %q: want a positive integer", raw)
-		}
-		timeout = time.Duration(ms) * time.Millisecond
-	}
-	if timeout > s.cfg.MaxTimeout {
-		timeout = s.cfg.MaxTimeout
-	}
-	ctx, cancel := context.WithTimeout(ctx, timeout)
-	return ctx, cancel, nil
-}
-
-// pageParams reads ?limit= and ?offset= with the configured defaults
-// and caps.
-func (s *Server) pageParams(r *http.Request) (limit, offset int, err error) {
-	limit = s.cfg.DefaultLimit
-	if raw := r.URL.Query().Get("limit"); raw != "" {
-		v, perr := strconv.Atoi(raw)
-		if perr != nil || v <= 0 {
-			return 0, 0, fmt.Errorf("bad limit %q: want a positive integer", raw)
-		}
-		limit = v
-	}
-	if limit > s.cfg.MaxLimit {
-		limit = s.cfg.MaxLimit
-	}
-	if raw := r.URL.Query().Get("offset"); raw != "" {
-		v, perr := strconv.Atoi(raw)
-		if perr != nil || v < 0 {
-			return 0, 0, fmt.Errorf("bad offset %q: want a non-negative integer", raw)
-		}
-		offset = v
-	}
-	return limit, offset, nil
+// evalContext derives the evaluation context: the request context
+// (canceled when the client disconnects) plus the decoded per-request
+// deadline, with the obs registry attached for operator timings.
+func (s *Server) evalContext(r *http.Request, timeout time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(obs.NewContext(r.Context(), s.metrics), timeout)
 }
 
 // pageBounds clips [offset, offset+limit) to n elements.
@@ -241,60 +221,58 @@ func pageBounds(n, limit, offset int) (lo, hi int) {
 
 // handleQuery executes ?q=<SELECT ...> under the request deadline and
 // returns columns and rows. Only scalar result columns are rendered;
-// moving/spatial values are summarised.
+// moving/spatial values are summarised. Results are cached under the
+// canonical SQL and the pinned epoch (a cached response reports the
+// elapsed_ms of the evaluation that produced it); no ETag is emitted
+// here because elapsed_ms makes recomputed bodies differ byte-wise.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query().Get("q")
-	if q == "" {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "missing q parameter")
+	req, derr := s.decodeQuery(r)
+	if derr != nil {
+		writeDecodeError(w, derr)
 		return
 	}
-	if len(q) > s.cfg.MaxQueryLen {
-		writeError(w, http.StatusBadRequest, CodeQueryTooLong,
-			fmt.Sprintf("query is %d bytes; the limit is %d", len(q), s.cfg.MaxQueryLen))
-		return
-	}
-	ctx, cancel, err := s.requestContext(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
-		return
-	}
-	defer cancel()
-	start := time.Now()
-	res, err := db.QueryContext(ctx, s.Catalog, q)
-	elapsed := time.Since(start)
-	timedOut := err != nil && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled))
-	if timedOut || elapsed >= s.cfg.SlowQueryThreshold {
-		entry := obs.SlowQuery{
-			Route:    "/v1/query",
-			Query:    truncate(q, 200),
-			Millis:   float64(elapsed.Nanoseconds()) / 1e6,
-			Status:   http.StatusOK,
-			UnixMS:   time.Now().UnixMilli(),
-			TimedOut: timedOut,
+	ep := s.pinEpoch()
+	catalog := s.Catalog
+	s.serveCached(w, r, "/v1/query", req.canonical(), epochSeq(ep), false, func() (any, error) {
+		snap := db.Snapshot{Catalog: catalog, Epoch: epochSeq(ep)}
+		ctx, cancel := s.evalContext(r, req.Timeout)
+		defer cancel()
+		start := time.Now()
+		res, err := snap.QueryContext(ctx, req.SQL)
+		elapsed := time.Since(start)
+		timedOut := err != nil && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled))
+		if timedOut || elapsed >= s.cfg.SlowQueryThreshold {
+			entry := obs.SlowQuery{
+				Route:    "/v1/query",
+				Query:    truncate(req.Raw, 200),
+				Millis:   float64(elapsed.Nanoseconds()) / 1e6,
+				Status:   http.StatusOK,
+				UnixMS:   time.Now().UnixMilli(),
+				TimedOut: timedOut,
+			}
+			if timedOut {
+				entry.Status = http.StatusRequestTimeout
+			}
+			s.metrics.RecordSlowQuery(entry)
+			s.logger.Printf("server: slow query (%.1fms, timed_out=%v): %s", entry.Millis, timedOut, entry.Query)
 		}
-		if timedOut {
-			entry.Status = http.StatusRequestTimeout
+		if err != nil {
+			return nil, err
 		}
-		s.metrics.RecordSlowQuery(entry)
-		s.logger.Printf("server: slow query (%.1fms, timed_out=%v): %s", entry.Millis, timedOut, entry.Query)
-	}
-	if err != nil {
-		writeEvalError(w, err)
-		return
-	}
-	cols := make([]string, len(res.Schema))
-	for i, c := range res.Schema {
-		cols[i] = fmt.Sprintf("%s:%s", c.Name, c.Type)
-	}
-	rows := make([][]any, 0, res.Len())
-	for _, t := range res.Scan() {
-		row := make([]any, len(t))
-		for i, v := range t {
-			row[i] = renderValue(v)
+		cols := make([]string, len(res.Schema))
+		for i, c := range res.Schema {
+			cols[i] = fmt.Sprintf("%s:%s", c.Name, c.Type)
 		}
-		rows = append(rows, row)
-	}
-	writeJSON(w, map[string]any{"columns": cols, "rows": rows, "elapsed_ms": float64(elapsed.Nanoseconds()) / 1e6})
+		rows := make([][]any, 0, res.Len())
+		for _, t := range res.Scan() {
+			row := make([]any, len(t))
+			for i, v := range t {
+				row[i] = renderValue(v)
+			}
+			rows = append(rows, row)
+		}
+		return map[string]any{"columns": cols, "rows": rows, "elapsed_ms": float64(elapsed.Nanoseconds()) / 1e6}, nil
+	})
 }
 
 func truncate(s string, n int) string {
@@ -315,41 +293,39 @@ func renderValue(v any) any {
 }
 
 // handleAtInstant returns the position of every tracked object defined
-// at ?t=. The scan over the objects observes the request deadline.
+// at ?t=, evaluated against the pinned epoch and cached under it. The
+// static scan observes the request deadline.
 func (s *Server) handleAtInstant(w http.ResponseWriter, r *http.Request) {
-	t, err := floatParam(r, "t")
-	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+	req, derr := s.decodeAtInstant(r)
+	if derr != nil {
+		writeDecodeError(w, derr)
 		return
 	}
-	if s.ingest != nil {
-		writeJSON(w, map[string]any{"t": t, "positions": s.ingest.AtInstant(temporal.Instant(t))})
-		return
-	}
-	ctx, cancel, err := s.requestContext(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
-		return
-	}
-	defer cancel()
-	type pos struct {
-		ID string  `json:"id"`
-		X  float64 `json:"x"`
-		Y  float64 `json:"y"`
-	}
-	out := []pos{}
-	for i, p := range s.Objects {
-		if i%256 == 0 {
-			if cerr := ctx.Err(); cerr != nil {
-				writeEvalError(w, cerr)
-				return
+	ep := s.pinEpoch()
+	s.serveCached(w, r, "/v1/atinstant", req.canonical(), epochSeq(ep), true, func() (any, error) {
+		if ep != nil {
+			return map[string]any{"t": req.T, "positions": ep.AtInstant(temporal.Instant(req.T))}, nil
+		}
+		ctx, cancel := s.evalContext(r, req.Timeout)
+		defer cancel()
+		type pos struct {
+			ID string  `json:"id"`
+			X  float64 `json:"x"`
+			Y  float64 `json:"y"`
+		}
+		out := []pos{}
+		for i, p := range s.Objects {
+			if i%256 == 0 {
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, cerr
+				}
+			}
+			if v := p.AtInstant(temporal.Instant(req.T)); v.Defined() {
+				out = append(out, pos{ID: s.ObjectIDs[i], X: v.P.X, Y: v.P.Y})
 			}
 		}
-		if v := p.AtInstant(temporal.Instant(t)); v.Defined() {
-			out = append(out, pos{ID: s.ObjectIDs[i], X: v.P.X, Y: v.P.Y})
-		}
-	}
-	writeJSON(w, map[string]any{"t": t, "positions": out})
+		return map[string]any{"t": req.T, "positions": out}, nil
+	})
 }
 
 // handleWindow answers ?x1=&y1=&x2=&y2=&t1=&t2= with the ids of objects
@@ -357,83 +333,77 @@ func (s *Server) handleAtInstant(w http.ResponseWriter, r *http.Request) {
 // refinement. Results paginate with ?limit=&offset=; the envelope
 // carries the total match count.
 func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
-	var vals [6]float64
-	for i, name := range []string{"x1", "y1", "x2", "y2", "t1", "t2"} {
-		v, err := floatParam(r, name)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
-			return
-		}
-		vals[i] = v
-	}
-	if vals[5] < vals[4] {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "t2 before t1")
+	req, derr := s.decodeWindow(r)
+	if derr != nil {
+		writeDecodeError(w, derr)
 		return
 	}
-	limit, offset, err := s.pageParams(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
-		return
-	}
-	rect := geom.Rect{
-		MinX: min(vals[0], vals[2]), MinY: min(vals[1], vals[3]),
-		MaxX: max(vals[0], vals[2]), MaxY: max(vals[1], vals[3]),
-	}
-	iv := temporal.Closed(temporal.Instant(vals[4]), temporal.Instant(vals[5]))
-	var ids []string
-	var total int
-	if s.ingest != nil {
-		// Live path: the dynamic index (base tree + delta buffer) sees
-		// every flushed write.
-		all := s.ingest.Window(rect, iv)
-		total = len(all)
-		lo, hi := pageBounds(total, limit, offset)
-		ids = all[lo:hi]
-	} else {
-		hits := s.idx.Window(rect, iv)
-		total = len(hits)
-		lo, hi := pageBounds(total, limit, offset)
-		ids = make([]string, 0, hi-lo)
-		for _, oi := range hits[lo:hi] {
-			ids = append(ids, s.ObjectIDs[oi])
+	ep := s.pinEpoch()
+	s.serveCached(w, r, "/v1/window", req.canonical(), epochSeq(ep), true, func() (any, error) {
+		iv := temporal.Closed(temporal.Instant(req.T1), temporal.Instant(req.T2))
+		var ids []string
+		var total int
+		if ep != nil {
+			// Live path: the epoch's immutable index snapshot (base tree +
+			// delta prefix) sees every write flushed before the pin.
+			all := ep.Window(req.Rect, iv)
+			total = len(all)
+			lo, hi := pageBounds(total, req.Page.Limit, req.Page.Offset)
+			ids = all[lo:hi]
+		} else {
+			hits := s.idx.Window(req.Rect, iv)
+			total = len(hits)
+			lo, hi := pageBounds(total, req.Page.Limit, req.Page.Offset)
+			ids = make([]string, 0, hi-lo)
+			for _, oi := range hits[lo:hi] {
+				ids = append(ids, s.ObjectIDs[oi])
+			}
 		}
-	}
-	writeJSON(w, map[string]any{"total": total, "limit": limit, "offset": offset, "ids": ids})
+		if ids == nil {
+			ids = []string{}
+		}
+		return map[string]any{"total": total, "limit": req.Page.Limit, "offset": req.Page.Offset, "ids": ids}, nil
+	})
 }
 
 // handleObjects lists the tracked objects with their definition times
 // and unit counts, paginated with ?limit=&offset=.
 func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
-	limit, offset, err := s.pageParams(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+	req, derr := s.decodeObjects(r)
+	if derr != nil {
+		writeDecodeError(w, derr)
 		return
 	}
-	if s.ingest != nil {
-		sums := s.ingest.Summaries()
-		lo, hi := pageBounds(len(sums), limit, offset)
-		writeJSON(w, map[string]any{"total": len(sums), "limit": limit, "offset": offset, "objects": sums[lo:hi]})
-		return
-	}
-	type obj struct {
-		ID    string  `json:"id"`
-		Units int     `json:"units"`
-		From  float64 `json:"from"`
-		To    float64 `json:"to"`
-	}
-	lo, hi := pageBounds(len(s.Objects), limit, offset)
-	out := make([]obj, 0, hi-lo)
-	for i := lo; i < hi; i++ {
-		p := s.Objects[i]
-		loT, _ := p.DefTime().MinInstant()
-		hiT, _ := p.DefTime().MaxInstant()
-		out = append(out, obj{ID: s.ObjectIDs[i], Units: p.M.Len(), From: float64(loT), To: float64(hiT)})
-	}
-	writeJSON(w, map[string]any{"total": len(s.Objects), "limit": limit, "offset": offset, "objects": out})
+	ep := s.pinEpoch()
+	s.serveCached(w, r, "/v1/objects", req.canonical(), epochSeq(ep), true, func() (any, error) {
+		limit, offset := req.Page.Limit, req.Page.Offset
+		if ep != nil {
+			sums := ep.Summaries()
+			lo, hi := pageBounds(len(sums), limit, offset)
+			return map[string]any{"total": len(sums), "limit": limit, "offset": offset, "objects": sums[lo:hi]}, nil
+		}
+		type obj struct {
+			ID    string  `json:"id"`
+			Units int     `json:"units"`
+			From  float64 `json:"from"`
+			To    float64 `json:"to"`
+		}
+		lo, hi := pageBounds(len(s.Objects), limit, offset)
+		out := make([]obj, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			p := s.Objects[i]
+			loT, _ := p.DefTime().MinInstant()
+			hiT, _ := p.DefTime().MaxInstant()
+			out = append(out, obj{ID: s.ObjectIDs[i], Units: p.M.Len(), From: float64(loT), To: float64(hiT)})
+		}
+		return map[string]any{"total": len(s.Objects), "limit": limit, "offset": offset, "objects": out}, nil
+	})
 }
 
 // handleMetrics serves the observability snapshot (expvar-style JSON).
+// Never cached — it is the cache's own scoreboard.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("X-MO-Epoch", strconv.FormatUint(epochSeq(s.pinEpoch()), 10))
 	writeJSON(w, s.metrics.Snapshot())
 }
 
@@ -444,6 +414,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // so the process stays "live" for orchestrators that only check the
 // HTTP status, while the body tells operators what is wrong.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("X-MO-Epoch", strconv.FormatUint(epochSeq(s.pinEpoch()), 10))
 	body := map[string]any{
 		"status":    "ok",
 		"objects":   len(s.Objects),
@@ -463,14 +434,3 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, body)
 }
 
-func floatParam(r *http.Request, name string) (float64, error) {
-	raw := r.URL.Query().Get(name)
-	if raw == "" {
-		return 0, fmt.Errorf("missing %s parameter", name)
-	}
-	v, err := strconv.ParseFloat(raw, 64)
-	if err != nil {
-		return 0, fmt.Errorf("bad %s: %v", name, err)
-	}
-	return v, nil
-}

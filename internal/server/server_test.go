@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -163,8 +164,13 @@ func TestVersionAliasing(t *testing.T) {
 		if rec.Code != http.StatusOK {
 			t.Fatalf("%s = %d", route, rec.Code)
 		}
-		if rec.Header().Get("Deprecation") != "true" {
-			t.Errorf("%s missing Deprecation header", route)
+		if dep := rec.Header().Get("Deprecation"); !strings.HasPrefix(dep, "@") {
+			t.Errorf("%s Deprecation = %q, want RFC 9745 @unix-time", route, dep)
+		}
+		if sunset := rec.Header().Get("Sunset"); sunset == "" {
+			t.Errorf("%s missing Sunset header", route)
+		} else if _, err := http.ParseTime(sunset); err != nil {
+			t.Errorf("%s Sunset %q is not an HTTP date: %v", route, sunset, err)
 		}
 		if link := rec.Header().Get("Link"); link == "" {
 			t.Errorf("%s missing successor Link header", route)
@@ -176,7 +182,7 @@ func TestVersionAliasing(t *testing.T) {
 		if rec.Code != http.StatusOK {
 			t.Fatalf("/v1%s = %d", route, rec.Code)
 		}
-		if rec.Header().Get("Deprecation") != "" {
+		if rec.Header().Get("Deprecation") != "" || rec.Header().Get("Sunset") != "" {
 			t.Errorf("/v1%s wrongly marked deprecated", route)
 		}
 	}
