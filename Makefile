@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench docs fuzz faultinject lint debugcheck
+.PHONY: all build vet test race verify bench docs fuzz faultinject lint debugcheck soak
 
 all: verify
 
@@ -31,6 +31,12 @@ debugcheck:
 # smoke run over the WAL decoders.
 verify:
 	./scripts/verify.sh
+
+# Soak the live-query subsystem: continuous ingestion with churning
+# subscribers, SSE readers and nearby queries hammering one server
+# (DESIGN.md §12). Duration via SOAK_DUR (default 10s).
+soak:
+	$(GO) run ./cmd/mobench -exp soak -soak-dur $${SOAK_DUR:-10s}
 
 # Fuzz the WAL recovery decoders (longer than the verify smoke run).
 fuzz:

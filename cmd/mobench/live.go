@@ -1,0 +1,419 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"movingdb/internal/ingest"
+	"movingdb/internal/live"
+	"movingdb/internal/obs"
+	"movingdb/internal/server"
+	"movingdb/internal/workload"
+)
+
+// liveRig is one fully wired live stack: ingestion pipeline publishing
+// epochs into a standing-query registry, served over a real HTTP
+// listener so SSE delivery is measured through the network stack, not
+// just a function call.
+type liveRig struct {
+	pipe    *ingest.Pipeline
+	reg     *live.Registry
+	ts      *httptest.Server
+	ids     []string
+	metrics *obs.Metrics
+}
+
+const liveObjects = 64
+
+func newLiveRig() *liveRig {
+	metrics := obs.New(0)
+	reg := live.NewRegistry(live.Config{Metrics: metrics})
+	pipe, err := ingest.Open(ingest.Config{
+		FlushSize: 1 << 20, MaxAge: time.Hour, MaxQueued: 1 << 30,
+		OnPublish: reg.Notify,
+	})
+	if err != nil {
+		panic(err)
+	}
+	ids := make([]string, liveObjects)
+	seed := make([]ingest.Observation, liveObjects)
+	for o := range seed {
+		ids[o] = fmt.Sprintf("e%d", o)
+		seed[o] = ingest.Observation{ObjectID: ids[o], T: 0, X: float64((o * 131) % 950), Y: float64((o * 57) % 950)}
+	}
+	if _, err := pipe.Ingest(seed); err != nil {
+		panic(err)
+	}
+	pipe.Flush()
+	s, err := server.New(server.Config{Ingest: pipe, Live: reg, SSEHeartbeat: 5 * time.Second})
+	if err != nil {
+		panic(err)
+	}
+	return &liveRig{pipe: pipe, reg: reg, ts: httptest.NewServer(s.Handler()), ids: ids, metrics: metrics}
+}
+
+func (rig *liveRig) close() {
+	rig.reg.Close()
+	rig.ts.Close()
+	rig.pipe.Close()
+}
+
+// tick moves every object a few world units along a per-object drift
+// and flushes, publishing one epoch — the GPS-tracker shape, where a
+// flush dirties small movement rects and only the predicates near a
+// moving object are re-evaluated.
+func (rig *liveRig) tick(t float64) {
+	batch := make([]ingest.Observation, liveObjects)
+	for o := range batch {
+		batch[o] = ingest.Observation{
+			ObjectID: rig.ids[o],
+			T:        t,
+			X:        math.Mod(float64(o*131)+t*3.1, 950),
+			Y:        math.Mod(float64(o*57)+t*2.3, 950),
+		}
+	}
+	if _, err := rig.pipe.Ingest(batch); err != nil {
+		panic(err)
+	}
+	rig.pipe.Flush()
+}
+
+// stressTick teleports every object to a position derived from t —
+// nearly every region predicate in the world can flip on one epoch,
+// the event-volume stress case the soak uses.
+func (rig *liveRig) stressTick(t float64) {
+	batch := make([]ingest.Observation, liveObjects)
+	for o := range batch {
+		batch[o] = ingest.Observation{
+			ObjectID: rig.ids[o],
+			T:        t,
+			X:        float64((int(t)*13 + o*131) % 950),
+			Y:        float64((int(t)*29 + o*57) % 950),
+		}
+	}
+	if _, err := rig.pipe.Ingest(batch); err != nil {
+		panic(err)
+	}
+	rig.pipe.Flush()
+}
+
+// subscribe registers one standing query over HTTP and returns the
+// subscription id and its events URL.
+func (rig *liveRig) subscribe(sp workload.SubscriptionSpec) (id, eventsURL string) {
+	body := map[string]any{"predicate": sp.Kind}
+	switch sp.Kind {
+	case "inside", "appears":
+		body["region"] = map[string]any{"x1": sp.Region.MinX, "y1": sp.Region.MinY, "x2": sp.Region.MaxX, "y2": sp.Region.MaxY}
+	}
+	switch sp.Kind {
+	case "inside":
+		body["object"] = sp.Object
+	case "within":
+		body["object"] = sp.Object
+		body["x"], body["y"], body["radius"] = sp.X, sp.Y, sp.Radius
+	}
+	b, err := json.Marshal(body)
+	if err != nil {
+		panic(err)
+	}
+	resp, err := http.Post(rig.ts.URL+"/v1/subscribe", "application/json", bytes.NewReader(b))
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		msg, _ := io.ReadAll(resp.Body)
+		panic(fmt.Sprintf("subscribe: %d %s", resp.StatusCode, msg))
+	}
+	var out struct {
+		ID        string `json:"subscription_id"`
+		EventsURL string `json:"events_url"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		panic(err)
+	}
+	return out.ID, out.EventsURL
+}
+
+// readEvents consumes one SSE stream until it ends (bye or connection
+// close), calling onEvent with each enter/leave event and the local
+// receive time. Heartbeats, comments, and lagged markers are skipped
+// (lagged streams are counted by the caller via /v1/subscribe/{id}).
+func (rig *liveRig) readEvents(eventsURL string, onEvent func(e live.Event, recvNS int64)) {
+	resp, err := http.Get(rig.ts.URL + eventsURL)
+	if err != nil {
+		return // server shutting down
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var event, data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			data = line[len("data: "):]
+		case line == "":
+			if event == "bye" {
+				return
+			}
+			if (event == "enter" || event == "leave") && data != "" {
+				var e live.Event
+				if err := json.Unmarshal([]byte(data), &e); err == nil {
+					onEvent(e, time.Now().UnixNano())
+				}
+			}
+			event, data = "", ""
+		}
+	}
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(float64(len(sorted)) * p)
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// E10 — PR 7: standing-query push latency and throughput. For each
+// subscriber count, a full stack (pipeline → registry → HTTP server)
+// carries nSubs standing queries while the writer drifts 64 objects
+// and flushes an epoch every ~1ms; every subscription is evaluated
+// against every publish. Delivery latency — epoch publish (stamped
+// into each event by the registry) to SSE receipt at the client — is
+// measured on a sample of up to 64 concurrently read streams: client
+// and server share one process, so reading a thousand streams at once
+// would measure the harness's own scheduling, not the server's
+// delivery. The sustained event rate is events received over the
+// measurement wall time. With -out7, results are written as JSON
+// (BENCH_PR7.json).
+func e10Live() {
+	fmt.Println("E10 (extension): standing queries — publish-to-SSE-delivery latency and event rate")
+	type row struct {
+		Subscribers  int     `json:"subscribers"`
+		Epochs       uint64  `json:"epochs_published"`
+		Events       int64   `json:"events_delivered"`
+		EventsPerSec float64 `json:"events_per_sec"`
+		P50Micros    float64 `json:"p50_micros"`
+		P99Micros    float64 `json:"p99_micros"`
+		MaxMicros    float64 `json:"max_micros"`
+		Coalesced    int64   `json:"notifies_coalesced"`
+		AvgEvalUS    float64 `json:"avg_eval_us"`
+		MaxEvalUS    float64 `json:"max_eval_us"`
+	}
+	var results struct {
+		Delivery []row `json:"delivery_latency"`
+	}
+
+	counts := []int{100, 500, 1000}
+	dur := 2 * time.Second
+	if quick {
+		counts = []int{50, 200}
+		dur = 500 * time.Millisecond
+	}
+	fmt.Printf("%12s %8s %10s %12s %10s %10s %10s\n", "subscribers", "epochs", "events", "events/s", "p50", "p99", "max")
+	for _, nSubs := range counts {
+		rig := newLiveRig()
+		g := workload.New(101)
+		specs := g.Subscriptions(nSubs, rig.ids)
+
+		const maxReaders = 64
+		stride := max(nSubs/maxReaders, 1)
+		var mu sync.Mutex
+		var lats []float64
+		var delivered int64
+		var wg sync.WaitGroup
+		for i, sp := range specs {
+			_, eventsURL := rig.subscribe(sp)
+			if i%stride != 0 {
+				continue // standing but unread: evaluated every epoch, buffer bounded
+			}
+			wg.Add(1)
+			// moguard: bounded the SSE stream ends at registry Close (bye frame / connection close)
+			go func(url string) {
+				defer wg.Done()
+				rig.readEvents(url, func(e live.Event, recvNS int64) {
+					atomic.AddInt64(&delivered, 1)
+					mu.Lock()
+					lats = append(lats, float64(recvNS-e.PubUnixNS)/1e3)
+					mu.Unlock()
+				})
+			}(eventsURL)
+		}
+
+		baseEpoch := rig.pipe.Epoch().Seq()
+		start := time.Now()
+		for t := 1.0; time.Since(start) < dur; t++ {
+			rig.tick(t)
+			time.Sleep(2 * time.Millisecond)
+		}
+		// Let the notifier and the streams drain what the last flush queued.
+		time.Sleep(100 * time.Millisecond)
+		elapsed := time.Since(start)
+		epochs := rig.pipe.Epoch().Seq() - baseEpoch
+		liveStats := rig.metrics.Snapshot().Live
+		rig.close()
+		wg.Wait()
+
+		sort.Float64s(lats)
+		r := row{
+			Subscribers:  nSubs,
+			Epochs:       epochs,
+			Events:       delivered,
+			EventsPerSec: float64(delivered) / elapsed.Seconds(),
+			P50Micros:    percentile(lats, 0.50),
+			P99Micros:    percentile(lats, 0.99),
+			MaxMicros:    percentile(lats, 1.0),
+			Coalesced:    liveStats.Coalesced,
+			AvgEvalUS:    liveStats.AvgEvalMicros,
+			MaxEvalUS:    liveStats.MaxEvalMicros,
+		}
+		results.Delivery = append(results.Delivery, r)
+		fmt.Printf("%12d %8d %10d %12.0f %9.0fµs %9.0fµs %9.0fµs\n",
+			r.Subscribers, r.Epochs, r.Events, r.EventsPerSec, r.P50Micros, r.P99Micros, r.MaxMicros)
+	}
+
+	if out7 != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(out7, append(data, '\n'), 0o644); err != nil {
+			fmt.Printf("write %s: %v\n", out7, err)
+			return
+		}
+		fmt.Printf("\nwrote %s\n", out7)
+	}
+}
+
+// soakRun exercises the live subscriber mix for a sustained period
+// (-soak-dur, default 10s): continuous ingestion publishing epochs,
+// 200 standing subscriptions all streaming over SSE, subscribe/
+// unsubscribe churn, and concurrent /v1/nearby readers. It panics on
+// any unexpected HTTP status; a clean exit with the printed totals is
+// the pass criterion (verify.sh runs it via make soak).
+func soakRun() {
+	fmt.Printf("soak: live subscriber mix for %v\n", soakFor)
+	rig := newLiveRig()
+	g := workload.New(202)
+	const baseSubs = 200
+	specs := g.Subscriptions(baseSubs, rig.ids)
+
+	var delivered, nearbyQueries int64
+	var readers sync.WaitGroup // SSE streams; unblocked by registry Close
+	var load sync.WaitGroup    // churn + nearby; unblocked by the stop channel
+	for _, sp := range specs {
+		_, eventsURL := rig.subscribe(sp)
+		readers.Add(1)
+		// moguard: bounded the SSE stream ends at registry Close (bye frame / connection close)
+		go func(url string) {
+			defer readers.Done()
+			rig.readEvents(url, func(live.Event, int64) { atomic.AddInt64(&delivered, 1) })
+		}(eventsURL)
+	}
+
+	stop := make(chan struct{})
+	// Churn: a rolling window of short-lived subscriptions on top of the
+	// steady base, exercising Subscribe/Unsubscribe against the notifier.
+	churnSpecs := g.Subscriptions(4096, rig.ids)
+	load.Add(1)
+	go func() {
+		defer load.Done()
+		var open []string
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id, _ := rig.subscribe(churnSpecs[i%len(churnSpecs)])
+			open = append(open, id)
+			if len(open) > 32 {
+				j := rng.Intn(len(open))
+				req, _ := http.NewRequest(http.MethodDelete, rig.ts.URL+"/v1/subscribe/"+open[j], nil)
+				resp, err := http.DefaultClient.Do(req)
+				if err == nil {
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						panic(fmt.Sprintf("unsubscribe: %d", resp.StatusCode))
+					}
+				}
+				open = append(open[:j], open[j+1:]...)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	// Nearby readers: each loops over a deterministic query mix; every
+	// response must be 200 (the epoch always exists once seeded).
+	queries := g.NearbyQueries(256, 0, 50, 10)
+	for r := 0; r < 4; r++ {
+		load.Add(1)
+		go func(r int) {
+			defer load.Done()
+			for i := r; ; i += 4 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := queries[i%len(queries)]
+				url := fmt.Sprintf("%s/v1/nearby?x=%g&y=%g&t=%g", rig.ts.URL, q.X, q.Y, q.T)
+				if q.K > 0 {
+					url += fmt.Sprintf("&k=%d", q.K)
+				}
+				if q.Radius > 0 {
+					url += fmt.Sprintf("&radius=%g", q.Radius)
+				}
+				resp, err := http.Get(url)
+				if err != nil {
+					return // listener closed at shutdown
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					panic(fmt.Sprintf("nearby: %d for %s", resp.StatusCode, url))
+				}
+				atomic.AddInt64(&nearbyQueries, 1)
+			}
+		}(r)
+	}
+
+	start := time.Now()
+	baseEpoch := rig.pipe.Epoch().Seq()
+	for t := 1.0; time.Since(start) < soakFor; t++ {
+		rig.stressTick(t)
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	load.Wait()
+	epochs := rig.pipe.Epoch().Seq() - baseEpoch
+	st := rig.metrics.Snapshot().Live
+	rig.close()
+	readers.Wait()
+	el := time.Since(start)
+
+	fmt.Printf("soak ok: %v elapsed, %d epochs, %d events delivered (%.0f/s), %d dropped, %d lag marks, %d nearby queries (%.0f/s), %d subscriptions evaluated\n",
+		el.Round(time.Millisecond), epochs, delivered, float64(delivered)/el.Seconds(),
+		st.Dropped, st.Lagged, nearbyQueries, float64(nearbyQueries)/el.Seconds(), st.Evaluated)
+}

@@ -31,22 +31,26 @@ import (
 )
 
 var (
-	quick bool
-	out   string
-	out6  string
+	quick   bool
+	out     string
+	out6    string
+	out7    string
+	soakFor time.Duration
 )
 
 func main() {
 	flag.BoolVar(&quick, "quick", false, "smaller sweeps")
 	flag.StringVar(&out, "out", "BENCH_PR2.json", "file for E8's machine-readable results (empty disables)")
 	flag.StringVar(&out6, "out6", "BENCH_PR6.json", "file for E9's machine-readable results (empty disables)")
-	exp := flag.String("exp", "all", "experiment id: E1..E9 or all")
+	flag.StringVar(&out7, "out7", "BENCH_PR7.json", "file for E10's machine-readable results (empty disables)")
+	flag.DurationVar(&soakFor, "soak-dur", 10*time.Second, "duration for -exp soak")
+	exp := flag.String("exp", "all", "experiment id: E1..E10, soak, or all")
 	flag.Parse()
 
 	run := map[string]func(){
 		"E1": e1AtInstant, "E2": e2Inside, "E3": e3Equality,
 		"E4": e4Storage, "E5": e5EndToEnd, "E6": e6Refinement, "E7": e7Window,
-		"E8": e8Ingest, "E9": e9Cache,
+		"E8": e8Ingest, "E9": e9Cache, "E10": e10Live, "soak": soakRun,
 	}
 	if *exp != "all" {
 		f, ok := run[*exp]
@@ -57,7 +61,7 @@ func main() {
 		f()
 		return
 	}
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"} {
 		run[id]()
 		fmt.Println()
 	}

@@ -42,6 +42,7 @@ import (
 
 	"movingdb/internal/db"
 	"movingdb/internal/ingest"
+	"movingdb/internal/live"
 	"movingdb/internal/moving"
 	"movingdb/internal/obs"
 	"movingdb/internal/server"
@@ -72,6 +73,8 @@ func main() {
 	retries := flag.Int("ingest-retries", 4, "WAL append attempts before a batch is dead-lettered")
 	degradedAfter := flag.Int("ingest-degraded-after", 3, "consecutive failed batches before degraded mode (503)")
 	probeEvery := flag.Duration("ingest-probe-interval", time.Second, "store probe interval while degraded")
+	sseHeartbeat := flag.Duration("sse-heartbeat", 15*time.Second, "SSE event-stream keepalive interval")
+	liveBuffer := flag.Int("live-buffer", 256, "per-subscriber event buffer (oldest events drop when full)")
 	failpoints := flag.String("failpoints", "", "fault injection spec, e.g. 'wal.put=error:3' (requires -tags=faultinject build)")
 	flag.Parse()
 
@@ -117,11 +120,16 @@ func main() {
 		CacheShards:        *cacheShards,
 	}
 	var pipe *ingest.Pipeline
+	var reg *live.Registry
 	if *liveIngest {
 		walIO, err := buildWALMedium(*failpoints, *seed, logger)
 		if err != nil {
 			logger.Fatal(err)
 		}
+		// The standing-query registry rides the epoch publish hook: every
+		// flush that advances the epoch notifies it, and subscribers get
+		// edge-triggered enter/leave events over SSE.
+		reg = live.NewRegistry(live.Config{BufferCap: *liveBuffer, Metrics: metrics})
 		pipe, err = ingest.Open(ingest.Config{
 			SeedIDs:           ids,
 			Seeds:             objects,
@@ -134,11 +142,14 @@ func main() {
 			DegradedThreshold: *degradedAfter,
 			ProbeInterval:     *probeEvery,
 			Metrics:           metrics,
+			OnPublish:         reg.Notify,
 		})
 		if err != nil {
 			logger.Fatal(err)
 		}
 		cfg.Ingest = pipe
+		cfg.Live = reg
+		cfg.SSEHeartbeat = *sseHeartbeat
 	} else if *failpoints != "" {
 		logger.Fatal("-failpoints requires -ingest")
 	}
@@ -177,11 +188,20 @@ func main() {
 		}
 	case <-ctx.Done():
 		logger.Printf("signal received; draining for up to %v", *shutdownTimeout)
+		if reg != nil {
+			// End every SSE stream first — Shutdown waits for in-flight
+			// handlers, and event streams only return when their
+			// subscription closes (or the client hangs up).
+			reg.Close()
+		}
 		shCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 		defer cancel()
 		if err := srv.Shutdown(shCtx); err != nil {
 			logger.Printf("shutdown: %v", err)
 		}
+	}
+	if reg != nil {
+		reg.Close()
 	}
 	if pipe != nil {
 		// After the HTTP drain no new batches can arrive; Close flushes

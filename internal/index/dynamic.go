@@ -1,6 +1,7 @@
 package index
 
 import (
+	"slices"
 	"sync"
 
 	"movingdb/internal/geom"
@@ -103,7 +104,9 @@ func (d *Dynamic) Snapshot() Snapshot {
 // delta — whose cubes intersect q, and returns the number of nodes
 // visited plus delta entries scanned. Lock-free: the snapshot's data is
 // immutable. Duplicate IDs may appear exactly as in Dynamic.Search.
+// Like RTree.Search, the appended region comes back sorted ascending.
 func (s Snapshot) Search(q geom.Cube, out []int64) ([]int64, int) {
+	start := len(out)
 	visited := 0
 	if s.base != nil {
 		out, visited = s.base.Search(q, out)
@@ -113,6 +116,7 @@ func (s Snapshot) Search(q geom.Cube, out []int64) ([]int64, int) {
 			out = append(out, e.ID)
 		}
 	}
+	slices.Sort(out[start:])
 	return out, visited + len(s.delta)
 }
 
@@ -129,16 +133,19 @@ func (s Snapshot) Len() int {
 // cubes intersect q, and returns the number of nodes visited plus delta
 // entries scanned. Duplicate IDs may appear when a unit was indexed in
 // pieces (an append merged into its predecessor adds a second entry for
-// the extension); callers dedupe during refinement.
+// the extension); callers dedupe during refinement. Like RTree.Search,
+// the appended region comes back sorted ascending.
 func (d *Dynamic) Search(q geom.Cube, out []int64) ([]int64, int) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
+	start := len(out)
 	out, visited := d.base.Search(q, out)
 	for _, e := range d.delta {
 		if e.Cube.Intersects(q) {
 			out = append(out, e.ID)
 		}
 	}
+	slices.Sort(out[start:])
 	return out, visited + len(d.delta)
 }
 

@@ -1,0 +1,196 @@
+package index
+
+import (
+	"math"
+
+	"movingdb/internal/geom"
+)
+
+// Best-first nearest-neighbour traversal (Hjaltason & Samet style) over
+// a Snapshot: one priority queue holds tree nodes (ranked by the
+// minimum possible distance from the query point to their cube), entry
+// candidates (ranked the same way by their entry cube) and refined
+// objects (ranked by exact distance). Popping in distance order
+// guarantees that when a refined object surfaces, nothing still queued
+// can beat it — every queued item's rank is a lower bound on anything
+// it could produce.
+//
+// The traversal is time-aware: the query asks for neighbours at one
+// instant t, so nodes and entries whose cube time range excludes t are
+// pruned outright. That prune is complete because the store keeps the
+// union of a unit's entry cubes covering the unit's full extent (see
+// Store.Apply): for any object defined at t, at least one entry's time
+// range contains t, and that entry's spatial rect contains the object's
+// position at t — so its minimum distance is a sound lower bound.
+
+// Neighbor is one nearest-neighbour result: the caller's refinement key
+// (for the epoch read path, the object slot) and the exact distance
+// from the query point.
+type Neighbor struct {
+	Key  int64
+	Dist float64
+}
+
+// Queue item kinds, ordered so that on a distance tie refined results
+// pop before the candidates that could only match them.
+const (
+	knnNode uint8 = iota
+	knnEntry
+	knnRefined
+)
+
+type knnItem struct {
+	dist float64
+	kind uint8
+	id   int64 // node index, entry payload id, or refinement key
+}
+
+// knnHeap is a plain binary min-heap over (dist, kind desc, id asc) —
+// a deterministic total order, so traversal and tie-breaking are pure
+// functions of the snapshot.
+type knnHeap []knnItem
+
+func (h knnHeap) less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	if a.kind != b.kind {
+		return a.kind > b.kind
+	}
+	return a.id < b.id
+}
+
+func (h *knnHeap) push(it knnItem) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *knnHeap) pop() knnItem {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}
+
+// minDistRect returns the minimum Euclidean distance from (x, y) to any
+// point of r — zero when the point is inside.
+func minDistRect(x, y float64, r geom.Rect) float64 {
+	dx := max(r.MinX-x, x-r.MaxX, 0)
+	dy := max(r.MinY-y, y-r.MaxY, 0)
+	return math.Hypot(dx, dy)
+}
+
+// cubeCoversT reports whether t lies in the cube's time range.
+func cubeCoversT(c geom.Cube, t float64) bool {
+	return c.MinT <= t && t <= c.MaxT
+}
+
+// Nearest finds the k entries-turned-objects closest to (x, y) at
+// instant t, at most maxDist away. k <= 0 means no count bound (a pure
+// radius query, still sorted by distance); maxDist < 0 means no radius
+// bound. refine maps an entry payload id to the caller's dedup key and
+// the exact distance at t; ok = false marks the key as unable to
+// contribute (stale entry, object undefined at t) and the traversal
+// never asks about it again. Results come back in ascending (distance,
+// key) order; scanned counts visited tree nodes plus delta entries, for
+// the scan-vs-index ablation. Deterministic: pure function of the
+// snapshot and the arguments (ties broken by key).
+func (s Snapshot) Nearest(x, y, t float64, k int, maxDist float64, refine func(id int64) (key int64, dist float64, ok bool)) ([]Neighbor, int) {
+	if maxDist < 0 {
+		maxDist = math.Inf(1)
+	}
+	var h knnHeap
+	if s.base != nil && s.base.root >= 0 {
+		if nd := s.base.nodes[s.base.root]; cubeCoversT(nd.cube, t) {
+			if d := minDistRect(x, y, nd.cube.Rect); d <= maxDist {
+				h.push(knnItem{dist: d, kind: knnNode, id: int64(s.base.root)})
+			}
+		}
+	}
+	scanned := len(s.delta)
+	for _, e := range s.delta {
+		if !cubeCoversT(e.Cube, t) {
+			continue
+		}
+		if d := minDistRect(x, y, e.Cube.Rect); d <= maxDist {
+			h.push(knnItem{dist: d, kind: knnEntry, id: e.ID})
+		}
+	}
+	seen := make(map[int64]bool)
+	var out []Neighbor
+	for len(h) > 0 {
+		it := h.pop()
+		if it.dist > maxDist {
+			break
+		}
+		switch it.kind {
+		case knnRefined:
+			out = append(out, Neighbor{Key: it.id, Dist: it.dist})
+			if k > 0 && len(out) >= k {
+				return out, scanned
+			}
+		case knnEntry:
+			key, d, ok := refine(it.id)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			if ok && d <= maxDist {
+				h.push(knnItem{dist: d, kind: knnRefined, id: key})
+			}
+		default: // knnNode
+			scanned++
+			nd := s.base.nodes[it.id]
+			if nd.leaf {
+				for _, e := range s.base.entries[nd.lo:nd.hi] {
+					if !cubeCoversT(e.Cube, t) {
+						continue
+					}
+					if d := minDistRect(x, y, e.Cube.Rect); d <= maxDist {
+						h.push(knnItem{dist: d, kind: knnEntry, id: e.ID})
+					}
+				}
+				continue
+			}
+			for c := nd.lo; c < nd.hi; c++ {
+				child := s.base.nodes[c]
+				if !cubeCoversT(child.cube, t) {
+					continue
+				}
+				if d := minDistRect(x, y, child.cube.Rect); d <= maxDist {
+					h.push(knnItem{dist: d, kind: knnNode, id: int64(c)})
+				}
+			}
+		}
+	}
+	// Emission order is already ascending (dist, key): refined items pop
+	// from the heap in exactly that order.
+	return out, scanned
+}

@@ -144,11 +144,15 @@ func (t *RTree) Height() int {
 
 // Search appends to out the IDs of all entries whose cubes intersect the
 // query cube and returns the result along with the number of nodes
-// visited (for the scan-vs-index ablation).
+// visited (for the scan-vs-index ablation). The appended region is
+// sorted ascending (duplicates preserved), so refinement order, k-NN
+// tie-breaking and cache keys derived from results are deterministic
+// regardless of tree shape.
 func (t *RTree) Search(q geom.Cube, out []int64) ([]int64, int) {
 	if t.root < 0 {
 		return out, 0
 	}
+	start := len(out)
 	visited := 0
 	var rec func(ni int)
 	rec = func(ni int) {
@@ -170,6 +174,7 @@ func (t *RTree) Search(q geom.Cube, out []int64) ([]int64, int) {
 		}
 	}
 	rec(t.root)
+	slices.Sort(out[start:])
 	return out, visited
 }
 

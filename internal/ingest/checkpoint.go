@@ -222,7 +222,7 @@ func storeFromState(payload []byte, mergeThreshold int, metrics *obs.Metrics) (*
 	}
 	s := &Store{
 		ids:       make(map[string]int, len(img.objs)),
-		dirty:     make(map[int]struct{}),
+		dirty:     make(map[int]geom.Rect),
 		metrics:   metrics,
 		applied:   img.applied,
 		dropped:   img.dropped,

@@ -119,6 +119,14 @@ type Config struct {
 	// ProbeInterval is how often, while degraded, one write is let
 	// through to probe the store for recovery. Default 1s.
 	ProbeInterval time.Duration
+	// OnPublish, when set, is called after every epoch publish with the
+	// new epoch and the objects whose state changed since the previous
+	// one — the hook the live query subsystem's standing-query notifier
+	// hangs off. It runs on the flush path (under the batcher lock), so
+	// implementations must be fast and must never call back into the
+	// pipeline; hand the work to another goroutine (live.Registry.Notify
+	// does exactly that).
+	OnPublish func(ep *Epoch, dirty []DirtyObject)
 }
 
 func (c Config) withDefaults() Config {
@@ -180,6 +188,8 @@ type Pipeline struct {
 	retryBase     time.Duration
 	retryMaxWait  time.Duration
 	rng           *rand.Rand // jitter; touched only under bat.mu (logAppend)
+
+	onPublish func(*Epoch, []DirtyObject) // immutable after Open
 }
 
 // Open builds the pipeline: it seeds the object store, recovers the
@@ -223,6 +233,7 @@ func Open(cfg Config) (*Pipeline, error) {
 		retryBase:     cfg.RetryBase,
 		retryMaxWait:  cfg.RetryMaxWait,
 		rng:           rand.New(rand.NewSource(cfg.RetrySeed)),
+		onPublish:     cfg.OnPublish,
 	}
 	p.bat = newBatcher(cfg.FlushSize, cfg.MaxQueued, cfg.MaxAge, p.applyFlush, p.publishEpoch)
 	// Replayed batches were applied directly to the store above; publish
@@ -249,10 +260,16 @@ func (p *Pipeline) applyFlush(batch []Observation) {
 // the flushes just applied into the next epoch and publishes it. Runs
 // once per batcher operation, after every per-object apply (and its
 // index insert) completed, so the epoch's object views and index
-// snapshot agree exactly.
+// snapshot agree exactly. A configured OnPublish hook (the live
+// standing-query notifier) is handed the epoch and the per-object dirty
+// rectangles in the same call, still on the flush path — it must only
+// enqueue.
 func (p *Pipeline) publishEpoch() {
-	if ep, advanced := p.store.publish(); advanced {
+	if ep, dirty, advanced := p.store.publish(); advanced {
 		p.metrics.RecordEpochPublish(ep.Seq())
+		if p.onPublish != nil {
+			p.onPublish(ep, dirty)
+		}
 	}
 }
 

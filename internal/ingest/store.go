@@ -27,11 +27,14 @@ type Store struct {
 	objs []*object      // moguard: guarded by mu
 	idx  *index.Dynamic // moguard: immutable // set in newStore; synchronises itself
 
-	// Epoch machinery: dirty is the set of object slots touched since
-	// the last publish, added flags new registrations (the frozen ids
-	// map must be recopied), epoch is the published snapshot readers
-	// load without the lock.
-	dirty map[int]struct{}      // moguard: guarded by mu
+	// Epoch machinery: dirty maps the object slots touched since the
+	// last publish to the bounding rectangle of their movement in that
+	// window (old position through new position, accumulated per
+	// accepted observation — the live query subsystem intersects it
+	// against standing-subscription regions), added flags new
+	// registrations (the frozen ids map must be recopied), epoch is the
+	// published snapshot readers load without the lock.
+	dirty map[int]geom.Rect     // moguard: guarded by mu
 	added bool                  // moguard: guarded by mu
 	epoch atomic.Pointer[Epoch] // moguard: atomic
 
@@ -71,7 +74,7 @@ type ObjectSummary struct {
 // newStore registers the seed objects and bulk-loads the base index
 // tree over their units.
 func newStore(ids []string, seeds []moving.MPoint, mergeThreshold int, metrics *obs.Metrics) (*Store, error) {
-	s := &Store{ids: make(map[string]int, len(ids)), dirty: make(map[int]struct{}), metrics: metrics}
+	s := &Store{ids: make(map[string]int, len(ids)), dirty: make(map[int]geom.Rect), metrics: metrics}
 	var entries []index.Entry
 	for i, id := range ids {
 		if id == "" {
@@ -124,7 +127,7 @@ func (s *Store) Apply(batch []Observation) (applied, dropped, compacted int) {
 		smp := moving.Sample{T: temporal.Instant(ob.T), P: geom.Pt(ob.X, ob.Y)}
 		if !o.seen {
 			o.last, o.seen = smp, true
-			s.dirty[oi] = struct{}{}
+			s.markDirtyLocked(oi, smp.P, smp.P)
 			applied++
 			continue
 		}
@@ -132,7 +135,7 @@ func (s *Store) Apply(batch []Observation) (applied, dropped, compacted int) {
 			dropped++
 			continue
 		}
-		s.dirty[oi] = struct{}{}
+		s.markDirtyLocked(oi, o.last.P, smp.P)
 		u := unitBetween(o.last, smp)
 		cube := u.Cube() // pre-merge: the extension's own extent
 		ui, merged := o.append(u)
@@ -209,16 +212,41 @@ func (o *object) append(u units.UPoint) (int, bool) {
 	return n, false
 }
 
+// markDirtyLocked extends the object's pending movement rectangle with
+// the segment endpoints of one accepted observation. Caller holds s.mu.
+func (s *Store) markDirtyLocked(oi int, from, to geom.Point) {
+	r, ok := s.dirty[oi]
+	if !ok {
+		r = geom.EmptyRect()
+	}
+	s.dirty[oi] = r.ExtendPoint(from).ExtendPoint(to)
+}
+
+// DirtyObject describes one object touched by the flushes behind an
+// epoch publish: the bounding rectangle of its movement since the
+// previous publish (old position through new position — if the object
+// was inside a region at the previous epoch, its old position, and
+// therefore the rectangle, still overlaps that region, so rectangle
+// intersection is a complete candidate filter for both enter and leave
+// edges) and whether the object was first registered in this window.
+type DirtyObject struct {
+	ID   string
+	Rect geom.Rect
+	New  bool
+}
+
 // CurrentEpoch returns the published epoch — the immutable view the
 // serving read path queries. Lock-free; never nil once the store is
 // constructed (newStore and storeFromState both publish).
 func (s *Store) CurrentEpoch() *Epoch { return s.epoch.Load() }
 
 // publish seals the objects touched since the last publish into a new
-// epoch and atomically swaps it in. It reports the epoch now current
-// and whether it advanced; with nothing dirty the previous epoch stays
-// (so a flush of only-dropped observations does not move the ETag).
-func (s *Store) publish() (*Epoch, bool) {
+// epoch and atomically swaps it in. It reports the epoch now current,
+// the objects whose state changed since the previous publish (for the
+// live query subsystem's standing-query notifier), and whether it
+// advanced; with nothing dirty the previous epoch stays (so a flush of
+// only-dropped observations does not move the ETag).
+func (s *Store) publish() (*Epoch, []DirtyObject, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.publishLocked()
@@ -233,10 +261,10 @@ func (s *Store) publish() (*Epoch, bool) {
 // and its index agree exactly — every flush completes its store apply
 // and its index insert before the batcher triggers publish. Caller
 // holds s.mu.
-func (s *Store) publishLocked() (*Epoch, bool) {
+func (s *Store) publishLocked() (*Epoch, []DirtyObject, bool) {
 	prev := s.epoch.Load()
 	if prev != nil && len(s.dirty) == 0 && !s.added {
-		return prev, false
+		return prev, nil, false
 	}
 	next := &Epoch{seq: 1, idx: s.idx.Snapshot()}
 	if prev != nil {
@@ -259,15 +287,31 @@ func (s *Store) publishLocked() (*Epoch, bool) {
 	for oi := sealed; oi < len(s.objs); oi++ {
 		next.objs[oi] = viewOf(s.objs[oi])
 	}
-	for oi := range s.dirty {
+	var dirty []DirtyObject
+	if len(s.dirty) > 0 {
+		dirty = make([]DirtyObject, 0, len(s.dirty))
+	}
+	for oi, rect := range s.dirty {
 		if oi < sealed {
 			next.objs[oi] = viewOf(s.objs[oi])
 		}
+		dirty = append(dirty, DirtyObject{ID: s.objs[oi].id, Rect: rect, New: oi >= sealed})
 	}
+	// Deterministic notification order: dirty map iteration is random,
+	// but subscribers observe event order per epoch.
+	slices.SortFunc(dirty, func(a, b DirtyObject) int {
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
+	})
 	clear(s.dirty)
 	s.added = false
 	s.epoch.Store(next)
-	return next, true
+	return next, dirty, true
 }
 
 // Len returns the number of tracked objects.

@@ -89,6 +89,12 @@ func DefaultConfig(module string) *Config {
 			// around them measures real time for metrics and health on
 			// purpose.
 			j("internal/ingest"): {"store.go", "epoch.go"},
+			// Standing-query evaluation must be a pure fold over the epoch
+			// sequence — same publishes in, same edges out — so predicate
+			// logic and candidate selection are deterministic; the registry
+			// and subscription files around them stamp wall-clock publish
+			// times and measure evaluation latency on purpose.
+			j("internal/live"): {"predicate.go", "eval.go"},
 		},
 		IndexOnlyPkgs: []string{j("internal/storage"), j("internal/index")},
 		IndexOnlyDataPkgs: []string{

@@ -1,0 +1,158 @@
+package live
+
+import (
+	"slices"
+
+	"movingdb/internal/ingest"
+	"movingdb/internal/moving"
+)
+
+// Evaluation of standing queries against one published epoch. Every
+// function here is deterministic — a pure fold over the (epoch, dirty
+// set) sequence — which is what makes the subsystem testable against a
+// brute-force oracle and keeps event order reproducible: molint's
+// det-path check covers this file.
+
+// candidatesLocked selects the subscriptions one queued publish can
+// affect: the id-bound subs of dirty subjects plus the region-scoped
+// subs whose bounding rectangles intersect a dirty object's movement
+// rectangle (an R-tree query over the subscription index — the data
+// structure turned around to index queries). The movement rectangle
+// spans the object's old position through its new one, so the filter is
+// complete for both enter and leave edges. Candidates come back in
+// ascending subscription-id order, which fixes the evaluation (and so
+// the event emission) order. Caller holds r.mu.
+func (r *Registry) candidatesLocked(n notice) []*Subscription {
+	cands := make(map[string]*Subscription)
+	var keys []int64
+	for _, d := range n.dirty {
+		for _, s := range r.byObject[d.ID] {
+			if s.bound.Intersects(d.Rect) {
+				cands[s.id] = s
+			}
+		}
+		keys, _ = r.regions.Search(fullTimeCube(d.Rect), keys[:0])
+		for _, k := range keys {
+			if s, ok := r.regionSubs[k]; ok {
+				cands[s.id] = s
+			}
+		}
+	}
+	ids := make([]string, 0, len(cands))
+	for id := range cands {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	out := make([]*Subscription, len(ids))
+	for i, id := range ids {
+		out[i] = cands[id]
+	}
+	return out
+}
+
+// evaluate folds one publish into the subscription's edge-trigger
+// state, emitting an event per flip. Id-bound forms compare the
+// subject's latest position against the remembered truth; appears
+// diffs the dirty objects against the member set.
+func (s *Subscription) evaluate(n notice) (events, dropped int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, 0
+	}
+	emit := func(edge, obj string, smp moving.Sample) {
+		e := Event{
+			Epoch:     n.ep.Seq(),
+			Edge:      edge,
+			Object:    obj,
+			T:         float64(smp.T),
+			X:         smp.P.X,
+			Y:         smp.P.Y,
+			PubUnixNS: n.pubNS,
+		}
+		if s.pushLocked(e) {
+			dropped++
+		}
+		events++
+	}
+	if s.pred.idBound() {
+		smp, ok := n.ep.Current(s.pred.Object)
+		in := ok && s.pred.holds(smp.P)
+		if in != s.state {
+			s.state = in
+			if in {
+				emit("enter", s.pred.Object, smp)
+			} else {
+				emit("leave", s.pred.Object, smp)
+			}
+		}
+		return events, dropped
+	}
+	for _, d := range n.dirty {
+		if !s.bound.Intersects(d.Rect) {
+			continue
+		}
+		smp, ok := n.ep.Current(d.ID)
+		in := ok && s.pred.holds(smp.P)
+		_, was := s.members[d.ID]
+		switch {
+		case in && !was:
+			s.members[d.ID] = struct{}{}
+			emit("enter", d.ID, smp)
+		case !in && was:
+			delete(s.members, d.ID)
+			emit("leave", d.ID, smp)
+		}
+	}
+	return events, dropped
+}
+
+// seed initialises the edge-trigger state from an epoch so a
+// subscription does not fire for objects already satisfying the
+// predicate at subscribe time — events are flips relative to the state
+// when the subscription was created.
+func (s *Subscription) seed(ep *ingest.Epoch) {
+	if ep == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pred.idBound() {
+		smp, ok := ep.Current(s.pred.Object)
+		s.state = ok && s.pred.holds(smp.P)
+		return
+	}
+	for _, id := range ep.CurrentInside(s.bound) {
+		if smp, ok := ep.Current(id); ok && s.pred.holds(smp.P) {
+			s.members[id] = struct{}{}
+		}
+	}
+}
+
+// mergeDirty unions two id-sorted dirty sets — the coalescing step when
+// the notifier queue overflows. Movement rectangles union, the New flag
+// ors, and the result stays id-sorted.
+func mergeDirty(a, b []ingest.DirtyObject) []ingest.DirtyObject {
+	out := make([]ingest.DirtyObject, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].ID < b[j].ID:
+			out = append(out, a[i])
+			i++
+		case a[i].ID > b[j].ID:
+			out = append(out, b[j])
+			j++
+		default:
+			m := a[i]
+			m.Rect = m.Rect.Union(b[j].Rect)
+			m.New = m.New || b[j].New
+			out = append(out, m)
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

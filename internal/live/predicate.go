@@ -1,0 +1,122 @@
+// Package live is the continuous-query subsystem: a subscription
+// registry evaluated push-style from the ingest pipeline's epoch
+// publish hook, streaming edge-triggered enter/leave events to clients
+// over SSE. It is the standing-query counterpart of the pull-based
+// /v1/* read path — the alibi-style predicates of the moving objects
+// literature recast so the database tells the client the moment a
+// predicate flips, instead of the client polling for it.
+package live
+
+import (
+	"fmt"
+	"math"
+
+	"movingdb/internal/geom"
+)
+
+// Kind names a standing-query predicate form.
+type Kind string
+
+const (
+	// KindInside fires when the subject object enters or leaves a
+	// rectangular region: inside(id, region).
+	KindInside Kind = "inside"
+	// KindWithin fires when the subject object enters or leaves the
+	// disk of the given radius around a fixed point: within(id, x, y, r).
+	KindWithin Kind = "within"
+	// KindAppears fires when any object enters or leaves a rectangular
+	// region: appears(region). Events carry the object that moved.
+	KindAppears Kind = "appears"
+)
+
+// Predicate is one standing query. Object is the subject id for the
+// id-bound forms (inside, within); Region is the rectangle for inside
+// and appears; X, Y, Radius describe the disk for within. Predicates
+// are immutable once validated.
+type Predicate struct {
+	Kind   Kind
+	Object string
+	Region geom.Rect
+	X, Y   float64
+	Radius float64
+}
+
+// Validate checks the predicate's shape: a known kind, a subject id
+// where one is required, a non-empty region or a positive finite
+// radius.
+func (p Predicate) Validate() error {
+	switch p.Kind {
+	case KindInside:
+		if p.Object == "" {
+			return fmt.Errorf("live: inside predicate needs an object id")
+		}
+		if p.Region.IsEmpty() {
+			return fmt.Errorf("live: inside predicate needs a non-empty region")
+		}
+	case KindWithin:
+		if p.Object == "" {
+			return fmt.Errorf("live: within predicate needs an object id")
+		}
+		if !(p.Radius > 0) || math.IsInf(p.Radius, 0) {
+			return fmt.Errorf("live: within predicate needs a positive finite radius")
+		}
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+			return fmt.Errorf("live: within predicate needs a finite centre")
+		}
+	case KindAppears:
+		if p.Object != "" {
+			return fmt.Errorf("live: appears predicate watches every object; it takes no object id")
+		}
+		if p.Region.IsEmpty() {
+			return fmt.Errorf("live: appears predicate needs a non-empty region")
+		}
+	default:
+		return fmt.Errorf("live: unknown predicate kind %q", p.Kind)
+	}
+	return nil
+}
+
+// Bound returns the predicate's bounding rectangle — the region for the
+// rectangular forms, the circumscribing square for within. Intersection
+// of an object's movement rectangle with the bound is a complete
+// candidate filter: a predicate can only flip for an object whose old
+// or new position lies in the bound, and both are inside the movement
+// rectangle.
+func (p Predicate) Bound() geom.Rect {
+	if p.Kind == KindWithin {
+		return geom.Rect{
+			MinX: p.X - p.Radius, MinY: p.Y - p.Radius,
+			MaxX: p.X + p.Radius, MaxY: p.Y + p.Radius,
+		}
+	}
+	return p.Region
+}
+
+// idBound reports whether the predicate watches one named object (and
+// is therefore dispatched by object id, not through the region index).
+func (p Predicate) idBound() bool {
+	return p.Kind == KindInside || p.Kind == KindWithin
+}
+
+// holds reports whether the predicate is satisfied by an object at pt.
+// Pure and deterministic: the edge-trigger state machine is a fold of
+// holds over the epoch sequence.
+func (p Predicate) holds(pt geom.Point) bool {
+	if p.Kind == KindWithin {
+		return math.Hypot(pt.X-p.X, pt.Y-p.Y) <= p.Radius
+	}
+	return p.Region.ContainsPoint(pt)
+}
+
+// String renders the predicate in its canonical functional form.
+func (p Predicate) String() string {
+	switch p.Kind {
+	case KindInside:
+		return fmt.Sprintf("inside(%s, %s)", p.Object, p.Region)
+	case KindWithin:
+		return fmt.Sprintf("within(%s, %g, %g, %g)", p.Object, p.X, p.Y, p.Radius)
+	case KindAppears:
+		return fmt.Sprintf("appears(%s)", p.Region)
+	}
+	return string(p.Kind)
+}

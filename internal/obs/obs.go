@@ -114,6 +114,22 @@ type epochStats struct {
 	publishedAt time.Time
 }
 
+// liveStats accumulates the standing-query subsystem's traffic (PR 7):
+// subscription churn, publish notifications reaching the registry,
+// evaluation work, emitted/dropped events and lagged streams.
+type liveStats struct {
+	subscribes   int64
+	unsubscribes int64
+	notifies     int64 // epoch publishes delivered to the notifier
+	coalesced    int64 // publishes merged under notifier backpressure
+	evaluated    int64 // subscription evaluations run
+	events       int64 // enter/leave events emitted to buffers
+	dropped      int64 // events evicted from full subscriber buffers
+	lagged       int64 // streams marked lagged by an eviction
+	evalTotalNS  int64
+	evalMaxNS    int64
+}
+
 // SlowQuery is one entry of the slow-query log.
 type SlowQuery struct {
 	Route    string  `json:"route"`
@@ -140,6 +156,7 @@ type Metrics struct {
 	ingest   ingestStats            // moguard: guarded by mu
 	cache    cacheStats             // moguard: guarded by mu
 	epoch    epochStats             // moguard: guarded by mu
+	live     liveStats              // moguard: guarded by mu
 }
 
 // New returns an empty registry keeping up to slowCap slow-query
@@ -383,6 +400,71 @@ func (m *Metrics) RecordEpochPublish(seq uint64) {
 	m.epoch.publishedAt = time.Now()
 }
 
+// RecordLiveSubscribe counts one standing-query subscription created.
+func (m *Metrics) RecordLiveSubscribe() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.live.subscribes++
+}
+
+// RecordLiveUnsubscribe counts one subscription removed.
+func (m *Metrics) RecordLiveUnsubscribe() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.live.unsubscribes++
+}
+
+// RecordLiveNotify counts one epoch publish handed to the notifier;
+// coalesced marks a publish merged into a neighbour because the
+// notifier queue was full.
+func (m *Metrics) RecordLiveNotify(coalesced bool) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.live.notifies++
+	if coalesced {
+		m.live.coalesced++
+	}
+}
+
+// RecordLiveEval counts one notifier evaluation round: how many
+// subscriptions were evaluated, how many events were emitted, how many
+// were dropped from full buffers, and how long the round took.
+func (m *Metrics) RecordLiveEval(subs, events, dropped int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.live.evaluated += int64(subs)
+	m.live.events += int64(events)
+	m.live.dropped += int64(dropped)
+	ns := d.Nanoseconds()
+	m.live.evalTotalNS += ns
+	if ns > m.live.evalMaxNS {
+		m.live.evalMaxNS = ns
+	}
+}
+
+// RecordLiveLagged counts one event stream marked lagged by a
+// drop-oldest eviction.
+func (m *Metrics) RecordLiveLagged() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.live.lagged++
+}
+
 // RecordSlowQuery appends an entry to the slow-query ring.
 func (m *Metrics) RecordSlowQuery(e SlowQuery) {
 	if m == nil {
@@ -455,6 +537,20 @@ type EpochSnapshot struct {
 	AgeSeconds float64 `json:"age_seconds"`
 }
 
+// LiveSnapshot is the JSON form of the standing-query counters.
+type LiveSnapshot struct {
+	Subscribes    int64   `json:"subscribes"`
+	Unsubscribes  int64   `json:"unsubscribes"`
+	Notifies      int64   `json:"notifies"`
+	Coalesced     int64   `json:"coalesced"`
+	Evaluated     int64   `json:"evaluated"`
+	Events        int64   `json:"events"`
+	Dropped       int64   `json:"dropped"`
+	Lagged        int64   `json:"lagged"`
+	AvgEvalMicros float64 `json:"avg_eval_us"`
+	MaxEvalMicros float64 `json:"max_eval_us"`
+}
+
 // Snapshot is the full registry state served at /v1/metrics.
 type Snapshot struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
@@ -464,6 +560,7 @@ type Snapshot struct {
 	Ingest        IngestSnapshot           `json:"ingest"`
 	Cache         CacheSnapshot            `json:"cache"`
 	Epoch         EpochSnapshot            `json:"epoch"`
+	Live          LiveSnapshot             `json:"live"`
 }
 
 // Snapshot copies the registry into its JSON-serialisable form. Safe on
@@ -552,6 +649,20 @@ func (m *Metrics) Snapshot() Snapshot {
 	out.Epoch = EpochSnapshot{Seq: m.epoch.seq, Publishes: m.epoch.publishes}
 	if !m.epoch.publishedAt.IsZero() {
 		out.Epoch.AgeSeconds = time.Since(m.epoch.publishedAt).Seconds()
+	}
+	out.Live = LiveSnapshot{
+		Subscribes:    m.live.subscribes,
+		Unsubscribes:  m.live.unsubscribes,
+		Notifies:      m.live.notifies,
+		Coalesced:     m.live.coalesced,
+		Evaluated:     m.live.evaluated,
+		Events:        m.live.events,
+		Dropped:       m.live.dropped,
+		Lagged:        m.live.lagged,
+		MaxEvalMicros: float64(m.live.evalMaxNS) / 1e3,
+	}
+	if m.live.evaluated > 0 {
+		out.Live.AvgEvalMicros = float64(m.live.evalTotalNS) / float64(m.live.evaluated) / 1e3
 	}
 	return out
 }

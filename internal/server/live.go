@@ -1,0 +1,272 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"movingdb/internal/geom"
+	"movingdb/internal/live"
+	"movingdb/internal/temporal"
+)
+
+// The live query surface: GET /v1/nearby answers range and k-NN
+// queries over the pinned epoch's current trajectories, and the
+// /v1/subscribe family manages standing queries whose edge-triggered
+// enter/leave events stream to clients over SSE, pushed from the
+// ingest pipeline's epoch publish hook. Both halves are live-only —
+// without an ingestion pipeline (and, for subscriptions, a registry)
+// they answer 503 unavailable.
+
+// nearbyReq is a decoded /v1/nearby request. K == 0 means no count
+// bound (a pure radius query); Radius < 0 means no distance bound.
+// At least one bound is required at decode time.
+type nearbyReq struct {
+	X, Y    float64
+	T       float64
+	K       int
+	Radius  float64
+	Timeout time.Duration
+}
+
+func (s *Server) decodeNearby(r *http.Request) (nearbyReq, error) {
+	p := newParams(r)
+	req := nearbyReq{
+		X:       p.float("x"),
+		Y:       p.float("y"),
+		T:       p.float("t"),
+		K:       p.intMin("k", 0, 1),
+		Radius:  -1,
+		Timeout: p.timeout(s.cfg.QueryTimeout, s.cfg.MaxTimeout),
+	}
+	if raw := p.vals.Get("radius"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil || !(v > 0) {
+			p.fail(CodeBadRequest, "bad radius %q: want a positive number", raw)
+		} else {
+			req.Radius = v
+		}
+	}
+	if p.err == nil && req.K == 0 && req.Radius < 0 {
+		p.fail(CodeBadRequest, "need k= (nearest count) or radius= (range), or both")
+	}
+	if req.K > s.cfg.MaxLimit {
+		req.K = s.cfg.MaxLimit
+	}
+	if p.err != nil {
+		return nearbyReq{}, p.err
+	}
+	return req, nil
+}
+
+func (q nearbyReq) canonical() string {
+	var b strings.Builder
+	b.WriteString("x=")
+	b.WriteString(fmtFloat(q.X))
+	b.WriteString("&y=")
+	b.WriteString(fmtFloat(q.Y))
+	b.WriteString("&t=")
+	b.WriteString(fmtFloat(q.T))
+	b.WriteString("&k=")
+	b.WriteString(strconv.Itoa(q.K))
+	b.WriteString("&radius=")
+	b.WriteString(fmtFloat(q.Radius))
+	return b.String()
+}
+
+// handleNearby answers ?x=&y=&t=&k=&radius= with the objects nearest
+// the point at the instant, best-first over the epoch's pinned index
+// snapshot — the getNearbyObjects operation of a moving objects
+// database. Results carry each object's exact position at t and its
+// distance, nearest first; responses are cached under (canonical
+// query, epoch) and carry the strong ETag.
+func (s *Server) handleNearby(w http.ResponseWriter, r *http.Request) {
+	if s.ingest == nil {
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable,
+			"nearby queries need a live ingestion pipeline; restart the server with ingestion enabled")
+		return
+	}
+	req, derr := s.decodeNearby(r)
+	if derr != nil {
+		writeDecodeError(w, derr)
+		return
+	}
+	ep := s.pinEpoch()
+	s.serveCached(w, r, "/v1/nearby", req.canonical(), epochSeq(ep), true, func() (any, error) {
+		results := ep.Nearest(req.X, req.Y, temporal.Instant(req.T), req.K, req.Radius)
+		return map[string]any{
+			"t": req.T, "k": req.K, "radius": req.Radius,
+			"count": len(results), "results": results,
+		}, nil
+	})
+}
+
+// subscribeBody is the POST /v1/subscribe payload. Region rectangles
+// normalise (min/max per axis) like /v1/window's corners do.
+type subscribeBody struct {
+	Predicate string      `json:"predicate"`
+	Object    string      `json:"object"`
+	Region    *regionBody `json:"region"`
+	X         float64     `json:"x"`
+	Y         float64     `json:"y"`
+	Radius    float64     `json:"radius"`
+}
+
+type regionBody struct {
+	X1 float64 `json:"x1"`
+	Y1 float64 `json:"y1"`
+	X2 float64 `json:"x2"`
+	Y2 float64 `json:"y2"`
+}
+
+func (b subscribeBody) predicate() (live.Predicate, error) {
+	p := live.Predicate{
+		Kind:   live.Kind(b.Predicate),
+		Object: b.Object,
+		X:      b.X,
+		Y:      b.Y,
+		Radius: b.Radius,
+	}
+	switch p.Kind {
+	case live.KindInside, live.KindAppears:
+		if b.Region == nil {
+			return p, fmt.Errorf("%s predicate needs a region", b.Predicate)
+		}
+		p.Region = geom.Rect{
+			MinX: min(b.Region.X1, b.Region.X2), MinY: min(b.Region.Y1, b.Region.Y2),
+			MaxX: max(b.Region.X1, b.Region.X2), MaxY: max(b.Region.Y1, b.Region.Y2),
+		}
+	}
+	return p, p.Validate()
+}
+
+// requireLive gates the subscription routes on a configured registry.
+func (s *Server) requireLive(w http.ResponseWriter) bool {
+	if s.live == nil {
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable,
+			"standing queries need a live registry; restart the server with ingestion enabled")
+		return false
+	}
+	return true
+}
+
+// handleSubscribe registers a standing query. The response names the
+// subscription and its event stream; edge-trigger state seeds from the
+// current epoch, so only changes after this call produce events.
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	if !s.requireLive(w) {
+		return
+	}
+	var body subscribeBody
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("bad subscribe body: %v", err))
+		return
+	}
+	pred, err := body.predicate()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	sub, err := s.live.Subscribe(pred, s.pinEpoch())
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, err.Error())
+		return
+	}
+	writeJSONStatus(w, http.StatusCreated, map[string]any{
+		"subscription_id": sub.ID(),
+		"predicate":       sub.Predicate().String(),
+		"events_url":      "/v1/subscribe/" + sub.ID() + "/events",
+	})
+}
+
+// handleSubscription reports one subscription's delivery state.
+func (s *Server) handleSubscription(w http.ResponseWriter, r *http.Request) {
+	if !s.requireLive(w) {
+		return
+	}
+	sub, ok := s.live.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "no such subscription")
+		return
+	}
+	writeJSON(w, sub.Info())
+}
+
+// handleUnsubscribe removes a standing query and ends its stream.
+func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
+	if !s.requireLive(w) {
+		return
+	}
+	id := r.PathValue("id")
+	if !s.live.Unsubscribe(id) {
+		writeError(w, http.StatusNotFound, CodeNotFound, "no such subscription")
+		return
+	}
+	writeJSON(w, map[string]any{"unsubscribed": id})
+}
+
+// handleEvents streams a subscription's events as Server-Sent Events:
+// one "enter"/"leave" event per predicate flip (data is the Event
+// JSON, id the per-subscription sequence), an explicit "lagged" event
+// whenever the bounded buffer dropped anything since the last frame,
+// heartbeat comments to keep intermediaries from idling the
+// connection out, and a final "bye" on unsubscribe or shutdown. The
+// handler returns when the client disconnects or the subscription
+// ends — registry Close (SIGTERM drain) unblocks every stream.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if !s.requireLive(w) {
+		return
+	}
+	sub, ok := s.live.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "no such subscription")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, CodeInternal, "response writer cannot stream")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, ": stream %s\n\n", sub.ID())
+	fl.Flush()
+	hb := time.NewTicker(s.cfg.SSEHeartbeat)
+	defer hb.Stop()
+	for {
+		events, lagged := sub.Take()
+		if lagged {
+			fmt.Fprint(w, "event: lagged\ndata: {\"lagged\":true}\n\n")
+		}
+		for _, e := range events {
+			b, err := json.Marshal(e)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Edge, b)
+		}
+		if lagged || len(events) > 0 {
+			fl.Flush()
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-sub.Done():
+			fmt.Fprint(w, "event: bye\ndata: {}\n\n")
+			fl.Flush()
+			return
+		case <-sub.Wait():
+		case <-hb.C:
+			fmt.Fprint(w, ": hb\n\n")
+			fl.Flush()
+		}
+	}
+}

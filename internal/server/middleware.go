@@ -29,6 +29,15 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the underlying writer so streaming handlers (the
+// SSE event routes) can push frames through the instrumentation
+// wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // instrument wraps a handler with the observability middleware: request
 // body limiting, panic recovery (500 envelope instead of a dropped
 // connection), and per-route counting with latency into the registry.

@@ -31,6 +31,7 @@ import (
 	"movingdb/internal/db"
 	"movingdb/internal/index"
 	"movingdb/internal/ingest"
+	"movingdb/internal/live"
 	"movingdb/internal/moving"
 	"movingdb/internal/obs"
 	"movingdb/internal/temporal"
@@ -54,6 +55,14 @@ type Config struct {
 	// MaxIngestBatch bounds the number of observations per POST
 	// /v1/ingest request. Default 10000.
 	MaxIngestBatch int
+	// Live is the standing-query registry behind /v1/subscribe and the
+	// SSE event streams. Nil disables the subscription routes (503
+	// unavailable); wire the same registry into the pipeline's OnPublish
+	// hook so events flow.
+	Live *live.Registry
+	// SSEHeartbeat is the idle-keepalive interval of event streams.
+	// Default 15s.
+	SSEHeartbeat time.Duration
 
 	// Cache is the result cache behind the read routes. Nil builds the
 	// in-memory sharded LRU with CacheBytes budget; supply an adapter to
@@ -118,6 +127,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxIngestBatch == 0 {
 		c.MaxIngestBatch = 10000
 	}
+	if c.SSEHeartbeat == 0 {
+		c.SSEHeartbeat = 15 * time.Second
+	}
 	if c.Logger == nil {
 		c.Logger = log.New(io.Discard, "", 0)
 	}
@@ -138,6 +150,7 @@ type Server struct {
 	cfg     Config
 	idx     *index.MPointIndex
 	ingest  *ingest.Pipeline
+	live    *live.Registry
 	loader  *cache.Loader
 	logger  *log.Logger
 	metrics *obs.Metrics
@@ -160,6 +173,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:       cfg,
 		idx:       index.BuildMPointIndex(cfg.Objects),
 		ingest:    cfg.Ingest,
+		live:      cfg.Live,
 		loader:    cache.NewLoader(rc),
 		logger:    cfg.Logger,
 		metrics:   cfg.Metrics,
@@ -187,6 +201,11 @@ func (s *Server) Handler() http.Handler {
 		{"GET", "/v1/metrics", "/metrics", s.handleMetrics},
 		{"GET", "/v1/healthz", "/healthz", s.handleHealthz},
 		{"POST", "/v1/ingest", "", s.handleIngest},
+		{"GET", "/v1/nearby", "", s.handleNearby},
+		{"POST", "/v1/subscribe", "", s.handleSubscribe},
+		{"GET", "/v1/subscribe/{id}", "", s.handleSubscription},
+		{"DELETE", "/v1/subscribe/{id}", "", s.handleUnsubscribe},
+		{"GET", "/v1/subscribe/{id}/events", "", s.handleEvents},
 	} {
 		h := s.instrument(rt.path, rt.h)
 		mux.Handle(rt.method+" "+rt.path, h)
@@ -222,9 +241,10 @@ func pageBounds(n, limit, offset int) (lo, hi int) {
 // handleQuery executes ?q=<SELECT ...> under the request deadline and
 // returns columns and rows. Only scalar result columns are rendered;
 // moving/spatial values are summarised. Results are cached under the
-// canonical SQL and the pinned epoch (a cached response reports the
-// elapsed_ms of the evaluation that produced it); no ETag is emitted
-// here because elapsed_ms makes recomputed bodies differ byte-wise.
+// canonical SQL and the pinned epoch; evaluation time travels in the
+// X-MO-Elapsed response header (milliseconds, only on the evaluating
+// request) instead of the body, so cached bytes are stable and the
+// route carries the same strong ETag as the other read routes.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	req, derr := s.decodeQuery(r)
 	if derr != nil {
@@ -233,7 +253,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ep := s.pinEpoch()
 	catalog := s.Catalog
-	s.serveCached(w, r, "/v1/query", req.canonical(), epochSeq(ep), false, func() (any, error) {
+	s.serveCached(w, r, "/v1/query", req.canonical(), epochSeq(ep), true, func() (any, error) {
 		snap := db.Snapshot{Catalog: catalog, Epoch: epochSeq(ep)}
 		ctx, cancel := s.evalContext(r, req.Timeout)
 		defer cancel()
@@ -259,6 +279,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
+		// Headers may still be set here: serveCached writes the response
+		// only after this closure returns. Coalesced and cache-hit
+		// requests simply lack the header — elapsed time describes an
+		// evaluation, and they did not run one.
+		w.Header().Set("X-MO-Elapsed", fmt.Sprintf("%.3f", float64(elapsed.Nanoseconds())/1e6))
 		cols := make([]string, len(res.Schema))
 		for i, c := range res.Schema {
 			cols[i] = fmt.Sprintf("%s:%s", c.Name, c.Type)
@@ -271,7 +296,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			}
 			rows = append(rows, row)
 		}
-		return map[string]any{"columns": cols, "rows": rows, "elapsed_ms": float64(elapsed.Nanoseconds()) / 1e6}, nil
+		return map[string]any{"columns": cols, "rows": rows}, nil
 	})
 }
 

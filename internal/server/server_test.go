@@ -103,9 +103,16 @@ func envelope(t *testing.T, body map[string]any) (code, message string) {
 
 func TestQueryEndpoint(t *testing.T) {
 	h := testServer(t).Handler()
-	code, body := get(t, h, "/v1/query?q=SELECT+airline,+id,+length(trajectory(flight))+AS+len+FROM+planes+WHERE+airline+=+'Lufthansa'+ORDER+BY+len+DESC+LIMIT+3")
-	if code != http.StatusOK {
-		t.Fatalf("code = %d: %v", code, body)
+	url := "/v1/query?q=SELECT+airline,+id,+length(trajectory(flight))+AS+len+FROM+planes+WHERE+airline+=+'Lufthansa'+ORDER+BY+len+DESC+LIMIT+3"
+	req := httptest.NewRequest("GET", url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad json: %v (%s)", err, rec.Body.String())
+	}
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d: %v", rec.Code, body)
 	}
 	rows := body["rows"].([]any)
 	if len(rows) == 0 || len(rows) > 3 {
@@ -115,11 +122,19 @@ func TestQueryEndpoint(t *testing.T) {
 	if cols[2].(string) != "len:real" {
 		t.Errorf("columns = %v", cols)
 	}
-	if _, ok := body["elapsed_ms"].(float64); !ok {
-		t.Errorf("missing elapsed_ms: %v", body)
+	// elapsed_ms moved out of the cached body (PR 7): the evaluating
+	// response reports it in X-MO-Elapsed so cached bytes are stable.
+	if _, ok := body["elapsed_ms"]; ok {
+		t.Errorf("elapsed_ms leaked back into the body: %v", body)
+	}
+	if rec.Header().Get("X-MO-Elapsed") == "" {
+		t.Errorf("missing X-MO-Elapsed header on an evaluating request")
+	}
+	if rec.Header().Get("ETag") == "" {
+		t.Errorf("missing ETag on /v1/query")
 	}
 	// Syntax error surfaces as 400 with the envelope.
-	code, body = get(t, h, "/v1/query?q=SELECT")
+	code, body := get(t, h, "/v1/query?q=SELECT")
 	if code != http.StatusBadRequest {
 		t.Errorf("bad query: %d %v", code, body)
 	}

@@ -1,0 +1,106 @@
+package workload
+
+import "movingdb/internal/geom"
+
+// Generators for the live query surface: /v1/nearby request mixes and
+// standing-subscription mixes. They emit plain spec structs rather than
+// live package types so the ingest and index packages' in-package tests
+// can keep importing workload without an import cycle through live.
+
+// NearbyQuery is one /v1/nearby request: K == 0 means no count bound,
+// Radius < 0 means no distance bound; at least one is always set.
+type NearbyQuery struct {
+	X, Y   float64
+	T      float64
+	K      int
+	Radius float64
+}
+
+// NearbyQueries returns n nearby requests at uniform random points with
+// instants in [t0, t0+tSpread]: 60% pure k-NN (k in 1..kMax), 20% pure
+// range (radius only), 20% bounded k-NN (both). Equal seeds yield equal
+// mixes.
+func (g *Gen) NearbyQueries(n int, t0, tSpread float64, kMax int) []NearbyQuery {
+	if kMax < 1 {
+		kMax = 1
+	}
+	out := make([]NearbyQuery, 0, n)
+	for i := 0; i < n; i++ {
+		q := NearbyQuery{
+			X:      g.rng.Float64() * WorldSize,
+			Y:      g.rng.Float64() * WorldSize,
+			T:      t0 + g.rng.Float64()*tSpread,
+			Radius: -1,
+		}
+		switch r := g.rng.Float64(); {
+		case r < 0.6:
+			q.K = 1 + g.rng.Intn(kMax)
+		case r < 0.8:
+			q.Radius = (0.02 + 0.08*g.rng.Float64()) * WorldSize
+		default:
+			q.K = 1 + g.rng.Intn(kMax)
+			q.Radius = (0.05 + 0.15*g.rng.Float64()) * WorldSize
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// SubscriptionSpec is one standing query: Kind is "inside", "within",
+// or "appears" (the live package's predicate kinds), with the fields
+// that kind reads populated.
+type SubscriptionSpec struct {
+	Kind   string
+	Object string
+	Region geom.Rect
+	X, Y   float64
+	Radius float64
+}
+
+// regionAround returns a rectangle with sides between 4% and 14% of the
+// world, clamped inside it — small enough that objects cross its
+// boundary often, which is what drives edge-triggered events.
+func (g *Gen) regionAround() geom.Rect {
+	w := (0.04 + 0.10*g.rng.Float64()) * WorldSize
+	h := (0.04 + 0.10*g.rng.Float64()) * WorldSize
+	x := g.rng.Float64() * (WorldSize - w)
+	y := g.rng.Float64() * (WorldSize - h)
+	return geom.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}
+}
+
+// Subscriptions returns n standing-query specs over the given object
+// ids: 40% inside(object, region), 30% within(object, point, radius),
+// 30% appears(region). Objects are drawn uniformly with replacement.
+// Equal seeds yield equal mixes; n == 0 or empty ids degrade sanely
+// (no id-bound kinds without ids).
+func (g *Gen) Subscriptions(n int, ids []string) []SubscriptionSpec {
+	out := make([]SubscriptionSpec, 0, n)
+	for i := 0; i < n; i++ {
+		r := g.rng.Float64()
+		if len(ids) == 0 {
+			r = 1 // only appears is possible without objects
+		}
+		switch {
+		case r < 0.4:
+			out = append(out, SubscriptionSpec{
+				Kind:   "inside",
+				Object: ids[g.rng.Intn(len(ids))],
+				Region: g.regionAround(),
+			})
+		case r < 0.7:
+			out = append(out, SubscriptionSpec{
+				Kind:   "within",
+				Object: ids[g.rng.Intn(len(ids))],
+				X:      g.rng.Float64() * WorldSize,
+				Y:      g.rng.Float64() * WorldSize,
+				Radius: (0.03 + 0.07*g.rng.Float64()) * WorldSize,
+			})
+		default:
+			out = append(out, SubscriptionSpec{
+				Kind:   "appears",
+				Region: g.regionAround(),
+			})
+		}
+	}
+	return out
+}

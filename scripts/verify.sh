@@ -29,4 +29,7 @@ go vet -tags=faultinject ./...
 echo "==> fuzz smoke: FuzzWALDecode (10s)"
 go test -run='^$' -fuzz=FuzzWALDecode -fuzztime=10s ./internal/ingest
 
+echo "==> live-query soak (10s subscriber churn under ingest)"
+go run ./cmd/mobench -exp soak -soak-dur 10s
+
 echo "verify: OK"
