@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench docs fuzz faultinject lint debugcheck soak
+.PHONY: all build vet test race verify bench docs fuzz faultinject lint debugcheck soak chaos
 
 all: verify
 
@@ -37,6 +37,13 @@ verify:
 # (DESIGN.md §12). Duration via SOAK_DUR (default 10s).
 soak:
 	$(GO) run ./cmd/mobench -exp soak -soak-dur $${SOAK_DUR:-10s}
+
+# Chaos: the seeded fleet simulator (cmd/mosim, DESIGN.md §13) drives
+# the real HTTP stack through every chaos profile with the failpoint
+# hooks compiled in, cross-checking each response against the offline
+# oracle under the race detector. Longer runs: go run ./cmd/mosim.
+chaos:
+	$(GO) test -race -tags=faultinject -count=1 ./internal/sim/
 
 # Fuzz the WAL recovery decoders (longer than the verify smoke run).
 fuzz:

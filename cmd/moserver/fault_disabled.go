@@ -7,6 +7,7 @@ import (
 	"log"
 
 	"movingdb/internal/ingest"
+	"movingdb/internal/obs"
 )
 
 // buildWALMedium returns the WAL medium for the ingest pipeline. In
@@ -14,7 +15,7 @@ import (
 // -failpoints spec is a configuration error (failing loudly beats
 // silently ignoring an operator who thinks faults are being injected),
 // and nil selects the pipeline's default in-memory page store.
-func buildWALMedium(failpoints string, _ int64, _ *log.Logger) (ingest.PageIO, error) {
+func buildWALMedium(failpoints string, _ int64, _ *obs.Metrics, _ *log.Logger) (ingest.PageIO, error) {
 	if failpoints != "" {
 		return nil, errors.New("-failpoints requires a build with -tags=faultinject")
 	}

@@ -7,6 +7,9 @@ import (
 
 	"movingdb/internal/fault"
 	"movingdb/internal/ingest"
+	"movingdb/internal/live"
+	"movingdb/internal/obs"
+	"movingdb/internal/server"
 	"movingdb/internal/storage"
 )
 
@@ -14,8 +17,12 @@ import (
 // is the -tags=faultinject variant: a non-empty -failpoints spec wraps
 // the page store in the deterministic fault-injection layer, seeded
 // with the workload seed so probabilistic fault schedules replay
-// identically run to run.
-func buildWALMedium(failpoints string, seed int64, logger *log.Logger) (ingest.PageIO, error) {
+// identically run to run. One injector backs every site: the wal.*
+// sites trip inside the wrapping fault.Store, while the hook sites
+// (epoch.publish, live.notify, sse.write) are armed into their
+// packages' build-tag-gated failpoints. Trips are counted per site in
+// the metrics registry (the "faults" section of /v1/metrics).
+func buildWALMedium(failpoints string, seed int64, metrics *obs.Metrics, logger *log.Logger) (ingest.PageIO, error) {
 	if failpoints == "" {
 		return nil, nil
 	}
@@ -24,9 +31,13 @@ func buildWALMedium(failpoints string, seed int64, logger *log.Logger) (ingest.P
 		return nil, err
 	}
 	in := fault.New(seed)
+	in.OnTrip(metrics.RecordFaultTrip)
 	for site, spec := range specs {
 		in.Set(site, spec)
 		logger.Printf("failpoint armed: %s=%s", site, spec.Mode)
 	}
+	ingest.SetFailpointInjector(in)
+	live.SetFailpointInjector(in)
+	server.SetFailpointInjector(in)
 	return fault.NewStore(in, "wal", storage.NewPageStore()), nil
 }

@@ -84,6 +84,7 @@ type Injector struct {
 	mu     sync.Mutex
 	rng    *rand.Rand        // moguard: guarded by mu
 	points map[string]*point // moguard: guarded by mu
+	onTrip func(site string) // moguard: guarded by mu
 }
 
 // New returns an injector whose probabilistic decisions replay
@@ -126,6 +127,19 @@ func (in *Injector) ClearAll() {
 	in.points = map[string]*point{}
 }
 
+// OnTrip registers a hook called after every trip with the site name —
+// the seam through which the metrics registry counts injected faults.
+// The hook runs outside the injector's lock and must be safe for
+// concurrent use.
+func (in *Injector) OnTrip(fn func(site string)) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.onTrip = fn
+}
+
 // Trips reports how many times the failpoint at site has tripped.
 func (in *Injector) Trips(site string) int64 {
 	if in == nil {
@@ -147,20 +161,46 @@ type action struct {
 	err          error
 }
 
+// Hit evaluates the failpoint at site for hook-style call sites that
+// carry no bytes to tear: a latency trip sleeps and lets the operation
+// proceed, while error and torn trips return the injected error. A nil
+// injector never trips, so production call sites pay one nil check.
+func (in *Injector) Hit(site string) error {
+	act, ok := in.eval(site)
+	if !ok {
+		return nil
+	}
+	if act.mode == ModeLatency {
+		//molint:ignore det-path injected latency must really elapse; which calls sleep is decided by the seeded injector, so determinism of outcomes is preserved
+		time.Sleep(act.delay)
+		return nil
+	}
+	return act.err
+}
+
 // eval decides whether the failpoint at site trips on this hit, and if
-// so with what action. A spent or absent point never trips.
+// so with what action. A spent or absent point never trips. The OnTrip
+// hook, if any, fires after the injector lock is released.
 func (in *Injector) eval(site string) (action, bool) {
 	if in == nil {
 		return action{}, false
 	}
+	act, ok, hook := in.evalTrip(site)
+	if ok && hook != nil {
+		hook(site)
+	}
+	return act, ok
+}
+
+func (in *Injector) evalTrip(site string) (action, bool, func(string)) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	pt := in.points[site]
 	if pt == nil || pt.remaining == 0 {
-		return action{}, false
+		return action{}, false, nil
 	}
 	if p := pt.spec.Prob; p > 0 && p < 1 && in.rng.Float64() >= p {
-		return action{}, false
+		return action{}, false, nil
 	}
 	if pt.remaining > 0 {
 		pt.remaining--
@@ -175,5 +215,5 @@ func (in *Injector) eval(site string) (action, bool) {
 		delay:        pt.spec.Delay,
 		keepFraction: kf,
 		err:          fmt.Errorf("%w at %s", ErrInjected, site),
-	}, true
+	}, true, in.onTrip
 }

@@ -3,6 +3,7 @@ package fault
 import (
 	"bytes"
 	"errors"
+	"slices"
 	"testing"
 	"time"
 
@@ -202,12 +203,67 @@ func TestParseSpecs(t *testing.T) {
 		t.Fatalf("wal.compact = %+v", s)
 	}
 	for _, bad := range []string{
-		"", "   ", "x", "x=", "=error", "x=nope", "x=error:y", "x=error:-1",
-		"x=torn:0", "x=torn:1", "x=torn:2", "x=latency", "x=latency:fast",
-		"x=error,prob=0", "x=error,prob=1.5", "x=error,times=-1", "x=error,bogus=1",
+		"", "   ", "x", "x=", "=error", "wal.put=nope", "wal.put=error:y", "wal.put=error:-1",
+		"wal.put=torn:0", "wal.put=torn:1", "wal.put=torn:2", "wal.put=latency", "wal.put=latency:fast",
+		"wal.put=error,prob=0", "wal.put=error,prob=1.5", "wal.put=error,times=-1", "wal.put=error,bogus=1",
+		// Stale-site references are a startup error, not a silent no-op.
+		"nope.put=error", "wal.stat=error:1",
 	} {
 		if _, err := ParseSpecs(bad); err == nil {
 			t.Fatalf("ParseSpecs(%q) accepted", bad)
 		}
+	}
+}
+
+func TestSiteCatalog(t *testing.T) {
+	sites := Sites()
+	if len(sites) == 0 {
+		t.Fatal("empty site catalog")
+	}
+	for i, s := range sites {
+		if i > 0 && sites[i-1].Name >= s.Name {
+			t.Fatalf("catalog not sorted: %q before %q", sites[i-1].Name, s.Name)
+		}
+		if !KnownSite(s.Name) {
+			t.Fatalf("KnownSite(%q) = false for a listed site", s.Name)
+		}
+	}
+	for _, want := range []string{"wal.put", "wal.get", "wal.compact", "epoch.publish", "live.notify", "sse.write"} {
+		if !KnownSite(want) {
+			t.Fatalf("site %q missing from catalog", want)
+		}
+	}
+	if KnownSite("no.such.site") {
+		t.Fatal(`KnownSite("no.such.site") = true`)
+	}
+}
+
+func TestHitAndOnTrip(t *testing.T) {
+	in := New(7)
+	var trips []string
+	in.OnTrip(func(site string) { trips = append(trips, site) })
+
+	if err := in.Hit("epoch.publish"); err != nil {
+		t.Fatalf("unarmed Hit: %v", err)
+	}
+	in.Set("epoch.publish", Spec{Mode: ModeError, Times: 2})
+	for i := 0; i < 2; i++ {
+		if err := in.Hit("epoch.publish"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("armed Hit #%d: %v", i, err)
+		}
+	}
+	if err := in.Hit("epoch.publish"); err != nil {
+		t.Fatalf("spent Hit: %v", err)
+	}
+	in.Set("live.notify", Spec{Mode: ModeLatency, Delay: time.Microsecond})
+	if err := in.Hit("live.notify"); err != nil {
+		t.Fatalf("latency Hit must proceed: %v", err)
+	}
+	if want := []string{"epoch.publish", "epoch.publish", "live.notify"}; !slices.Equal(trips, want) {
+		t.Fatalf("OnTrip saw %v, want %v", trips, want)
+	}
+	var nilIn *Injector
+	if err := nilIn.Hit("wal.put"); err != nil {
+		t.Fatalf("nil injector Hit: %v", err)
 	}
 }

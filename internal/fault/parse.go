@@ -33,6 +33,9 @@ func ParseSpecs(s string) (map[string]Spec, error) {
 		if !ok || site == "" || rhs == "" {
 			return nil, fmt.Errorf("fault: bad failpoint %q: want site=mode[:arg][,option...]", part)
 		}
+		if !KnownSite(site) {
+			return nil, fmt.Errorf("fault: unknown failpoint site %q (run with -failpoints=list for the catalog)", site)
+		}
 		fields := strings.Split(rhs, ",")
 		var spec Spec
 		mode, arg, hasArg := strings.Cut(fields[0], ":")

@@ -187,6 +187,9 @@ type Pipeline struct {
 	retryAttempts int
 	retryBase     time.Duration
 	retryMaxWait  time.Duration
+	maxAge        time.Duration // flush cadence, for Retry-After hints
+	maxQueued     int
+	probeInterval time.Duration
 	rng           *rand.Rand // jitter; touched only under bat.mu (logAppend)
 
 	onPublish func(*Epoch, []DirtyObject) // immutable after Open
@@ -232,6 +235,9 @@ func Open(cfg Config) (*Pipeline, error) {
 		retryAttempts: cfg.RetryAttempts,
 		retryBase:     cfg.RetryBase,
 		retryMaxWait:  cfg.RetryMaxWait,
+		maxAge:        cfg.MaxAge,
+		maxQueued:     cfg.MaxQueued,
+		probeInterval: cfg.ProbeInterval,
 		rng:           rand.New(rand.NewSource(cfg.RetrySeed)),
 		onPublish:     cfg.OnPublish,
 	}
@@ -265,12 +271,42 @@ func (p *Pipeline) applyFlush(batch []Observation) {
 // rectangles in the same call, still on the flush path — it must only
 // enqueue.
 func (p *Pipeline) publishEpoch() {
+	if err := failpointHit("epoch.publish"); err != nil {
+		// Injected publish failure. The flushed state stays applied and the
+		// store keeps accumulating the dirty set, so this defers publication
+		// rather than losing it: the next successful flush publishes one
+		// epoch covering everything since the last published one. Readers
+		// keep serving the last published epoch throughout.
+		p.metrics.RecordIngestCause("epoch_publish_deferred", 1)
+		return
+	}
 	if ep, dirty, advanced := p.store.publish(); advanced {
 		p.metrics.RecordEpochPublish(ep.Seq())
 		if p.onPublish != nil {
 			p.onPublish(ep, dirty)
 		}
 	}
+}
+
+// RetryAfterHint maps a write-path rejection to how long a client
+// should wait before retrying, for the HTTP Retry-After header.
+// Backpressure clears as flushes drain the queue, so the hint is the
+// flush cadence (doubled while the queue is more than half full); a
+// degraded pipeline admits one probe per probe interval, so retrying
+// sooner than that can only hit the fast-fail path. Zero means "no
+// hint": the error carries no retry semantics.
+func (p *Pipeline) RetryAfterHint(err error) time.Duration {
+	switch {
+	case errors.Is(err, ErrBackpressure):
+		d := p.maxAge
+		if p.maxQueued > 0 && p.bat.depth() > p.maxQueued/2 {
+			d *= 2
+		}
+		return d
+	case errors.Is(err, ErrDegraded):
+		return p.probeInterval
+	}
+	return 0
 }
 
 // Ingest validates and admits one batch. On success the batch is in the

@@ -95,6 +95,11 @@ func DefaultConfig(module string) *Config {
 			// and subscription files around them stamp wall-clock publish
 			// times and measure evaluation latency on purpose.
 			j("internal/live"): {"predicate.go", "eval.go"},
+			// The simulator's fleets, oracle, chaos schedules and verdict
+			// hashing must replay bit-for-bit from the seed; the harness
+			// loop (run.go, capacity.go) paces and times against the wall
+			// clock on purpose.
+			j("internal/sim"): {"sim.go", "fleet.go", "oracle.go", "chaos.go", "verdict.go", "invariant.go"},
 		},
 		IndexOnlyPkgs: []string{j("internal/storage"), j("internal/index")},
 		IndexOnlyDataPkgs: []string{

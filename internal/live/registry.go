@@ -261,6 +261,12 @@ func (r *Registry) Notify(ep *ingest.Epoch, dirty []ingest.DirtyObject) {
 	r.queue = append(r.queue, notice{ep: ep, dirty: dirty, pubNS: pubNS})
 	r.mu.Unlock()
 	r.cfg.Metrics.RecordLiveNotify(coalesced)
+	if err := failpointHit("live.notify"); err != nil {
+		// Injected wake-up loss. The notice is already queued, so nothing
+		// is dropped — delivery is deferred until the next publish wakes
+		// the notifier (which drains the queue in order).
+		return
+	}
 	select {
 	case r.wake <- struct{}{}:
 	default:

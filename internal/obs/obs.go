@@ -157,6 +157,7 @@ type Metrics struct {
 	cache    cacheStats             // moguard: guarded by mu
 	epoch    epochStats             // moguard: guarded by mu
 	live     liveStats              // moguard: guarded by mu
+	faults   map[string]int64       // moguard: guarded by mu // injected-fault trips by failpoint site
 }
 
 // New returns an empty registry keeping up to slowCap slow-query
@@ -171,7 +172,20 @@ func New(slowCap int) *Metrics {
 		ops:     map[string]*opStats{},
 		slow:    make([]SlowQuery, slowCap),
 		slowCap: slowCap,
+		faults:  map[string]int64{},
 	}
+}
+
+// RecordFaultTrip counts one injected-fault trip at the named failpoint
+// site — wired as the injector's OnTrip hook in faultinject builds, so
+// /v1/metrics shows which sites a chaos run actually exercised.
+func (m *Metrics) RecordFaultTrip(site string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.faults[site]++
 }
 
 // RecordRequest counts one served request on the route with its final
@@ -561,6 +575,9 @@ type Snapshot struct {
 	Cache         CacheSnapshot            `json:"cache"`
 	Epoch         EpochSnapshot            `json:"epoch"`
 	Live          LiveSnapshot             `json:"live"`
+	// Faults counts injected failpoint trips by site; empty outside
+	// faultinject builds and chaos runs.
+	Faults map[string]int64 `json:"faults,omitempty"`
 }
 
 // Snapshot copies the registry into its JSON-serialisable form. Safe on
@@ -663,6 +680,12 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	if m.live.evaluated > 0 {
 		out.Live.AvgEvalMicros = float64(m.live.evalTotalNS) / float64(m.live.evaluated) / 1e3
+	}
+	if len(m.faults) > 0 {
+		out.Faults = make(map[string]int64, len(m.faults))
+		for site, n := range m.faults {
+			out.Faults[site] = n
+		}
 	}
 	return out
 }

@@ -1,0 +1,299 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"movingdb/internal/fault"
+	"movingdb/internal/ingest"
+	"movingdb/internal/live"
+	"movingdb/internal/obs"
+	"movingdb/internal/storage"
+)
+
+// Degraded-mode coverage for the live-query surface: /v1/nearby,
+// /v1/subscribe and SSE delivery while the write path is down. The
+// contract under WAL failure is reads serve the last published epoch,
+// standing queries keep their streams, and delivery resumes after the
+// probe recovers the pipeline — no stream wedges, no dropped edges.
+
+// degradedLiveServer is liveQueryServer with a fault seam under the
+// WAL, so tests can fail writes at will.
+func degradedLiveServer(t *testing.T, probe time.Duration) (*Server, *ingest.Pipeline, *live.Registry, *fault.Injector) {
+	t.Helper()
+	metrics := obs.New(0)
+	in := fault.New(1)
+	reg := live.NewRegistry(live.Config{Metrics: metrics})
+	p, err := ingest.Open(ingest.Config{
+		LogIO:             fault.NewStore(in, "wal", storage.NewPageStore()),
+		FlushSize:         1 << 20,
+		MaxAge:            time.Hour,
+		MaxQueued:         1 << 30,
+		RetryAttempts:     2,
+		RetryBase:         time.Millisecond,
+		RetryMaxWait:      2 * time.Millisecond,
+		DegradedThreshold: 1,
+		ProbeInterval:     probe,
+		CheckpointPages:   -1,
+		Metrics:           metrics,
+		OnPublish:         reg.Notify,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { reg.Close(); p.Close() })
+	s, err := New(Config{Ingest: p, Live: reg, Metrics: metrics, SSEHeartbeat: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, p, reg, in
+}
+
+// degrade drives the pipeline into degraded mode through the HTTP
+// surface and asserts the 503 envelope on the way.
+func degrade(t *testing.T, h http.Handler, in *fault.Injector) {
+	t.Helper()
+	in.Set("wal.put", fault.Spec{Mode: fault.ModeError})
+	code, body := post(t, h, "/v1/ingest", `[{"id":"victim","t":0,"x":0,"y":0}]`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("faulted POST: want 503, got %d %v", code, body)
+	}
+	if c, _ := envelope(t, body); c != CodeDegraded {
+		t.Fatalf("faulted POST: code %s, want %s", c, CodeDegraded)
+	}
+}
+
+// recover503 clears the fault and waits for the probe to re-admit
+// writes.
+func recover503(t *testing.T, h http.Handler, in *fault.Injector, obsJSON string) {
+	t.Helper()
+	in.Clear("wal.put")
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		code, body := post(t, h, "/v1/ingest?sync=1", obsJSON)
+		if code == http.StatusAccepted {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no recovery after fault cleared: %d %v", code, body)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestNearbyUnderDegradation: k-NN keeps answering from the last
+// published epoch, bit for bit and with an unchanged X-MO-Epoch, while
+// ingest is refusing writes.
+func TestNearbyUnderDegradation(t *testing.T) {
+	s, _, _, in := degradedLiveServer(t, time.Millisecond)
+	h := s.Handler()
+	code, body := post(t, h, "/v1/ingest?sync=1",
+		`[{"id":"a","t":0,"x":0,"y":0},{"id":"a","t":10,"x":10,"y":0},{"id":"b","t":0,"x":100,"y":100},{"id":"b","t":10,"x":110,"y":100}]`)
+	if code != http.StatusAccepted {
+		t.Fatalf("seed POST: %d %v", code, body)
+	}
+
+	req := httptest.NewRequest("GET", "/v1/nearby?x=0&y=0&t=5&k=2", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("pre-fault nearby: %d %s", rec.Code, rec.Body.String())
+	}
+	preBody, preEpoch := rec.Body.String(), rec.Header().Get("X-MO-Epoch")
+
+	degrade(t, h, in)
+
+	req = httptest.NewRequest("GET", "/v1/nearby?x=0&y=0&t=5&k=2", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != 200 || rec.Body.String() != preBody {
+		t.Fatalf("nearby under degradation: %d %s, want the pre-fault body %s", rec.Code, rec.Body.String(), preBody)
+	}
+	if got := rec.Header().Get("X-MO-Epoch"); got != preEpoch {
+		t.Fatalf("nearby epoch moved under degradation: %s -> %s", preEpoch, got)
+	}
+}
+
+// TestSubscribeUnderDegradation: standing queries are registry state,
+// not WAL state, so creating one while the write path is down succeeds
+// and the stream opens — the subscription simply sees no edges until
+// writes recover.
+func TestSubscribeUnderDegradation(t *testing.T) {
+	s, _, reg, in := degradedLiveServer(t, time.Millisecond)
+	h := s.Handler()
+	degrade(t, h, in)
+
+	code, body := post(t, h, "/v1/subscribe",
+		`{"predicate":"inside","object":"bus","region":{"x1":0,"y1":0,"x2":10,"y2":10}}`)
+	if code != http.StatusCreated {
+		t.Fatalf("subscribe under degradation: %d %v", code, body)
+	}
+	id, _ := body["subscription_id"].(string)
+	if id == "" || body["events_url"] != "/v1/subscribe/"+id+"/events" {
+		t.Fatalf("subscribe body: %v", body)
+	}
+	if code, info := get(t, h, "/v1/subscribe/"+id); code != 200 || info["active"] != true {
+		t.Fatalf("subscription info under degradation: %d %v", code, info)
+	}
+	if _, ok := reg.Get(id); !ok {
+		t.Fatalf("subscription %s not in the registry", id)
+	}
+}
+
+// TestSSEDeliveryAcrossDegradation is the stream-survival contract:
+// an open SSE stream rides through a full degrade→probe→recover cycle
+// without wedging, and the first post-recovery publish delivers its
+// edge with the sequence number continuing from before the outage.
+func TestSSEDeliveryAcrossDegradation(t *testing.T) {
+	s, _, _, in := degradedLiveServer(t, time.Millisecond)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	h := s.Handler()
+
+	code, body := post(t, h, "/v1/ingest?sync=1", `[{"id":"bus","t":0,"x":100,"y":100}]`)
+	if code != http.StatusAccepted {
+		t.Fatalf("seed POST: %d %v", code, body)
+	}
+	resp, err := http.Post(ts.URL+"/v1/subscribe", "application/json",
+		strings.NewReader(`{"predicate":"inside","object":"bus","region":{"x1":0,"y1":0,"x2":10,"y2":10}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	subID := created["subscription_id"].(string)
+
+	opened := make(chan struct{})
+	done := make(chan sseClient, 1)
+	go func() { done <- readSSE(t, ts.URL+created["events_url"].(string), nil, func() { close(opened) }) }()
+	<-opened
+
+	// Enter before the outage: one edge through the stream.
+	code, body = post(t, h, "/v1/ingest?sync=1", `[{"id":"bus","t":1,"x":5,"y":5}]`)
+	if code != http.StatusAccepted {
+		t.Fatalf("enter POST: %d %v", code, body)
+	}
+
+	degrade(t, h, in)
+	// The rejected write must not produce an edge, and the stream must
+	// stay up (heartbeats are covering it while we wait).
+	time.Sleep(50 * time.Millisecond)
+
+	recover503(t, h, in, `[{"id":"bus","t":2,"x":500,"y":500}]`) // leave
+
+	waitInfo(t, h, subID, 2)
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/subscribe/"+subID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil || dresp.StatusCode != 200 {
+		t.Fatalf("unsubscribe: %v %v", err, dresp)
+	}
+	dresp.Body.Close()
+
+	var c sseClient
+	select {
+	case c = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream wedged across the degradation cycle")
+	}
+	if len(c.events) != 2 || c.events[0].Edge != "enter" || c.events[1].Edge != "leave" {
+		t.Fatalf("events across the cycle: %+v", c.events)
+	}
+	if c.events[0].Seq != 1 || c.events[1].Seq != 2 {
+		t.Fatalf("sequence numbers must continue across the outage: %+v", c.events)
+	}
+	if c.byes != 1 {
+		t.Fatalf("stream must end with a bye, got %d", c.byes)
+	}
+}
+
+// waitInfo polls the subscription info endpoint until seq reaches want.
+func waitInfo(t *testing.T, h http.Handler, id string, want float64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if code, info := get(t, h, "/v1/subscribe/"+id); code == 200 && info["seq"].(float64) >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			_, info := get(t, h, "/v1/subscribe/"+id)
+			t.Fatalf("subscription never reached seq %v: %v", want, info)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestRetryAfterDegraded pins the 503 Retry-After mapping: the header
+// is the probe interval rounded up to whole seconds with a floor of
+// one, since the pipeline admits exactly one probe write per interval.
+func TestRetryAfterDegraded(t *testing.T) {
+	cases := []struct {
+		probe time.Duration
+		want  string
+	}{
+		{time.Millisecond, "1"},        // sub-second cadence floors at 1
+		{1500 * time.Millisecond, "2"}, // fractional seconds round up
+		{3 * time.Second, "3"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.want+"s", func(t *testing.T) {
+			s, _, _, in := degradedLiveServer(t, tc.probe)
+			h := s.Handler()
+			in.Set("wal.put", fault.Spec{Mode: fault.ModeError})
+			req := httptest.NewRequest("POST", "/v1/ingest", strings.NewReader(`[{"id":"x","t":0,"x":0,"y":0}]`))
+			req.Header.Set("Content-Type", "application/json")
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusServiceUnavailable {
+				t.Fatalf("want 503, got %d %s", rec.Code, rec.Body.String())
+			}
+			if got := rec.Header().Get("Retry-After"); got != tc.want {
+				t.Fatalf("Retry-After = %q, want %q (probe %v)", got, tc.want, tc.probe)
+			}
+		})
+	}
+}
+
+// TestRetryAfterBackpressure pins the 429 mapping: a full queue carries
+// a Retry-After derived from the flush cadence, so clients back off to
+// when the queue can actually have drained.
+func TestRetryAfterBackpressure(t *testing.T) {
+	s, _ := liveServer(t, ingest.Config{
+		FlushSize: 1 << 20,
+		MaxAge:    2 * time.Second,
+		MaxQueued: 2,
+	})
+	h := s.Handler()
+	code, body := post(t, h, "/v1/ingest",
+		`[{"id":"a","t":0,"x":0,"y":0},{"id":"a","t":1,"x":1,"y":0}]`)
+	if code != http.StatusAccepted {
+		t.Fatalf("fill POST: %d %v", code, body)
+	}
+	req := httptest.NewRequest("POST", "/v1/ingest", strings.NewReader(`[{"id":"b","t":0,"x":0,"y":0}]`))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("overflow POST: want 429, got %d %s", rec.Code, rec.Body.String())
+	}
+	var env map[string]map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil || env["error"]["code"] != CodeBackpressure {
+		t.Fatalf("429 envelope: %s", rec.Body.String())
+	}
+	got := rec.Header().Get("Retry-After")
+	secs, err := strconv.Atoi(got)
+	if err != nil || secs < 1 {
+		t.Fatalf("429 Retry-After = %q, want a positive delay-seconds value", got)
+	}
+	// Queue is more than half full, so the hint doubles the 2s cadence.
+	if secs != 4 {
+		t.Fatalf("429 Retry-After = %d, want 4 (doubled flush cadence)", secs)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
+	"time"
 
 	"movingdb/internal/db"
 )
@@ -55,6 +57,23 @@ func writeError(w http.ResponseWriter, status int, code, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(map[string]apiError{"error": {Code: code, Message: msg}})
+}
+
+// writeRetryError is writeError plus a Retry-After header (RFC 9110
+// §10.2.3, delay-seconds form) — used by the 429 backpressure and 503
+// degraded envelopes, whose rejections clear on a known cadence (the
+// flush interval and the degraded probe interval respectively). The
+// delay rounds up to whole seconds with a floor of one, since a
+// fractional cadence still means "not right now".
+func writeRetryError(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	if retryAfter > 0 {
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeError(w, status, code, msg)
 }
 
 // writeEvalError maps an evaluation error onto the envelope: context

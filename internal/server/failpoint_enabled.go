@@ -1,0 +1,25 @@
+//go:build faultinject
+
+package server
+
+import (
+	"sync/atomic"
+
+	"movingdb/internal/fault"
+)
+
+// fpInjector is the process-wide injector behind this package's
+// failpoint sites (sse.write). Armed once at startup by the chaos
+// harness or moserver before traffic flows; a nil injector never trips.
+var fpInjector atomic.Pointer[fault.Injector]
+
+// SetFailpointInjector arms the package's failpoint hooks with in.
+// Only compiled under -tags=faultinject; production builds have no way
+// to reach the hooks at all.
+func SetFailpointInjector(in *fault.Injector) {
+	fpInjector.Store(in)
+}
+
+func failpointHit(site string) error {
+	return fpInjector.Load().Hit(site)
+}

@@ -37,7 +37,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	seq, err := s.ingest.Ingest(batch)
 	switch {
 	case errors.Is(err, ingest.ErrBackpressure):
-		writeError(w, http.StatusTooManyRequests, CodeBackpressure, err.Error())
+		writeRetryError(w, http.StatusTooManyRequests, CodeBackpressure, err.Error(),
+			s.ingest.RetryAfterHint(err))
 		return
 	case errors.Is(err, ingest.ErrInvalidObservation):
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
@@ -46,7 +47,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, err.Error())
 		return
 	case errors.Is(err, ingest.ErrDegraded):
-		writeError(w, http.StatusServiceUnavailable, CodeDegraded, err.Error())
+		writeRetryError(w, http.StatusServiceUnavailable, CodeDegraded, err.Error(),
+			s.ingest.RetryAfterHint(err))
 		return
 	case err != nil:
 		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())

@@ -243,6 +243,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	defer hb.Stop()
 	for {
 		events, lagged := sub.Take()
+		if lagged || len(events) > 0 {
+			if err := failpointHit("sse.write"); err != nil {
+				// Injected broken pipe: abort the handler mid-stream without
+				// a bye frame, exactly as if the peer vanished. The events
+				// just taken are gone for this connection — a reconnecting
+				// client sees a gap, never a reorder — and the subscription
+				// itself stays live for the next GET.
+				return
+			}
+		}
 		if lagged {
 			fmt.Fprint(w, "event: lagged\ndata: {\"lagged\":true}\n\n")
 		}

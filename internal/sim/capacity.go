@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"time"
+
+	"movingdb/internal/ingest"
+	"movingdb/internal/live"
+	"movingdb/internal/obs"
+	"movingdb/internal/server"
+	"movingdb/internal/storage"
+	"movingdb/internal/workload"
+)
+
+// Capacity mode: how many objects × queries per second one box
+// sustains through the real HTTP stack. Unlike Run it is paced by the
+// wall clock and measures latency, so it makes no determinism claims —
+// it exists to produce BENCH_PR8.json, not a verdict. No faults, no
+// oracle: correctness is Run's job.
+
+// CapacityReport is the measured outcome of one capacity run.
+type CapacityReport struct {
+	Objects     int     `json:"objects"`
+	DurationSec float64 `json:"duration_sec"`
+
+	Ticks        int     `json:"ticks"`
+	Observations int     `json:"observations"`
+	ObsPerSec    float64 `json:"obs_per_sec"`
+	Queries      int     `json:"queries"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	Epochs       uint64  `json:"epochs"`
+
+	IngestP50Ms float64 `json:"ingest_p50_ms"`
+	IngestP95Ms float64 `json:"ingest_p95_ms"`
+	IngestP99Ms float64 `json:"ingest_p99_ms"`
+	QueryP50Ms  float64 `json:"query_p50_ms"`
+	QueryP95Ms  float64 `json:"query_p95_ms"`
+	QueryP99Ms  float64 `json:"query_p99_ms"`
+
+	// Verdict is "sustained" when every request in the run succeeded,
+	// otherwise it names the first failure.
+	Verdict string `json:"verdict"`
+}
+
+// Capacity drives the stack flat-out for the given duration and
+// reports throughput and latency percentiles.
+func Capacity(cfg Config, duration time.Duration) (*CapacityReport, error) {
+	cfg = cfg.withDefaults()
+	metrics := obs.New(0)
+	reg := live.NewRegistry(live.Config{BufferCap: 4096, QueueCap: 65536, Metrics: metrics})
+	pipe, err := ingest.Open(ingest.Config{
+		Log:       storage.NewPageStore(),
+		FlushSize: 1 << 20,
+		MaxAge:    time.Hour,
+		MaxQueued: 1 << 20,
+		Metrics:   metrics,
+		OnPublish: reg.Notify,
+	})
+	if err != nil {
+		reg.Close()
+		return nil, err
+	}
+	srv, err := server.New(server.Config{Ingest: pipe, Live: reg, Metrics: metrics})
+	if err != nil {
+		reg.Close()
+		pipe.Close()
+		return nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		reg.Close()
+		ts.Close()
+		pipe.Close()
+	}()
+	client := ts.Client()
+
+	fl := newFleet(cfg)
+	qg := workload.New(cfg.Seed + 2)
+	rep := &CapacityReport{Objects: cfg.objects(), DurationSec: duration.Seconds(), Verdict: "sustained"}
+	var ingestLat, queryLat []float64
+
+	fail := func(format string, args ...any) {
+		if rep.Verdict == "sustained" {
+			rep.Verdict = fmt.Sprintf(format, args...)
+		}
+	}
+	timedGet := func(path string) {
+		start := time.Now()
+		resp, err := client.Get(ts.URL + path)
+		if err != nil {
+			fail("query failed: %v", err)
+			return
+		}
+		_, _ = bytes.NewBuffer(nil).ReadFrom(resp.Body)
+		resp.Body.Close()
+		queryLat = append(queryLat, float64(time.Since(start).Nanoseconds())/1e6)
+		rep.Queries++
+		if resp.StatusCode != http.StatusOK {
+			fail("query %s: status %d", path, resp.StatusCode)
+		}
+	}
+
+	deadline := time.Now().Add(duration)
+	for tick := 1; time.Now().Before(deadline); tick++ {
+		t := float64(tick) * cfg.TickDT
+		batch := fl.step(t)
+		body, _ := json.Marshal(batch)
+		start := time.Now()
+		resp, err := client.Post(ts.URL+"/v1/ingest?sync=1", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fail("ingest failed: %v", err)
+			break
+		}
+		_, _ = bytes.NewBuffer(nil).ReadFrom(resp.Body)
+		resp.Body.Close()
+		ingestLat = append(ingestLat, float64(time.Since(start).Nanoseconds())/1e6)
+		if resp.StatusCode != http.StatusAccepted {
+			fail("ingest tick %d: status %d", tick, resp.StatusCode)
+			break
+		}
+		rep.Ticks = tick
+		rep.Observations += len(batch)
+
+		for _, wq := range qg.WindowQueries(cfg.WindowQ, 0, t) {
+			timedGet(fmt.Sprintf("/v1/window?x1=%s&y1=%s&x2=%s&y2=%s&t1=%s&t2=%s",
+				fmtF(wq.Rect.MinX), fmtF(wq.Rect.MinY), fmtF(wq.Rect.MaxX), fmtF(wq.Rect.MaxY),
+				fmtF(wq.T1), fmtF(wq.T2)))
+		}
+		for _, qt := range qg.Instants(cfg.InstantQ, 0, t) {
+			timedGet("/v1/atinstant?t=" + fmtF(qt))
+		}
+		for _, nq := range qg.NearbyQueries(cfg.NearbyQ, 0, t, 10) {
+			path := fmt.Sprintf("/v1/nearby?x=%s&y=%s&t=%s", fmtF(nq.X), fmtF(nq.Y), fmtF(nq.T))
+			if nq.K > 0 {
+				path += fmt.Sprintf("&k=%d", nq.K)
+			}
+			if nq.Radius >= 0 {
+				path += "&radius=" + fmtF(nq.Radius)
+			}
+			timedGet(path)
+		}
+	}
+
+	elapsed := rep.DurationSec
+	if elapsed > 0 {
+		rep.ObsPerSec = float64(rep.Observations) / elapsed
+		rep.QueriesPerSec = float64(rep.Queries) / elapsed
+	}
+	rep.Epochs = pipe.Epoch().Seq()
+	rep.IngestP50Ms, rep.IngestP95Ms, rep.IngestP99Ms = percentiles(ingestLat)
+	rep.QueryP50Ms, rep.QueryP95Ms, rep.QueryP99Ms = percentiles(queryLat)
+	return rep, nil
+}
+
+// percentiles returns the 50th, 95th and 99th percentile of the sample
+// (nearest-rank), zero for an empty sample.
+func percentiles(samples []float64) (p50, p95, p99 float64) {
+	if len(samples) == 0 {
+		return 0, 0, 0
+	}
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	rank := func(p float64) float64 {
+		i := int(p*float64(len(s))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(s) {
+			i = len(s) - 1
+		}
+		return s[i]
+	}
+	return rank(0.50), rank(0.95), rank(0.99)
+}

@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"movingdb/internal/geom"
+	"movingdb/internal/ingest"
+	"movingdb/internal/workload"
+)
+
+// The fleet motion models. Each step advances every object by one tick
+// and emits one observation per object, in a fixed order (trucks, then
+// flights, then storms, each by index), driven by one seeded RNG that
+// is only ever touched from the sequential tick loop — the whole
+// trajectory set is a pure function of (seed, tick), which is what lets
+// the oracle rebuild ground truth offline.
+
+// gridStep is the road-grid spacing of the truck fleet: trucks drive
+// node to node on the lattice {0, 50, 100, ...}².
+const gridStep = 50.0
+
+// truck drives along grid edges: it heads for an adjacent lattice node
+// at a per-truck speed and picks a fresh neighbour on arrival.
+type truck struct {
+	pos    geom.Point
+	target geom.Point
+	speed  float64 // world units per model-time unit
+}
+
+// flight flies straight airport-to-airport legs and picks a new
+// destination on arrival — the great-circle-ish shape of the paper's
+// planes example flattened onto the world square.
+type flight struct {
+	pos    geom.Point
+	target geom.Point
+	speed  float64
+}
+
+// storm drifts: its velocity random-walks a little each tick and
+// reflects off the world border.
+type storm struct {
+	pos geom.Point
+	vel geom.Point
+}
+
+// fleet is the whole simulated population plus the RNG driving it.
+// Only the sequential tick loop touches a fleet, so it needs no lock.
+type fleet struct {
+	rng      *rand.Rand
+	trucks   []truck
+	flights  []flight
+	storms   []storm
+	airports []workload.Airport
+	dt       float64
+	ids      []string // observation order: trucks, flights, storms
+}
+
+// newFleet places the population deterministically from the seed.
+func newFleet(cfg Config) *fleet {
+	f := &fleet{
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		airports: workload.DefaultAirports(),
+		dt:       cfg.TickDT,
+	}
+	nodes := int(workload.WorldSize/gridStep) + 1
+	for i := 0; i < cfg.Trucks; i++ {
+		node := geom.Pt(float64(f.rng.Intn(nodes))*gridStep, float64(f.rng.Intn(nodes))*gridStep)
+		t := truck{pos: node, speed: 4 + f.rng.Float64()*8}
+		t.target = f.neighbour(node)
+		f.trucks = append(f.trucks, t)
+		f.ids = append(f.ids, fmt.Sprintf("truck%03d", i))
+	}
+	for i := 0; i < cfg.Flights; i++ {
+		from := f.airports[f.rng.Intn(len(f.airports))]
+		fl := flight{pos: from.Pos, speed: 8 + f.rng.Float64()*8}
+		fl.target = f.destination(from.Pos)
+		f.flights = append(f.flights, fl)
+		f.ids = append(f.ids, fmt.Sprintf("fl%03d", i))
+	}
+	for i := 0; i < cfg.Storms; i++ {
+		f.storms = append(f.storms, storm{
+			pos: geom.Pt(f.rng.Float64()*workload.WorldSize, f.rng.Float64()*workload.WorldSize),
+			vel: geom.Pt((f.rng.Float64()-0.5)*8, (f.rng.Float64()-0.5)*8),
+		})
+		f.ids = append(f.ids, fmt.Sprintf("storm%02d", i))
+	}
+	return f
+}
+
+// neighbour picks a random adjacent lattice node, staying on the grid.
+func (f *fleet) neighbour(node geom.Point) geom.Point {
+	for {
+		var next geom.Point
+		switch f.rng.Intn(4) {
+		case 0:
+			next = geom.Pt(node.X+gridStep, node.Y)
+		case 1:
+			next = geom.Pt(node.X-gridStep, node.Y)
+		case 2:
+			next = geom.Pt(node.X, node.Y+gridStep)
+		default:
+			next = geom.Pt(node.X, node.Y-gridStep)
+		}
+		if next.X >= 0 && next.X <= workload.WorldSize && next.Y >= 0 && next.Y <= workload.WorldSize {
+			return next
+		}
+	}
+}
+
+// destination picks an airport other than the one at from.
+func (f *fleet) destination(from geom.Point) geom.Point {
+	for {
+		a := f.airports[f.rng.Intn(len(f.airports))]
+		if a.Pos != from {
+			return a.Pos
+		}
+	}
+}
+
+// advance moves a point toward target by speed*dt, reporting the new
+// position and whether the target was reached this step.
+func advance(pos, target geom.Point, dist float64) (geom.Point, bool) {
+	d := target.Sub(pos)
+	n := math.Hypot(d.X, d.Y)
+	if n <= dist {
+		return target, true
+	}
+	return pos.Add(d.Scale(dist / n)), false
+}
+
+// step advances the whole population by one tick and returns the
+// observation batch for model time t, in the fixed fleet order.
+func (f *fleet) step(t float64) []ingest.Observation {
+	out := make([]ingest.Observation, 0, len(f.ids))
+	k := 0
+	for i := range f.trucks {
+		tr := &f.trucks[i]
+		var arrived bool
+		tr.pos, arrived = advance(tr.pos, tr.target, tr.speed*f.dt)
+		if arrived {
+			tr.target = f.neighbour(tr.pos)
+		}
+		out = append(out, ingest.Observation{ObjectID: f.ids[k], T: t, X: tr.pos.X, Y: tr.pos.Y})
+		k++
+	}
+	for i := range f.flights {
+		fl := &f.flights[i]
+		var arrived bool
+		fl.pos, arrived = advance(fl.pos, fl.target, fl.speed*f.dt)
+		if arrived {
+			fl.target = f.destination(fl.pos)
+		}
+		out = append(out, ingest.Observation{ObjectID: f.ids[k], T: t, X: fl.pos.X, Y: fl.pos.Y})
+		k++
+	}
+	for i := range f.storms {
+		st := &f.storms[i]
+		st.vel = geom.Pt(st.vel.X+(f.rng.Float64()-0.5)*2, st.vel.Y+(f.rng.Float64()-0.5)*2)
+		st.pos = st.pos.Add(st.vel.Scale(f.dt))
+		// Reflect off the world border, reversing the drift component.
+		if st.pos.X < 0 || st.pos.X > workload.WorldSize {
+			st.vel.X = -st.vel.X
+			st.pos.X = reflectCoord(st.pos.X)
+		}
+		if st.pos.Y < 0 || st.pos.Y > workload.WorldSize {
+			st.vel.Y = -st.vel.Y
+			st.pos.Y = reflectCoord(st.pos.Y)
+		}
+		out = append(out, ingest.Observation{ObjectID: f.ids[k], T: t, X: st.pos.X, Y: st.pos.Y})
+		k++
+	}
+	return out
+}
+
+// reflectCoord folds a coordinate back into [0, WorldSize].
+func reflectCoord(x float64) float64 {
+	for x < 0 || x > workload.WorldSize {
+		if x < 0 {
+			x = -x
+		}
+		if x > workload.WorldSize {
+			x = 2*workload.WorldSize - x
+		}
+	}
+	return x
+}

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"fmt"
+
+	"movingdb/internal/ingest"
+	"movingdb/internal/live"
+)
+
+// Wire mirrors of the server's response bodies and the exact
+// comparators the invariant checker runs against the oracle. Every
+// comparison is exact float64 equality: the oracle replays the same
+// arithmetic over the same accepted samples, and JSON round-trips
+// float64 bit-exactly in Go, so any difference at all means the server
+// and the model disagree.
+
+// ingestAck mirrors the 202 body of POST /v1/ingest.
+type ingestAck struct {
+	Accepted int    `json:"accepted"`
+	Seq      uint64 `json:"seq"`
+	Synced   bool   `json:"synced"`
+}
+
+// apiError mirrors the v1 error envelope.
+type apiErrorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// atInstantResp mirrors GET /v1/atinstant.
+type atInstantResp struct {
+	T         float64           `json:"t"`
+	Positions []ingest.Position `json:"positions"`
+}
+
+// windowResp mirrors GET /v1/window.
+type windowResp struct {
+	Total  int      `json:"total"`
+	Limit  int      `json:"limit"`
+	Offset int      `json:"offset"`
+	IDs    []string `json:"ids"`
+}
+
+// nearbyResp mirrors GET /v1/nearby.
+type nearbyResp struct {
+	T       float64               `json:"t"`
+	K       int                   `json:"k"`
+	Radius  float64               `json:"radius"`
+	Count   int                   `json:"count"`
+	Results []ingest.NearbyResult `json:"results"`
+}
+
+// healthzResp mirrors the fields of GET /v1/healthz the checker reads.
+type healthzResp struct {
+	Status string `json:"status"`
+	Cause  string `json:"cause"`
+}
+
+// subscribeResp mirrors the 201 body of POST /v1/subscribe.
+type subscribeResp struct {
+	SubscriptionID string `json:"subscription_id"`
+	Predicate      string `json:"predicate"`
+	EventsURL      string `json:"events_url"`
+}
+
+// diffPositions compares an atinstant response against the oracle's
+// expectation (nil and empty are the same answer).
+func diffPositions(got, want []ingest.Position) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("got %d positions, oracle expects %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Sprintf("position %d: got %+v, oracle expects %+v", i, got[i], want[i])
+		}
+	}
+	return ""
+}
+
+// diffIDs compares a window response's id list.
+func diffIDs(got, want []string) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("got %d ids %v, oracle expects %d %v", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Sprintf("id %d: got %q, oracle expects %q", i, got[i], want[i])
+		}
+	}
+	return ""
+}
+
+// diffNearby compares a nearby result list, order included — the k-NN
+// contract is ascending (distance, registration slot).
+func diffNearby(got, want []ingest.NearbyResult) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("got %d results, oracle expects %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Sprintf("result %d: got %+v, oracle expects %+v", i, got[i], want[i])
+		}
+	}
+	return ""
+}
+
+// sameEvent compares a delivered event against an expected one,
+// ignoring PubUnixNS (the one wall-clock field — latency telemetry,
+// not part of the deterministic contract).
+func sameEvent(got, want live.Event) bool {
+	return got.Seq == want.Seq && got.Epoch == want.Epoch && got.Edge == want.Edge &&
+		got.Object == want.Object && got.T == want.T && got.X == want.X && got.Y == want.Y
+}
+
+// diffEventsExact demands the delivered sequence be the expected one,
+// event for event — the contract when no fault ever touches the SSE
+// path.
+func diffEventsExact(sub string, got, want []live.Event) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("sub %s: delivered %d events, oracle expects %d", sub, len(got), len(want))
+	}
+	for i := range want {
+		if !sameEvent(got[i], want[i]) {
+			return fmt.Sprintf("sub %s event %d: got %+v, oracle expects %+v", sub, i, got[i], want[i])
+		}
+	}
+	return ""
+}
+
+// diffEventsTolerant is the contract under injected stream cuts: a cut
+// loses the events taken for the aborted write, so the delivered
+// sequence may have gaps — but it must stay strictly ordered and every
+// delivered event must be exactly the expected event of its sequence
+// number (no reorders, no duplicates, no inventions).
+func diffEventsTolerant(sub string, got, want []live.Event) string {
+	var last uint64
+	for i, e := range got {
+		if e.Seq <= last {
+			return fmt.Sprintf("sub %s event %d: seq %d not after %d (reorder or duplicate)", sub, i, e.Seq, last)
+		}
+		last = e.Seq
+		if e.Seq == 0 || e.Seq > uint64(len(want)) {
+			return fmt.Sprintf("sub %s event %d: seq %d outside expected range 1..%d", sub, i, e.Seq, len(want))
+		}
+		if w := want[e.Seq-1]; !sameEvent(e, w) {
+			return fmt.Sprintf("sub %s seq %d: got %+v, oracle expects %+v", sub, e.Seq, e, w)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Verdict is the outcome of one simulator run — every field is a
+// deterministic function of (Config, build), so two runs with the same
+// seed must produce byte-identical verdicts (the determinism test and
+// the acceptance gate both diff exactly this).
+type Verdict struct {
+	Profile string `json:"profile"`
+	Seed    int64  `json:"seed"`
+	Ticks   int    `json:"ticks"`
+	Objects int    `json:"objects"`
+
+	// Epochs is the number of epoch publishes the run expected (and
+	// verified via X-MO-Epoch); Accepted and Rejected503 partition the
+	// ingest ticks by outcome.
+	Epochs      uint64 `json:"epochs"`
+	Accepted    int    `json:"accepted_ticks"`
+	Rejected503 int    `json:"rejected_503_ticks"`
+	// DegradeCycles counts completed degrade→probe→recover cycles of the
+	// health state machine, observed through /v1/healthz.
+	DegradeCycles int `json:"degrade_cycles"`
+
+	// Queries is the total number of checked read requests (window,
+	// atinstant, nearby, SQL, healthz, ETag revisits).
+	Queries int `json:"queries"`
+	// ExpectedEvents is the total standing-query event count the oracle
+	// derived; DeliveredEvents is what the SSE readers collected (equal
+	// unless the profile cuts streams, in which case it may be lower —
+	// never higher, never out of order).
+	ExpectedEvents  int `json:"expected_events"`
+	DeliveredEvents int `json:"delivered_events"`
+
+	// Violations lists every invariant breach, in discovery order. An
+	// empty list is the pass condition.
+	Violations []string `json:"violations"`
+
+	// LogHash is the FNV-64a hash of the event log, the compact identity
+	// two runs are compared by.
+	LogHash string `json:"log_hash"`
+}
+
+// Passed reports whether the run satisfied every invariant.
+func (v *Verdict) Passed() bool { return len(v.Violations) == 0 }
+
+// hashLog folds the log lines into the verdict's LogHash.
+func hashLog(lines []string) string {
+	h := fnv.New64a()
+	for _, l := range lines {
+		_, _ = h.Write([]byte(l))
+		_, _ = h.Write([]byte{'\n'})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

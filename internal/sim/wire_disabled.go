@@ -1,0 +1,16 @@
+//go:build !faultinject
+
+package sim
+
+import "movingdb/internal/fault"
+
+// hooksEnabled reports whether the hook failpoint sites (epoch.publish,
+// live.notify, sse.write) are compiled into this binary. In production
+// builds they do not exist; only the wal.* sites — injected through the
+// pipeline's LogIO seam — are available, and Run refuses profiles that
+// need more.
+const hooksEnabled = false
+
+// armFailpoints is a no-op without the faultinject tag: there are no
+// hooks to arm.
+func armFailpoints(*fault.Injector) {}

@@ -1,0 +1,23 @@
+//go:build faultinject
+
+package sim
+
+import (
+	"movingdb/internal/fault"
+	"movingdb/internal/ingest"
+	"movingdb/internal/live"
+	"movingdb/internal/server"
+)
+
+// hooksEnabled reports whether the hook failpoint sites (epoch.publish,
+// live.notify, sse.write) are compiled into this binary.
+const hooksEnabled = true
+
+// armFailpoints points every hook-bearing package at the run's
+// injector. Passing nil disarms them — Run defers that, so injectors
+// never leak across runs in one process.
+func armFailpoints(in *fault.Injector) {
+	ingest.SetFailpointInjector(in)
+	live.SetFailpointInjector(in)
+	server.SetFailpointInjector(in)
+}

@@ -1,0 +1,52 @@
+package workload
+
+import "movingdb/internal/geom"
+
+// Generators for the epoch-read query mix (window and atinstant specs),
+// used by the fleet simulator to issue a reproducible stream of read
+// requests alongside its ingest load. Like the live-surface generators
+// they emit plain spec structs, keeping workload importable from
+// in-package tests everywhere.
+
+// WindowQuery is one /v1/window request: a spatial rectangle and a
+// closed time interval.
+type WindowQuery struct {
+	Rect   geom.Rect
+	T1, T2 float64
+}
+
+// rectAround returns a rectangle with sides between the given fractions
+// of the world, clamped inside it.
+func (g *Gen) rectAround(minFrac, maxFrac float64) geom.Rect {
+	w := (minFrac + (maxFrac-minFrac)*g.rng.Float64()) * WorldSize
+	h := (minFrac + (maxFrac-minFrac)*g.rng.Float64()) * WorldSize
+	x := g.rng.Float64() * (WorldSize - w)
+	y := g.rng.Float64() * (WorldSize - h)
+	return geom.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}
+}
+
+// WindowQueries returns n window requests with rectangles between 5%
+// and 30% of the world and time intervals covering a random sub-range
+// of [t0, t0+tSpread]. Equal seeds yield equal mixes.
+func (g *Gen) WindowQueries(n int, t0, tSpread float64) []WindowQuery {
+	out := make([]WindowQuery, 0, n)
+	for i := 0; i < n; i++ {
+		a := t0 + g.rng.Float64()*tSpread
+		b := t0 + g.rng.Float64()*tSpread
+		if b < a {
+			a, b = b, a
+		}
+		out = append(out, WindowQuery{Rect: g.rectAround(0.05, 0.30), T1: a, T2: b})
+	}
+	return out
+}
+
+// Instants returns n query instants in [t0, t0+tSpread], for the
+// atinstant route. Equal seeds yield equal mixes.
+func (g *Gen) Instants(n int, t0, tSpread float64) []float64 {
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, t0+g.rng.Float64()*tSpread)
+	}
+	return out
+}

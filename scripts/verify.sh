@@ -32,4 +32,7 @@ go test -run='^$' -fuzz=FuzzWALDecode -fuzztime=10s ./internal/ingest
 echo "==> live-query soak (10s subscriber churn under ingest)"
 go run ./cmd/mobench -exp soak -soak-dur 10s
 
+echo "==> chaos (seeded simulator vs oracle, all profiles, -race -tags=faultinject)"
+go test -race -tags=faultinject -count=1 ./internal/sim/
+
 echo "verify: OK"
