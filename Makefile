@@ -19,7 +19,7 @@ race:
 # Run the repository's own static-analysis suite (DESIGN.md §10) over
 # the default and faultinject build variants.
 lint:
-	$(GO) run ./cmd/molint -summary ./...
+	$(GO) run ./cmd/molint -summary -stale-suppressions ./...
 
 # Run the paper-kernel tests with the runtime invariant assertions
 # compiled in (sliced-representation and halfsegment-order checks).

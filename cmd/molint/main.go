@@ -1,23 +1,31 @@
-// Command molint runs the repository's static-analysis suite: eight
+// Command molint runs the repository's static-analysis suite: eleven
 // checks that enforce the paper's representation invariants, the
 // repo's determinism and cancellation conventions, and the moguard
-// concurrency discipline (see DESIGN.md §10 for the catalog). It uses
-// only the standard library — packages are typechecked from source —
-// so go.mod gains no dependencies.
+// concurrency discipline — including the interprocedural lock-order,
+// publish-immutable, and alias-retain checks built on the shared call
+// graph (see DESIGN.md §10 for the catalog). It uses only the standard
+// library — packages are typechecked from source — so go.mod gains no
+// dependencies.
 //
 // Usage:
 //
-//	molint [-tags=t1,t2] [-checks=id1,id2] [-format=text|json|github] [-summary] [patterns...]
+//	molint [-tags=t1,t2] [-checks=id1,id2] [-format=text|json|github|sarif]
+//	       [-summary] [-suggest] [-stale-suppressions] [-timings] [patterns...]
 //
 // Patterns default to ./... relative to the module root. Without
 // -tags, every package is analyzed in its default build configuration
-// and packages with tag-gated files are re-analyzed under faultinject,
-// so the fault-injection variant is covered by the same run.
+// and packages with tag-gated files are re-analyzed under faultinject
+// and debugcheck, so every build variant is covered by the same run.
 // -format=json emits one JSON document (findings + per-check summary);
 // -format=github emits GitHub Actions ::error workflow commands that
-// become inline PR annotations; -summary appends the per-check
-// finding/suppression table to the text output. Exit status: 0 clean,
-// 1 findings, 2 operational error.
+// become inline PR annotations; -format=sarif emits a SARIF 2.1.0
+// document for github/codeql-action/upload-sarif; -summary appends the
+// per-check finding/suppression table to the text output; -suggest
+// prints the ready-to-paste annotation under findings that carry one;
+// -stale-suppressions reports molint:ignore directives that no longer
+// suppress anything; -timings adds per-check wall time to -summary and
+// the JSON summary (off by default so JSON output stays byte-stable
+// across runs). Exit status: 0 clean, 1 findings, 2 operational error.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"movingdb/internal/lint"
 )
@@ -46,15 +55,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	tagsFlag := fs.String("tags", "", "comma-separated build tags; default analyzes the default and faultinject variants")
 	checksFlag := fs.String("checks", "", "comma-separated check IDs to run (default: all)")
-	formatFlag := fs.String("format", "text", "output format: text, json, or github")
+	formatFlag := fs.String("format", "text", "output format: text, json, github, or sarif")
 	summaryFlag := fs.Bool("summary", false, "append the per-check finding/suppression table (text format)")
+	suggestFlag := fs.Bool("suggest", false, "print the ready-to-paste annotation under findings that carry one (text format)")
+	staleFlag := fs.Bool("stale-suppressions", false, "report molint:ignore directives that no longer suppress anything")
+	timingsFlag := fs.Bool("timings", false, "add per-check wall time to -summary and the JSON summary")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	switch *formatFlag {
-	case "text", "json", "github":
+	case "text", "json", "github", "sarif":
 	default:
-		emit(stderr, "molint: unknown format %q (want text, json, or github)\n", *formatFlag)
+		emit(stderr, "molint: unknown format %q (want text, json, github, or sarif)\n", *formatFlag)
 		return 2
 	}
 	patterns := fs.Args()
@@ -68,7 +80,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	variants := [][]string{nil, {"faultinject"}}
+	variants := [][]string{nil, {"faultinject"}, {"debugcheck"}}
 	if *tagsFlag != "" {
 		variants = [][]string{strings.Split(*tagsFlag, ",")}
 	}
@@ -122,8 +134,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		checks = kept
 	}
 
-	res := lint.Run(pkgs, checks)
+	opts := lint.Options{StaleSuppressions: *staleFlag}
+	if *timingsFlag {
+		//molint:ignore det-path wall-clock timing is diagnostic output, gated behind -timings
+		opts.Clock = time.Now
+	}
+	res := lint.RunOpts(pkgs, checks, opts)
 	report := lint.NewReport(root, res, len(pkgs))
+	if *timingsFlag {
+		report = report.WithTimings(res.Timings)
+	}
 	switch *formatFlag {
 	case "json":
 		if err := report.WriteJSON(stdout); err != nil {
@@ -135,9 +155,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 			emit(stderr, "molint: %v\n", err)
 			return 2
 		}
+	case "sarif":
+		if err := report.WriteSARIF(stdout); err != nil {
+			emit(stderr, "molint: %v\n", err)
+			return 2
+		}
 	default:
 		for _, f := range res.Findings {
 			emit(stdout, "%s\n", rel(root, f))
+			if *suggestFlag && f.Suggestion != "" {
+				emit(stdout, "\tsuggest: %s\n", f.Suggestion)
+			}
 		}
 		if *summaryFlag {
 			//molint:ignore err-drop terminal write failures cannot be reported anywhere better

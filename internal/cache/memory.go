@@ -112,12 +112,14 @@ func (m *Memory) Put(k Key, v []byte) {
 	s.mu.Lock()
 	if e, ok := s.entries[k]; ok {
 		s.bytes += int64(len(v)) - int64(len(e.val))
+		// moguard: retained Put takes ownership of v — callers hand over freshly marshaled response bytes
 		e.val = v
 		e.size = size
 		s.unlinkLocked(e)
 		s.pushFrontLocked(e)
 	} else {
 		e = &entry{key: k, val: v, size: size}
+		// moguard: retained Put takes ownership of v — callers hand over freshly marshaled response bytes
 		s.entries[k] = e
 		s.pushFrontLocked(e)
 		s.bytes += size

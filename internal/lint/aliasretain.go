@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// aliasRetain is the static generalization of the reused-out-slice bug:
+// a slice or pointer received as an argument of an exported function in
+// the hot data-structure packages (AliasRetainPkgs) belongs to the
+// caller, who is free to reuse or mutate it after the call returns.
+// Storing it into a struct field or package variable silently couples
+// the callee's state to the caller's buffer. Every such retention must
+// either copy, or declare the ownership transfer at the store site:
+//
+//	// moguard: retained <reason>
+//
+// (same line or the line above). The call graph makes the check
+// interprocedural: passing the parameter to a helper whose summary
+// retains it is reported at the call site in the exported function, so
+// hiding the store one frame down changes nothing. Annotated stores do
+// not enter the summaries — an annotation is a contract with the
+// caller, and the exported signature is where the contract surfaces.
+type aliasRetain struct{ cfg *Config }
+
+func (aliasRetain) ID() string { return "alias-retain" }
+
+// Run is a no-op: alias-retain is a ProgramCheck.
+func (aliasRetain) Run(*Pass) {}
+
+func (c aliasRetain) RunProgram(pass *ProgramPass) {
+	prog := pass.Prog
+	c.checkDirectives(pass, prog)
+	for _, k := range prog.keys {
+		fn := prog.funcs[k]
+		for _, d := range fn.decls {
+			if !inScope(c.cfg.AliasRetainPkgs, d.pkg.Path) {
+				continue
+			}
+			if !ast.IsExported(d.decl.Name.Name) {
+				continue
+			}
+			c.checkDecl(pass, prog, fn, d)
+		}
+	}
+}
+
+// checkDecl audits one exported declaration: direct retention sites of
+// its caller-owned parameters, and calls that hand such a parameter to
+// a retaining callee.
+func (c aliasRetain) checkDecl(pass *ProgramPass, prog *Program, fn *ProgFunc, d declSite) {
+	names, owned := callerOwnedParams(d.pkg, d.decl)
+	if len(owned) == 0 {
+		return
+	}
+	for _, site := range fn.retainSites {
+		if !owned[site.param] {
+			continue
+		}
+		pass.ReportAt(site.pos,
+			"%s stores caller-owned parameter %s into %s; copy it or declare the transfer with \"moguard: retained <reason>\"",
+			d.decl.Name.Name, names[site.param], site.target)
+	}
+	seen := map[paramFlow]bool{}
+	for _, fl := range fn.flows {
+		if !owned[fl.callerParam] || seen[fl] {
+			continue
+		}
+		seen[fl] = true
+		callee := prog.funcs[fl.callee]
+		if callee == nil || !callee.Retains[fl.calleeParam] {
+			continue
+		}
+		if fl.callee == fn.Key {
+			continue // direct sites already reported above
+		}
+		pass.ReportAt(fl.pos,
+			"%s passes caller-owned parameter %s to %s, which retains it; copy first or annotate the retention site",
+			d.decl.Name.Name, names[fl.callerParam], displayKey(prog, fl.callee))
+	}
+}
+
+// callerOwnedParams selects the parameters the contract covers: slices
+// and pointers (aliasable storage), excluding the receiver (the object
+// retaining its own state is the point of having state) and excluding
+// funcs, maps, channels, interfaces and strings, whose sharing either
+// is the idiom or is safe.
+func callerOwnedParams(pkg *Package, fd *ast.FuncDecl) (names map[int]string, owned map[int]bool) {
+	names = map[int]string{}
+	owned = map[int]bool{}
+	n := 0
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		n = 1 // receiver occupies index 0, never caller-owned
+	}
+	if fd.Type.Params == nil {
+		return names, owned
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, okT := pkg.Info.Types[field.Type]
+		count := len(field.Names)
+		if count == 0 {
+			count = 1
+		}
+		for i := 0; i < count; i++ {
+			if okT && aliasableType(tv.Type) {
+				owned[n] = true
+				if i < len(field.Names) {
+					names[n] = field.Names[i].Name
+				} else {
+					names[n] = "_"
+				}
+			}
+			n++
+		}
+	}
+	return names, owned
+}
+
+// aliasableType reports whether a parameter type is caller-owned
+// aliasable storage: a slice, or a pointer to plain data. Variadic
+// parameters arrive as slices and qualify. Pointers to
+// self-synchronized service objects (metrics sinks, injectors) are
+// shared handles, not buffers — retaining one is dependency injection.
+func aliasableType(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return true
+	case *types.Pointer:
+		return !isSyncType(u.Elem()) && !selfSynchronized(t)
+	}
+	return false
+}
+
+// checkDirectives validates every "moguard: retained" directive in the
+// scope packages: a reason is mandatory, exactly like unguarded and
+// bounded.
+func (c aliasRetain) checkDirectives(pass *ProgramPass, prog *Program) {
+	var files []progFile
+	for _, pf := range prog.files {
+		if inScope(c.cfg.AliasRetainPkgs, pf.pkg.Path) {
+			files = append(files, pf)
+		}
+	}
+	sort.Slice(files, func(i, j int) bool {
+		return files[i].pkg.Fset.Position(files[i].f.Pos()).Filename <
+			files[j].pkg.Fset.Position(files[j].f.Pos()).Filename
+	})
+	for _, pf := range files {
+		for _, cg := range pf.f.Comments {
+			for _, cm := range cg.List {
+				body := moguardText(cm)
+				verb, rest, _ := strings.Cut(body, " ")
+				if verb != "retained" {
+					continue
+				}
+				if strings.TrimSpace(rest) == "" {
+					pass.ReportAt(pf.pkg.Fset.Position(cm.Pos()), "moguard: retained is missing a reason")
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,1271 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the interprocedural foundation the lock-order,
+// publish-immutable, and alias-retain checks share: a deterministic
+// call graph over every analyzed package variant (default, faultinject,
+// debugcheck) with one summary per function. Functions are keyed by
+// their qualified name — "<pkgpath>.<Recv.>Name" — so the same function
+// seen under several build variants collapses into one node whose raw
+// facts are the union over variants (a tag-gated body contributes its
+// edges exactly like an untagged one). Everything is ordered: node keys
+// are sorted, call edges are recorded in source order, and fixpoints
+// iterate the sorted key list, so two runs over the same tree produce
+// byte-identical reports.
+//
+// Per-function summaries (DESIGN.md §10):
+//
+//   - locks: which lock classes the function acquires (directly and
+//     transitively through calls), which it requires at entry (the
+//     *Locked suffix contract), and the acquired-while-held edges its
+//     body witnesses;
+//   - stores: which parameters (receiver = parameter 0) the function
+//     may write through — a store to p.f, *p, or p[i], directly or by
+//     passing the parameter to a callee that stores through it;
+//   - publishes: which parameters reach an atomic.Pointer/atomic.Value
+//     Store/Swap/CompareAndSwap;
+//   - retains: which parameters are stored into struct fields or
+//     package state without a "moguard: retained" annotation;
+//   - returned aliases: which results may alias which parameters
+//     (identity, re-slicing, or a callee's returned alias).
+//
+// A lock class is a type-level abstraction: every instance of a mutex
+// field shares one identity, "<pkgpath>.<Struct>.<field>" for fields
+// and "<pkgpath>.<var>" for package-level mutexes. That is the standard
+// lock-order abstraction — it cannot tell two shards apart, which is
+// exactly the property that makes the derived acquisition graph a total
+// statement about every schedule.
+
+// Program is the whole-run interprocedural view handed to program
+// checks.
+type Program struct {
+	Module string
+	funcs  map[string]*ProgFunc
+	keys   []string // sorted; iteration order for every fixpoint
+	// files are the analyzed non-test files, one entry per distinct
+	// filename (variants re-parse shared files; the first loader wins),
+	// for checks that read file-scope directives.
+	files []progFile
+	// lockDecls maps every known lock class to its declaration site, so
+	// declared-order (lockorder) directives can be validated against
+	// locks that exist rather than locks that happen to be acquired.
+	lockDecls map[string]token.Position
+}
+
+// Func returns the node for a qualified function key, or nil.
+func (p *Program) Func(key string) *ProgFunc { return p.funcs[key] }
+
+// lockEdge is one acquired-while-held observation: to was acquired (or
+// is transitively acquired by a callee) while from was held.
+type lockEdge struct{ from, to string }
+
+// progCall is one resolved call site with the lock classes held when
+// control passes to the callee.
+type progCall struct {
+	callee string
+	held   []string // sorted lock classes held at the call
+	pos    token.Position
+}
+
+// paramFlow records a caller parameter passed directly (or through a
+// local alias) as a callee argument — the edges the stores/publishes/
+// retains fixpoints propagate along.
+type paramFlow struct {
+	callee      string
+	calleeParam int
+	callerParam int
+	pos         token.Position
+}
+
+// retFlow records "return g(...)": result maps through g's returned
+// aliases back to the caller's parameters.
+type retFlow struct {
+	result int
+	callee string
+	args   map[int]int // callee param -> caller param
+}
+
+// declSite is one variant occurrence of a function declaration.
+type declSite struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// progFile is one analyzed source file with its owning package variant.
+type progFile struct {
+	pkg *Package
+	f   *ast.File
+}
+
+// retainSite is one unannotated store of a parameter alias into struct
+// or package state, with enough context to report it.
+type retainSite struct {
+	param  int
+	pos    token.Position
+	target string // "field <name>" or "package variable <name>"
+}
+
+// ProgFunc is one call-graph node: raw facts unioned over variants plus
+// the fixpoint summaries.
+type ProgFunc struct {
+	Key   string
+	decls []declSite
+
+	// Raw facts.
+	directAcquires map[string]bool
+	requires       map[string]bool // held at entry (*Locked contract)
+	localEdges     map[lockEdge]token.Position
+	calls          []progCall
+	storesDirect   map[int]bool
+	publishDirect  map[int]bool
+	retainsDirect  map[int]bool
+	retainSites    []retainSite
+	flows          []paramFlow
+	retDirect      map[int]map[int]bool
+	retFlows       []retFlow
+
+	// Fixpoint summaries.
+	Acquires     map[string]bool     // transitive lock classes acquired
+	Stores       map[int]bool        // parameters written through
+	Publishes    map[int]bool        // parameters reaching an atomic publish
+	Retains      map[int]bool        // parameters stored into retained state
+	ReturnsAlias map[int]map[int]bool // result index -> parameter indices
+}
+
+// Decls exposes the function's analyzed declaration sites.
+func (f *ProgFunc) Decls() []declSite { return f.decls }
+
+// funcKeyOf builds the canonical node key for a declaration.
+func funcKeyOf(pkgPath string, fd *ast.FuncDecl) string {
+	name := fd.Name.Name
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		if tn := recvTypeName(fd.Recv.List[0].Type); tn != "" {
+			name = tn + "." + name
+		}
+	}
+	return pkgPath + "." + name
+}
+
+// calleeKey resolves a call expression to a node key, or "" when the
+// callee is dynamic (interface method, function value) or external.
+func calleeKey(pass *Package, call *ast.CallExpr) string {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.Info.Uses[fun.Sel]
+	default:
+		return ""
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	name := fn.Name()
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		named, isNamed := t.(*types.Named)
+		if !isNamed {
+			return "" // interface method: dynamic dispatch
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			return ""
+		}
+		name = named.Obj().Name() + "." + name
+	}
+	return fn.Pkg().Path() + "." + name
+}
+
+// lockClassOf derives the lock class acquired by a
+// Lock/RLock/Unlock/RUnlock call, or "". level reports the resulting
+// state (lockW, lockR, lockNone).
+func lockClassOf(pass *Package, call *ast.CallExpr) (class string, level int, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	fn, isFn := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", 0, false
+	}
+	switch fn.Name() {
+	case "Lock":
+		level = lockW
+	case "RLock":
+		level = lockR
+	case "Unlock", "RUnlock":
+		level = lockNone
+	default:
+		return "", 0, false
+	}
+	class = lockClassOfExpr(pass, sel.X)
+	if class == "" {
+		return "", 0, false
+	}
+	return class, level, true
+}
+
+// lockClassOfExpr names the lock class of the mutex-valued expression a
+// sync method was selected from: "<pkg>.<Struct>.<field>" when the
+// mutex is a struct field, "<pkg>.<var>" for a package-level mutex, and
+// "<pkg>.<Struct>.<Mutex>" when the call goes through an embedded
+// mutex's promoted method. Local mutex variables have no class — they
+// cannot participate in a cross-function order.
+func lockClassOfExpr(pass *Package, e ast.Expr) string {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		v, ok := pass.Info.Uses[x.Sel].(*types.Var)
+		if !ok {
+			return ""
+		}
+		if v.IsField() {
+			if owner := namedOwner(pass, x.X); owner != "" {
+				return owner + "." + v.Name()
+			}
+			return ""
+		}
+		if isPackageLevel(v) {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		return ""
+	case *ast.Ident:
+		v, ok := pass.Info.Uses[x].(*types.Var)
+		if !ok {
+			return ""
+		}
+		if isPackageLevel(v) {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		// A promoted method on a struct value that embeds a mutex:
+		// s.Lock() with s a local/param/receiver of a mutex-embedding
+		// named type. The class is the embedded field.
+		if owner, embedded := embeddedMutexOwner(v.Type()); owner != "" {
+			return owner + "." + embedded
+		}
+		return ""
+	default:
+		return ""
+	}
+}
+
+// namedOwner names the struct type a field was selected from, as
+// "<pkgpath>.<Name>".
+func namedOwner(pass *Package, recv ast.Expr) string {
+	tv, ok := pass.Info.Types[recv]
+	if !ok {
+		return ""
+	}
+	t := tv.Type
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+// embeddedMutexOwner reports the owner key and embedded mutex field
+// name when t is (a pointer to) a named struct embedding sync.Mutex or
+// sync.RWMutex.
+func embeddedMutexOwner(t types.Type) (owner, embedded string) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", ""
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return "", ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Anonymous() && mutexKind(f.Type()) != 0 {
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name(), f.Name()
+		}
+	}
+	return "", ""
+}
+
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// selfSynchronized reports whether t (behind one pointer) is a struct
+// that carries its own synchronization — a sync primitive or a typed
+// atomic among its immediate fields, or a field that is itself such a
+// struct. Sharing and mutating these after handing a pointer out is
+// their design (fault.Injector, obs.Metrics), so the publish-immutable
+// and alias-retain contracts, which protect plain caller-owned data,
+// exempt them.
+func selfSynchronized(t types.Type) bool {
+	return selfSyncDepth(t, 2)
+}
+
+func selfSyncDepth(t types.Type, depth int) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if isSyncType(t) || isTypedAtomic(t) {
+		return true
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok || depth == 0 {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if isSyncType(ft) || isTypedAtomic(ft) {
+			return true
+		}
+		// One level of nesting covers the "stats block inside the
+		// service struct" layout without walking the whole type graph.
+		if _, isStruct := ft.Underlying().(*types.Struct); isStruct && selfSyncDepth(ft, depth-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// BuildProgram constructs the call graph and computes every summary to
+// fixpoint. Test files and external test packages are excluded: the
+// interprocedural contracts cover production code, and the race
+// detector covers the tests directly.
+func BuildProgram(pkgs []*Package) *Program {
+	prog := &Program{
+		funcs:     map[string]*ProgFunc{},
+		lockDecls: map[string]token.Position{},
+	}
+	seenFiles := map[string]bool{}
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Path, "_test") {
+			continue
+		}
+		if prog.Module == "" {
+			prog.Module = moduleOfPath(pkg.Path)
+		}
+		for _, f := range pkg.Files {
+			if isTestFile(pkg.Fset, f) {
+				continue
+			}
+			if name := pkg.Fset.Position(f.Pos()).Filename; !seenFiles[name] {
+				seenFiles[name] = true
+				prog.files = append(prog.files, progFile{pkg: pkg, f: f})
+			}
+			collectLockDecls(prog, pkg, f)
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				key := funcKeyOf(pkg.Path, fd)
+				fn := prog.funcs[key]
+				if fn == nil {
+					fn = &ProgFunc{
+						Key:            key,
+						directAcquires: map[string]bool{},
+						requires:       map[string]bool{},
+						localEdges:     map[lockEdge]token.Position{},
+						storesDirect:   map[int]bool{},
+						publishDirect:  map[int]bool{},
+						retainsDirect:  map[int]bool{},
+						retDirect:      map[int]map[int]bool{},
+					}
+					prog.funcs[key] = fn
+				}
+				// The same file can be loaded by several variants (the
+				// default and faultinject loaders both parse untagged
+				// files); scanning one position twice would duplicate
+				// call edges, so each (key, position) is scanned once.
+				pos := pkg.Fset.Position(fd.Pos())
+				dup := false
+				for _, d := range fn.decls {
+					if d.pkg.Fset.Position(d.decl.Pos()) == pos {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+				fn.decls = append(fn.decls, declSite{pkg: pkg, decl: fd})
+				scanFunc(prog, fn, pkg, fd)
+			}
+		}
+	}
+	prog.keys = make([]string, 0, len(prog.funcs))
+	for k := range prog.funcs {
+		prog.keys = append(prog.keys, k)
+	}
+	sort.Strings(prog.keys)
+	prog.fixpoint()
+	return prog
+}
+
+// moduleOfPath recovers the module path prefix from an analyzed package
+// path ("<module>/internal/…" or the module itself).
+func moduleOfPath(path string) string {
+	if i := strings.Index(path, "/internal/"); i >= 0 {
+		return path[:i]
+	}
+	if i := strings.Index(path, "/cmd/"); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// collectLockDecls registers the lock classes a file declares: mutex
+// fields of named structs and package-level mutex vars.
+func collectLockDecls(prog *Program, pkg *Package, f *ast.File) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				st, ok := s.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					tv, ok := pkg.Info.Types[field.Type]
+					if !ok || mutexKind(tv.Type) == 0 {
+						continue
+					}
+					owner := pkg.Path + "." + s.Name.Name
+					if len(field.Names) == 0 { // embedded sync.Mutex
+						base := tv.Type
+						if p, isPtr := base.(*types.Pointer); isPtr {
+							base = p.Elem()
+						}
+						if named, isNamed := base.(*types.Named); isNamed {
+							prog.lockDecls[owner+"."+named.Obj().Name()] = pkg.Fset.Position(field.Pos())
+						}
+						continue
+					}
+					for _, id := range field.Names {
+						prog.lockDecls[owner+"."+id.Name] = pkg.Fset.Position(id.Pos())
+					}
+				}
+			case *ast.ValueSpec:
+				if gd.Tok != token.VAR {
+					continue
+				}
+				for _, id := range s.Names {
+					if v, ok := pkg.Info.Defs[id].(*types.Var); ok && mutexKind(v.Type()) != 0 {
+						prog.lockDecls[pkg.Path+"."+id.Name] = pkg.Fset.Position(id.Pos())
+					}
+				}
+			}
+		}
+	}
+}
+
+// paramObjects maps the declaration's receiver and parameters to their
+// summary indices: receiver (if any) is 0, parameters follow in order.
+func paramObjects(pkg *Package, fd *ast.FuncDecl) (map[*types.Var]int, int) {
+	idx := map[*types.Var]int{}
+	n := 0
+	add := func(names []*ast.Ident) {
+		if len(names) == 0 {
+			n++ // unnamed parameter still occupies a position
+			return
+		}
+		for _, id := range names {
+			if v, ok := pkg.Info.Defs[id].(*types.Var); ok && id.Name != "_" {
+				idx[v] = n
+			}
+			n++
+		}
+	}
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		add(fd.Recv.List[0].Names)
+	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			add(field.Names)
+		}
+	}
+	return idx, n
+}
+
+// scanFunc extracts one declaration's raw facts into fn.
+func scanFunc(prog *Program, fn *ProgFunc, pkg *Package, fd *ast.FuncDecl) {
+	params, _ := paramObjects(pkg, fd)
+	s := &funcScan{
+		prog:    prog,
+		fn:      fn,
+		pkg:     pkg,
+		params:  params,
+		aliases: map[*types.Var]map[int]bool{},
+		results: resultCount(fd),
+	}
+	held := map[string]int{}
+	// The *Locked suffix is the held-at-entry contract (guarded-by
+	// enforces it at call sites): every mutex class of the receiver's
+	// struct is held when the function is entered.
+	if strings.HasSuffix(fd.Name.Name, "Locked") && fd.Recv != nil && len(fd.Recv.List) == 1 {
+		if tv, ok := pkg.Info.Types[fd.Recv.List[0].Type]; ok {
+			t := tv.Type
+			if ptr, isPtr := t.(*types.Pointer); isPtr {
+				t = ptr.Elem()
+			}
+			if named, isNamed := t.(*types.Named); isNamed && named.Obj().Pkg() != nil {
+				if st, isStruct := named.Underlying().(*types.Struct); isStruct {
+					owner := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+					for i := 0; i < st.NumFields(); i++ {
+						f := st.Field(i)
+						if mutexKind(f.Type()) != 0 {
+							class := owner + "." + f.Name()
+							held[class] = lockW
+							fn.requires[class] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	s.block(fd.Body.List, held)
+}
+
+func resultCount(fd *ast.FuncDecl) int {
+	if fd.Type.Results == nil {
+		return 0
+	}
+	n := 0
+	for _, field := range fd.Type.Results.List {
+		if len(field.Names) == 0 {
+			n++
+		} else {
+			n += len(field.Names)
+		}
+	}
+	return n
+}
+
+// funcScan walks one body in statement order, tracking held lock
+// classes (branch bodies get copies, exactly like guarded-by) and a
+// syntactic may-alias relation from local variables back to parameters.
+type funcScan struct {
+	prog    *Program
+	fn      *ProgFunc
+	pkg     *Package
+	params  map[*types.Var]int
+	aliases map[*types.Var]map[int]bool
+	results int
+}
+
+// paramsOf returns the parameter indices an expression may alias:
+// parameters themselves, locals assigned from them, re-slicings,
+// addresses of their elements, and slice-to-slice conversions. This is
+// the syntactic core shared by the raw scan; the alias-retain check
+// layers callee summaries on top.
+func (s *funcScan) paramsOf(e ast.Expr) map[int]bool {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		if v, ok := s.pkg.Info.Uses[x].(*types.Var); ok {
+			if i, isParam := s.params[v]; isParam {
+				return map[int]bool{i: true}
+			}
+			return s.aliases[v]
+		}
+	case *ast.SliceExpr:
+		return s.paramsOf(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return s.paramsOf(x.X)
+		}
+	case *ast.IndexExpr:
+		// p[i] is an element value, not an alias — but &p[i] routed here
+		// via UnaryExpr needs the base, so only the address case above
+		// descends into an index.
+		return nil
+	case *ast.CallExpr:
+		// A slice->slice conversion aliases its operand; a call does not
+		// (the raw scan stays syntactic — the reporting passes consult
+		// callee summaries instead).
+		if tv, ok := s.pkg.Info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			if _, isSlice := tv.Type.Underlying().(*types.Slice); isSlice {
+				return s.paramsOf(x.Args[0])
+			}
+		}
+	case *ast.CompositeLit:
+		// A composite value holding a parameter alias holds the alias:
+		// notice{buf: p} or &Sub{out: p} taints the whole value.
+		var out map[int]bool
+		for _, el := range x.Elts {
+			if kv, isKV := el.(*ast.KeyValueExpr); isKV {
+				el = kv.Value
+			}
+			for i := range s.paramsOf(el) {
+				if out == nil {
+					out = map[int]bool{}
+				}
+				out[i] = true
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+func copyHeld(st map[string]int) map[string]int {
+	out := make(map[string]int, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+func heldList(st map[string]int) []string {
+	out := make([]string, 0, len(st))
+	for k, v := range st {
+		if v >= lockR {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *funcScan) block(stmts []ast.Stmt, held map[string]int) {
+	for _, st := range stmts {
+		s.stmt(st, held)
+	}
+}
+
+func (s *funcScan) stmt(st ast.Stmt, held map[string]int) {
+	switch st := st.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+			if class, level, ok := lockClassOf(s.pkg, call); ok {
+				s.lockEvent(class, level, call.Pos(), held)
+				return
+			}
+		}
+		s.expr(st.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to the end of the
+		// function — which is what the current state already says.
+		if _, level, ok := lockClassOf(s.pkg, st.Call); ok && level == lockNone {
+			return
+		}
+		s.expr(st.Call, held)
+	case *ast.GoStmt:
+		for _, arg := range st.Call.Args {
+			s.expr(arg, held)
+		}
+		if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			// A new goroutine holds nothing, whatever the spawner holds.
+			s.block(fl.Body.List, map[string]int{})
+		} else {
+			s.expr(st.Call.Fun, held)
+		}
+	case *ast.AssignStmt:
+		s.assign(st, held)
+	case *ast.ReturnStmt:
+		s.ret(st, held)
+	case *ast.IncDecStmt:
+		s.storeTarget(st.X)
+		s.expr(st.X, held)
+	case *ast.SendStmt:
+		s.expr(st.Chan, held)
+		s.expr(st.Value, held)
+	case *ast.IfStmt:
+		s.stmt(st.Init, held)
+		s.expr(st.Cond, held)
+		s.block(st.Body.List, copyHeld(held))
+		if st.Else != nil {
+			s.stmt(st.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		inner := copyHeld(held)
+		s.stmt(st.Init, inner)
+		if st.Cond != nil {
+			s.expr(st.Cond, inner)
+		}
+		s.stmt(st.Post, inner)
+		s.block(st.Body.List, inner)
+	case *ast.RangeStmt:
+		s.expr(st.X, held)
+		s.block(st.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		inner := copyHeld(held)
+		s.stmt(st.Init, inner)
+		if st.Tag != nil {
+			s.expr(st.Tag, inner)
+		}
+		for _, cc := range st.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				cst := copyHeld(inner)
+				for _, e := range clause.List {
+					s.expr(e, cst)
+				}
+				s.block(clause.Body, cst)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		inner := copyHeld(held)
+		s.stmt(st.Init, inner)
+		s.stmt(st.Assign, inner)
+		for _, cc := range st.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				s.block(clause.Body, copyHeld(inner))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range st.Body.List {
+			if clause, ok := cc.(*ast.CommClause); ok {
+				cst := copyHeld(held)
+				s.stmt(clause.Comm, cst)
+				s.block(clause.Body, cst)
+			}
+		}
+	case *ast.BlockStmt:
+		s.block(st.List, held)
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt, held)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, val := range vs.Values {
+						s.expr(val, held)
+						if i < len(vs.Names) {
+							s.bindAlias(vs.Names[i], s.paramsOf(val))
+						}
+					}
+				}
+			}
+		}
+	default:
+	}
+}
+
+// lockEvent updates the held set and records acquisition edges: every
+// held class orders before the newly acquired one.
+func (s *funcScan) lockEvent(class string, level int, pos token.Pos, held map[string]int) {
+	if level == lockNone {
+		delete(held, class)
+		return
+	}
+	position := s.pkg.Fset.Position(pos)
+	s.fn.directAcquires[class] = true
+	for h, l := range held {
+		if l < lockR {
+			continue
+		}
+		s.recordEdge(lockEdge{from: h, to: class}, position)
+	}
+	held[class] = level
+}
+
+// recordEdge keeps the smallest witness position per edge so reports
+// are stable across runs.
+func (s *funcScan) recordEdge(e lockEdge, pos token.Position) {
+	if old, ok := s.fn.localEdges[e]; !ok || lessPosition(pos, old) {
+		s.fn.localEdges[e] = pos
+	}
+}
+
+func lessPosition(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// assign threads aliases and records stores/retention facts.
+func (s *funcScan) assign(st *ast.AssignStmt, held map[string]int) {
+	for _, rhs := range st.Rhs {
+		s.expr(rhs, held)
+	}
+	for i, lhs := range st.Lhs {
+		s.storeTarget(lhs)
+		var src map[int]bool
+		if len(st.Rhs) == len(st.Lhs) {
+			src = s.paramsOf(st.Rhs[i])
+			s.recordRetention(st.Lhs[i], st.Rhs[i])
+		}
+		s.bindAlias(lhs, src)
+		s.expr(lhs, held)
+	}
+}
+
+// bindAlias rebinds a local identifier's alias set (replacing any
+// previous binding: the walk is flow-ordered, and branch bodies operate
+// on the same alias table conservatively).
+func (s *funcScan) bindAlias(lhs ast.Expr, src map[int]bool) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	v, ok := s.pkg.Info.Defs[id].(*types.Var)
+	if !ok {
+		if v, ok = s.pkg.Info.Uses[id].(*types.Var); !ok {
+			return
+		}
+	}
+	if _, isParam := s.params[v]; isParam {
+		return // rebinding a parameter name severs nothing we track
+	}
+	if len(src) == 0 {
+		delete(s.aliases, v)
+		return
+	}
+	out := make(map[int]bool, len(src))
+	for k := range src {
+		out[k] = true
+	}
+	s.aliases[v] = out
+}
+
+// storeTarget records a write through a parameter: the assignment's
+// base object, after peeling selectors, stars, indexes and slices,
+// resolves to a parameter or one of its aliases.
+func (s *funcScan) storeTarget(lhs ast.Expr) {
+	base, through := storeBase(lhs)
+	if !through {
+		return // plain rebinding of an identifier is not a store through it
+	}
+	for i := range s.paramsOf(base) {
+		s.fn.storesDirect[i] = true
+	}
+}
+
+// storeBase peels an assignment target to its base expression; through
+// reports whether the write dereferences storage reachable from the
+// base (x.f, *x, x[i]) rather than rebinding the name itself.
+func storeBase(lhs ast.Expr) (ast.Expr, bool) {
+	through := false
+	for {
+		lhs = ast.Unparen(lhs)
+		switch t := lhs.(type) {
+		case *ast.SelectorExpr:
+			lhs, through = t.X, true
+		case *ast.StarExpr:
+			lhs, through = t.X, true
+		case *ast.IndexExpr:
+			lhs, through = t.X, true
+		case *ast.SliceExpr:
+			lhs, through = t.X, true
+		default:
+			return lhs, through
+		}
+	}
+}
+
+// recordRetention adds raw retains facts for stores of parameter
+// aliases into struct fields or package state. append(..., p) retains p
+// when assigned into such a target; spread appends copy elements and do
+// not. Annotated sites ("moguard: retained") are ownership transfers
+// declared in the callee's contract and do not propagate to callers —
+// the reporting pass validates the annotations themselves.
+func (s *funcScan) recordRetention(lhs, rhs ast.Expr) {
+	target, ok := retainTarget(s.pkg, lhs)
+	if !ok {
+		return
+	}
+	if retainedLines(s.pkg, lhs.Pos()) {
+		return
+	}
+	srcs := s.retainedSources(rhs)
+	if len(srcs) == 0 {
+		return
+	}
+	pos := s.pkg.Fset.Position(lhs.Pos())
+	for i := range srcs {
+		s.fn.retainsDirect[i] = true
+		s.fn.retainSites = append(s.fn.retainSites, retainSite{param: i, pos: pos, target: target})
+	}
+}
+
+// retainedSources is paramsOf extended through append(dst, p): the
+// result holds p's backing array.
+func (s *funcScan) retainedSources(e ast.Expr) map[int]bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent && id.Name == "append" {
+			if _, isBuiltin := s.pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+				out := map[int]bool{}
+				for i, arg := range call.Args {
+					if i > 0 && call.Ellipsis != token.NoPos && i == len(call.Args)-1 {
+						continue // spread copies elements
+					}
+					for p := range s.retainedSources(arg) {
+						out[p] = true
+					}
+				}
+				return out
+			}
+		}
+	}
+	return s.paramsOf(e)
+}
+
+// retainTarget classifies an assignment target as retained state — a
+// struct field (possibly through indexes) or a package-level variable —
+// returning a short description for reports.
+func retainTarget(pkg *Package, lhs ast.Expr) (string, bool) {
+	for {
+		lhs = ast.Unparen(lhs)
+		switch t := lhs.(type) {
+		case *ast.SelectorExpr:
+			if v, ok := pkg.Info.Uses[t.Sel].(*types.Var); ok && v.IsField() {
+				return "field " + v.Name(), true
+			}
+			lhs = t.X
+		case *ast.IndexExpr:
+			lhs = t.X
+		case *ast.StarExpr:
+			lhs = t.X
+		case *ast.Ident:
+			if v, ok := pkg.Info.Uses[t].(*types.Var); ok && isPackageLevel(v) {
+				return "package variable " + v.Name(), true
+			}
+			return "", false
+		default:
+			return "", false
+		}
+	}
+}
+
+// retainedLines reports whether a "moguard: retained <reason>" directive
+// covers the position (same line or the line above). Reason validation
+// is the alias-retain check's job; the raw scan only needs coverage.
+func retainedLines(pkg *Package, pos token.Pos) bool {
+	position := pkg.Fset.Position(pos)
+	dirs := retainedDirectives(pkg, position.Filename)
+	_, onLine := dirs[position.Line]
+	_, above := dirs[position.Line-1]
+	return onLine || above
+}
+
+// retainedDirectives maps comment lines of one file carrying a
+// "moguard: retained" directive to the reason (possibly empty).
+func retainedDirectives(pkg *Package, filename string) map[int]string {
+	out := map[int]string{}
+	for _, f := range pkg.Files {
+		if pkg.Fset.Position(f.Pos()).Filename != filename {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, cm := range cg.List {
+				body := moguardText(cm)
+				verb, rest, _ := strings.Cut(body, " ")
+				if verb != "retained" {
+					continue
+				}
+				out[pkg.Fset.Position(cm.Pos()).Line] = strings.TrimSpace(rest)
+			}
+		}
+	}
+	return out
+}
+
+// ret records returned aliases of parameters, plus return-through-call
+// flows for the fixpoint.
+func (s *funcScan) ret(st *ast.ReturnStmt, held map[string]int) {
+	for _, r := range st.Results {
+		s.expr(r, held)
+	}
+	// return g(...) forwarding the whole tuple.
+	if len(st.Results) == 1 {
+		if call, ok := ast.Unparen(st.Results[0]).(*ast.CallExpr); ok {
+			if key := calleeKey(s.pkg, call); key != "" {
+				if args := s.callArgParams(call, key); len(args) > 0 {
+					for ri := 0; ri < s.results; ri++ {
+						s.fn.retFlows = append(s.fn.retFlows, retFlow{result: ri, callee: key, args: args})
+					}
+				}
+			}
+		}
+	}
+	for ri, r := range st.Results {
+		for p := range s.paramsOf(r) {
+			if s.fn.retDirect[ri] == nil {
+				s.fn.retDirect[ri] = map[int]bool{}
+			}
+			s.fn.retDirect[ri][p] = true
+		}
+	}
+}
+
+// argBinding pairs one call argument with the callee parameter index it
+// binds (the receiver of a method call binds index 0).
+type argBinding struct {
+	param int
+	expr  ast.Expr
+}
+
+// callBindings enumerates the argument-to-parameter bindings of a call,
+// receiver included, in positional order. Variadic arguments bind
+// positions past the last declared parameter; the summaries treat every
+// parameter index uniformly, so over-indexing is harmless.
+func callBindings(pkg *Package, call *ast.CallExpr) []argBinding {
+	var out []argBinding
+	base := 0
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if fn, isFn := pkg.Info.Uses[sel.Sel].(*types.Func); isFn {
+			if sig, isSig := fn.Type().(*types.Signature); isSig && sig.Recv() != nil {
+				base = 1
+				out = append(out, argBinding{param: 0, expr: sel.X})
+			}
+		}
+	}
+	for ai, arg := range call.Args {
+		out = append(out, argBinding{param: base + ai, expr: arg})
+	}
+	return out
+}
+
+// callArgParams maps callee parameter indices to caller parameter
+// indices for arguments that alias caller parameters. The callee's
+// receiver (index 0 of a method key) binds the selector base.
+func (s *funcScan) callArgParams(call *ast.CallExpr, calleeKey string) map[int]int {
+	out := map[int]int{}
+	for _, b := range callBindings(s.pkg, call) {
+		src := s.paramsOf(b.expr)
+		if len(src) == 0 {
+			continue
+		}
+		min := -1
+		for p := range src {
+			if min < 0 || p < min {
+				min = p
+			}
+		}
+		out[b.param] = min
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	_ = calleeKey
+	return out
+}
+
+// expr records calls (with the held lock set), descends into nested
+// expressions, and keeps function literals on the current lock state
+// (sort.Slice callbacks run inline; go literals are reset in stmt).
+func (s *funcScan) expr(e ast.Expr, held map[string]int) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			s.block(x.Body.List, copyHeld(held))
+			return false
+		case *ast.CallExpr:
+			s.call(x, held)
+		case *ast.AssignStmt:
+			// Assignments only appear under statements; Inspect from an
+			// expression never reaches one.
+		}
+		return true
+	})
+}
+
+// call records one call site: the lock classes held, the parameter
+// flows into the callee, and publish events (atomic.Pointer/Value
+// Store/Swap/CompareAndSwap receiving a parameter alias).
+func (s *funcScan) call(call *ast.CallExpr, held map[string]int) {
+	if class, level, ok := lockClassOf(s.pkg, call); ok && level != lockNone {
+		// A lock call buried in an expression (rare) still orders.
+		s.lockEvent(class, level, call.Pos(), copyHeld(held))
+		return
+	}
+	if arg, ok := publishArg(s.pkg, call); ok {
+		for p := range s.paramsOf(arg) {
+			s.fn.publishDirect[p] = true
+		}
+	}
+	key := calleeKey(s.pkg, call)
+	if key == "" {
+		return
+	}
+	pos := s.pkg.Fset.Position(call.Pos())
+	s.fn.calls = append(s.fn.calls, progCall{callee: key, held: heldList(held), pos: pos})
+	for calleeParam, callerParam := range s.callArgParams(call, key) {
+		s.fn.flows = append(s.fn.flows, paramFlow{
+			callee: key, calleeParam: calleeParam, callerParam: callerParam, pos: pos,
+		})
+	}
+}
+
+// publishArg recognises an atomic publish call and returns the
+// published value expression: x.Store(v), x.Swap(v), or
+// x.CompareAndSwap(old, new) where x is a sync/atomic Pointer or Value.
+func publishArg(pkg *Package, call *ast.CallExpr) (ast.Expr, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, false
+	}
+	t := sig.Recv().Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	switch named.Obj().Name() {
+	case "Pointer", "Value":
+	default:
+		return nil, false
+	}
+	switch fn.Name() {
+	case "Store", "Swap":
+		if len(call.Args) == 1 {
+			return call.Args[0], true
+		}
+	case "CompareAndSwap":
+		if len(call.Args) == 2 {
+			return call.Args[1], true
+		}
+	}
+	return nil, false
+}
+
+// unwrapPublishTarget resolves the published expression to a trackable
+// variable: `v` or `&v`.
+func unwrapPublishTarget(pkg *Package, arg ast.Expr) *types.Var {
+	arg = ast.Unparen(arg)
+	if ue, ok := arg.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		arg = ast.Unparen(ue.X)
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := pkg.Info.Uses[id].(*types.Var)
+	return v
+}
+
+// fixpoint closes the summaries over the call graph: transitive lock
+// acquisition, stores/publishes/retains through parameter flows, and
+// returned aliases through return-call flows. Iteration follows the
+// sorted key list until nothing changes; the graph is small (one node
+// per function), so the quadratic worst case is irrelevant.
+func (p *Program) fixpoint() {
+	for _, k := range p.keys {
+		fn := p.funcs[k]
+		fn.Acquires = copySet(fn.directAcquires)
+		fn.Stores = copyIntSet(fn.storesDirect)
+		fn.Publishes = copyIntSet(fn.publishDirect)
+		fn.Retains = copyIntSet(fn.retainsDirect)
+		fn.ReturnsAlias = map[int]map[int]bool{}
+		for r, set := range fn.retDirect {
+			fn.ReturnsAlias[r] = copyIntSet(set)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, k := range p.keys {
+			fn := p.funcs[k]
+			for _, c := range fn.calls {
+				callee := p.funcs[c.callee]
+				if callee == nil {
+					continue
+				}
+				for class := range callee.Acquires {
+					if !fn.Acquires[class] {
+						fn.Acquires[class] = true
+						changed = true
+					}
+				}
+			}
+			for _, fl := range fn.flows {
+				callee := p.funcs[fl.callee]
+				if callee == nil {
+					continue
+				}
+				if callee.Stores[fl.calleeParam] && !fn.Stores[fl.callerParam] {
+					fn.Stores[fl.callerParam] = true
+					changed = true
+				}
+				if callee.Publishes[fl.calleeParam] && !fn.Publishes[fl.callerParam] {
+					fn.Publishes[fl.callerParam] = true
+					changed = true
+				}
+				if callee.Retains[fl.calleeParam] && !fn.Retains[fl.callerParam] {
+					fn.Retains[fl.callerParam] = true
+					changed = true
+				}
+			}
+			for _, rf := range fn.retFlows {
+				callee := p.funcs[rf.callee]
+				if callee == nil {
+					continue
+				}
+				for cr, set := range callee.ReturnsAlias {
+					if cr != rf.result && len(callee.ReturnsAlias) > 1 {
+						// Tuple forwarding: result i maps to callee result i.
+						continue
+					}
+					for cp := range set {
+						if callerParam, ok := rf.args[cp]; ok {
+							if fn.ReturnsAlias[rf.result] == nil {
+								fn.ReturnsAlias[rf.result] = map[int]bool{}
+							}
+							if !fn.ReturnsAlias[rf.result][callerParam] {
+								fn.ReturnsAlias[rf.result][callerParam] = true
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func copySet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func copyIntSet(m map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}

@@ -48,6 +48,13 @@ type Config struct {
 	// GoroutineExitPkgs scopes the goroutine-exit check. Nil means
 	// every analyzed package.
 	GoroutineExitPkgs []string
+	// AliasRetainPkgs scopes the alias-retain check to the packages
+	// whose exported APIs receive caller-owned buffers (the hot
+	// data-structure surface). Nil means nowhere: the contract is
+	// opt-in per package, unlike the lock-order and publish-immutable
+	// invariants, which hold wherever a mutex or an atomic publish
+	// exists.
+	AliasRetainPkgs []string
 }
 
 // DefaultConfig returns the repository scope: which packages each
@@ -106,6 +113,7 @@ func DefaultConfig(module string) *Config {
 			j("internal/geom"), j("internal/spatial"), j("internal/units"),
 			j("internal/moving"), j("internal/temporal"), j("internal/mapping"), j("internal/base"),
 		},
+		AliasRetainPkgs: []string{j("internal/index"), j("internal/ingest"), j("internal/cache"), j("internal/live")},
 	}
 	// The golden fixtures under internal/lint/testdata are in scope so
 	// that running molint directly on a fixture directory demonstrates
@@ -119,6 +127,16 @@ func DefaultConfig(module string) *Config {
 	cfg.DetPaths[fix("detpath")] = nil
 	cfg.IndexOnlyPkgs = append(cfg.IndexOnlyPkgs, fix("indexonly"))
 	cfg.IndexOnlyDataPkgs = append(cfg.IndexOnlyDataPkgs, fix("indexonly"))
+	cfg.AliasRetainPkgs = append(cfg.AliasRetainPkgs, fix("aliasretain"))
+	// molint's own CLI and library are part of the enforced surface:
+	// cmd/molint deliberately drops terminal-write errors behind
+	// suppressions, and both packages are det-path clean (the per-check
+	// clock is injected, never read in package lint) — keeping them in
+	// scope means those suppressions stay load-bearing rather than
+	// rotting into stale ones.
+	cfg.ErrDropPkgs = append(cfg.ErrDropPkgs, j("cmd/molint"))
+	cfg.DetPaths[j("internal/lint")] = nil
+	cfg.DetPaths[j("cmd/molint")] = nil
 	return cfg
 }
 
@@ -133,6 +151,9 @@ func Checks(cfg *Config) []Check {
 		guardedBy{cfg},
 		atomicMix{cfg},
 		goroutineExit{cfg},
+		lockOrder{cfg},
+		publishImmutable{cfg},
+		aliasRetain{cfg},
 	}
 }
 

@@ -50,12 +50,17 @@ func (c detPath) Run(pass *Pass) {
 		if files != nil && !covered[fileBase(pass.Fset, f)] {
 			continue
 		}
+		// Function values are flagged as well as calls: handing time.Now
+		// to a deterministic component just moves the clock read behind
+		// an indirection. callFuns marks the Fun child of each call so
+		// the selector visit can tell the two shapes apart.
+		callFuns := map[ast.Expr]bool{}
 		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
+			if call, ok := n.(*ast.CallExpr); ok {
+				callFuns[call.Fun] = true
 				return true
 			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
+			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
 				return true
 			}
@@ -66,14 +71,23 @@ func (c detPath) Run(pass *Pass) {
 			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
 				return true // methods (e.g. on a seeded *rand.Rand) are fine
 			}
+			called := callFuns[sel]
 			switch fn.Pkg().Path() {
 			case "time":
 				if wallClockFuncs[fn.Name()] {
-					pass.Report(call.Pos(), "wall-clock call time.%s in deterministic path; thread an explicit timestamp or seed", fn.Name())
+					if called {
+						pass.Report(sel.Pos(), "wall-clock call time.%s in deterministic path; thread an explicit timestamp or seed", fn.Name())
+					} else {
+						pass.Report(sel.Pos(), "wall-clock function time.%s captured as a value in deterministic path; thread an explicit timestamp or seed", fn.Name())
+					}
 				}
 			case "math/rand", "math/rand/v2":
 				if !randConstructors[fn.Name()] {
-					pass.Report(call.Pos(), "global rand.%s in deterministic path; use a seeded *rand.Rand", fn.Name())
+					if called {
+						pass.Report(sel.Pos(), "global rand.%s in deterministic path; use a seeded *rand.Rand", fn.Name())
+					} else {
+						pass.Report(sel.Pos(), "global rand.%s captured as a value in deterministic path; use a seeded *rand.Rand", fn.Name())
+					}
 				}
 			}
 			return true

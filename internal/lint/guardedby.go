@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"sort"
 	"strings"
 )
 
@@ -62,6 +63,44 @@ func (c guardedBy) Run(pass *Pass) {
 			m.block(fd.Body.List, st)
 		}
 	}
+	// Annotation debt, deferred until after the walk so each finding can
+	// suggest the annotation the access pattern implies.
+	names := make([]string, 0, len(guards))
+	for n := range guards {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		g := guards[n]
+		for _, u := range g.unann {
+			pass.ReportSuggest(u.pos, suggestAnnotation(g, g.tally[u.name]),
+				"field %s of mutex-bearing struct %s needs a moguard annotation (guarded by <mu> / immutable / atomic / unguarded <reason>)", u.name, g.name)
+		}
+	}
+}
+
+// suggestAnnotation synthesizes the ready-to-paste moguard annotation
+// for an unannotated field: never written in a method means immutable
+// (construction-phase writes are exempt by design); otherwise the
+// mutex most often held across the field's accesses, ties and
+// never-locked access patterns falling back to the lexicographically
+// first mutex of the struct.
+func suggestAnnotation(g *structGuards, t *accessTally) string {
+	if t == nil || t.writes == 0 {
+		return "// moguard: immutable"
+	}
+	mus := make([]string, 0, len(g.mutexes))
+	for mu := range g.mutexes {
+		mus = append(mus, mu)
+	}
+	sort.Strings(mus)
+	best, bestN := mus[0], 0
+	for _, mu := range mus {
+		if n := t.held[mu]; n > bestN {
+			best, bestN = mu, n
+		}
+	}
+	return "// moguard: guarded by " + best
 }
 
 const (
@@ -421,7 +460,22 @@ func (m *guardMethod) check(sel *ast.SelectorExpr, v *types.Var, st map[string]i
 	}
 	fg, annotated := m.g.fields[name]
 	if !annotated {
-		return // the missing annotation was already reported at the declaration
+		// The missing annotation is reported at the declaration once the
+		// walk finishes; here the access just feeds the suggestion.
+		t := m.g.tally[name]
+		if t == nil {
+			t = &accessTally{held: map[string]int{}}
+			m.g.tally[name] = t
+		}
+		if need == lockW {
+			t.writes++
+		}
+		for mu := range m.g.mutexes {
+			if st[mu] >= lockR {
+				t.held[mu]++
+			}
+		}
+		return
 	}
 	switch fg.kind {
 	case guardUnguarded, guardAtomic:

@@ -119,6 +119,9 @@ func TestFixtures(t *testing.T) {
 		{"guardedby", "guarded-by"},
 		{"atomicmix", "atomic-mix"},
 		{"goroutineexit", "goroutine-exit"},
+		{"lockorder", "lock-order"},
+		{"publishimmutable", "publish-immutable"},
+		{"aliasretain", "alias-retain"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -129,6 +132,22 @@ func TestFixtures(t *testing.T) {
 				t.Fatalf("fixture %s produced no findings; the golden file is inert", tc.fixture)
 			}
 		})
+	}
+}
+
+// TestShardLayoutGate runs lock-order over the fixture that models the
+// planned N-shard ingest layout (per-shard mutex class + manifest
+// mutex, order declared up front). It must stay finding-free: this is
+// the gate the sharding PR inherits, and the declared edge means a
+// future manifest-before-shard acquisition fails immediately instead
+// of waiting for a second witness to complete a cycle.
+func TestShardLayoutGate(t *testing.T) {
+	l := newTestLoader(t)
+	cfg := DefaultConfig(l.Module)
+	pkg := loadFixture(t, l, "lockordershard")
+	res := Run([]*Package{pkg}, []Check{checkByID(t, cfg, "lock-order")})
+	for _, f := range res.Findings {
+		t.Errorf("shard layout gate: %s", f)
 	}
 }
 
@@ -152,9 +171,9 @@ func TestSuppressions(t *testing.T) {
 		check   string
 		message string // substring
 	}{
-		{16, "suppress", "missing a reason"},
-		{17, "err-drop", "call discards error result"},
-		{21, "suppress", "unknown check"},
+		{18, "suppress", "missing a reason"},
+		{19, "err-drop", "call discards error result"},
+		{23, "suppress", "unknown check"},
 	}
 	if len(res.Findings) != len(want) {
 		for _, f := range res.Findings {

@@ -1,0 +1,311 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// lockOrder derives the global lock acquisition graph from the call
+// graph and fails on cycles. An edge A→B means some path acquires B
+// while holding A — either directly (B.Lock() inside A's critical
+// section) or through a call chain (a function entered with A held
+// transitively acquires B). Lock identity is type-level: every instance
+// of internal/ingest.Store.mu is one class, so an acyclic class graph
+// is a statement about every schedule over every set of instances. Two
+// refinements keep the abstraction honest: acquiring a class while an
+// instance of the same class is held is its own finding (two instances
+// need an explicit instance order), and a declared order
+//
+//	// moguard: lockorder <a> before <b>
+//
+// (file scope, names resolved in the declaring package, or
+// module-relative like "internal/ingest.Store.mu") inserts an edge so a
+// planned order — the N-shard layout's "shard before manifest" — is
+// enforced before code exists that could witness its reverse, and any
+// witnessed reversal is reported as a declared-order violation rather
+// than waiting for the second half of the cycle to land.
+type lockOrder struct{ cfg *Config }
+
+func (lockOrder) ID() string { return "lock-order" }
+
+// Run is a no-op: lock-order is a ProgramCheck.
+func (lockOrder) Run(*Pass) {}
+
+// declaredOrder is one parsed lockorder directive.
+type declaredOrder struct {
+	a, b string
+	pos  token.Position
+}
+
+func (c lockOrder) RunProgram(pass *ProgramPass) {
+	prog := pass.Prog
+
+	// Witnessed edges with their smallest witness position.
+	edges := map[lockEdge]token.Position{}
+	self := map[string]token.Position{}
+	add := func(e lockEdge, pos token.Position) {
+		if e.from == e.to {
+			if old, ok := self[e.to]; !ok || lessPosition(pos, old) {
+				self[e.to] = pos
+			}
+			return
+		}
+		if old, ok := edges[e]; !ok || lessPosition(pos, old) {
+			edges[e] = pos
+		}
+	}
+	for _, k := range prog.keys {
+		fn := prog.funcs[k]
+		for e, pos := range fn.localEdges {
+			add(e, pos)
+		}
+		for _, call := range fn.calls {
+			callee := prog.funcs[call.callee]
+			if callee == nil {
+				continue
+			}
+			for class := range callee.Acquires {
+				if callee.requires[class] {
+					// Entered-with-held locks are the caller's own, not a
+					// new acquisition by the callee.
+					continue
+				}
+				for _, h := range call.held {
+					add(lockEdge{from: h, to: class}, call.pos)
+				}
+			}
+		}
+	}
+
+	declared := c.collectDeclared(pass, prog)
+
+	disp := func(class string) string {
+		return strings.TrimPrefix(class, prog.Module+"/")
+	}
+
+	// Declared-order violations: a witnessed edge against a declared one.
+	violated := map[lockEdge]bool{}
+	for _, d := range declared {
+		rev := lockEdge{from: d.b, to: d.a}
+		if pos, ok := edges[rev]; ok {
+			violated[rev] = true
+			pass.ReportAt(pos, "%s acquired while holding %s, violating declared order \"lockorder %s before %s\" (%s:%d)",
+				disp(d.a), disp(d.b), disp(d.a), disp(d.b), d.pos.Filename, d.pos.Line)
+		}
+	}
+
+	// Same-class nesting: the type-level abstraction cannot order two
+	// instances, so holding one while locking another needs its own
+	// protocol (and a suppression naming it).
+	selfClasses := make([]string, 0, len(self))
+	for class := range self {
+		selfClasses = append(selfClasses, class)
+	}
+	sort.Strings(selfClasses)
+	for _, class := range selfClasses {
+		pass.ReportAt(self[class], "%s acquired while an instance of %s is already held (order the instances explicitly, e.g. by index)",
+			disp(class), disp(class))
+	}
+
+	// Cycle detection over witnessed ∪ declared edges.
+	adj := map[string][]string{}
+	nodes := map[string]bool{}
+	addAdj := func(from, to string) {
+		adj[from] = append(adj[from], to)
+		nodes[from], nodes[to] = true, true
+	}
+	for e := range edges {
+		addAdj(e.from, e.to)
+	}
+	for _, d := range declared {
+		addAdj(d.a, d.b)
+	}
+	for n := range adj {
+		sort.Strings(adj[n])
+	}
+	order := make([]string, 0, len(nodes))
+	for n := range nodes {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+
+	for _, scc := range tarjanSCC(order, adj) {
+		if len(scc) < 2 {
+			continue // self-edges were reported above
+		}
+		inSCC := map[string]bool{}
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		// A cycle whose witnessed half was already reported as a
+		// declared-order violation is the same defect twice.
+		reported := false
+		for e := range violated {
+			if inSCC[e.from] && inSCC[e.to] {
+				reported = true
+				break
+			}
+		}
+		if reported {
+			continue
+		}
+		// Describe the cycle by its intra-SCC edges, anchored at the
+		// smallest witness position (a pure-declared cycle anchors at
+		// the first directive).
+		var parts []string
+		var at token.Position
+		haveAt := false
+		intra := make([]lockEdge, 0, len(edges))
+		for e := range edges {
+			if inSCC[e.from] && inSCC[e.to] {
+				intra = append(intra, e)
+			}
+		}
+		sort.Slice(intra, func(i, j int) bool {
+			if intra[i].from != intra[j].from {
+				return intra[i].from < intra[j].from
+			}
+			return intra[i].to < intra[j].to
+		})
+		for _, e := range intra {
+			parts = append(parts, disp(e.from)+" -> "+disp(e.to))
+			if pos := edges[e]; !haveAt || lessPosition(pos, at) {
+				at, haveAt = pos, true
+			}
+		}
+		for _, d := range declared {
+			if inSCC[d.a] && inSCC[d.b] {
+				parts = append(parts, disp(d.a)+" -> "+disp(d.b)+" (declared)")
+				if !haveAt || lessPosition(d.pos, at) {
+					at, haveAt = d.pos, true
+				}
+			}
+		}
+		pass.ReportAt(at, "lock acquisition cycle: %s (no consistent order exists; restructure or drop a lock before taking the other)",
+			strings.Join(parts, ", "))
+	}
+}
+
+// collectDeclared parses every lockorder directive in the analyzed
+// files, validating the grammar and that both names resolve to known
+// lock classes.
+func (c lockOrder) collectDeclared(pass *ProgramPass, prog *Program) []declaredOrder {
+	var out []declaredOrder
+	for _, pf := range prog.files {
+		for _, cg := range pf.f.Comments {
+			for _, cm := range cg.List {
+				body := moguardText(cm)
+				verb, rest, _ := strings.Cut(body, " ")
+				if verb != "lockorder" {
+					continue
+				}
+				pos := pf.pkg.Fset.Position(cm.Pos())
+				parts := strings.Fields(rest)
+				if len(parts) != 3 || parts[1] != "before" {
+					pass.ReportAt(pos, "moguard: lockorder wants the form \"lockorder <a> before <b>\"")
+					continue
+				}
+				a, okA := resolveLockClass(prog, pf.pkg.Path, parts[0])
+				b, okB := resolveLockClass(prog, pf.pkg.Path, parts[2])
+				bad := false
+				for _, nm := range []struct {
+					name string
+					ok   bool
+				}{{parts[0], okA}, {parts[2], okB}} {
+					if !nm.ok {
+						pass.ReportAt(pos, "moguard: lockorder names unknown lock %q (want a mutex field as <Struct>.<field> or a package-level mutex)", nm.name)
+						bad = true
+					}
+				}
+				if bad {
+					continue
+				}
+				if a == b {
+					pass.ReportAt(pos, "moguard: lockorder orders %q before itself", parts[0])
+					continue
+				}
+				out = append(out, declaredOrder{a: a, b: b, pos: pos})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		x, y := out[i], out[j]
+		if x.pos.Filename != y.pos.Filename {
+			return x.pos.Filename < y.pos.Filename
+		}
+		if x.pos.Line != y.pos.Line {
+			return x.pos.Line < y.pos.Line
+		}
+		return x.a+"\x00"+x.b < y.a+"\x00"+y.b
+	})
+	return out
+}
+
+// resolveLockClass resolves a directive name against the declared lock
+// classes: package-local ("Store.mu", "walMu") or module-relative
+// ("internal/ingest.Store.mu").
+func resolveLockClass(prog *Program, pkgPath, name string) (string, bool) {
+	if _, ok := prog.lockDecls[pkgPath+"."+name]; ok {
+		return pkgPath + "." + name, true
+	}
+	if _, ok := prog.lockDecls[name]; ok {
+		return name, true
+	}
+	qualified := prog.Module + "/" + name
+	if _, ok := prog.lockDecls[qualified]; ok {
+		return qualified, true
+	}
+	return "", false
+}
+
+// tarjanSCC computes strongly connected components over the sorted node
+// list; the visit order makes the output deterministic. Components are
+// returned in an arbitrary but stable order; callers filter to len>1.
+func tarjanSCC(order []string, adj map[string][]string) [][]string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(scc)
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range order {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return sccs
+}

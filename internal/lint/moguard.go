@@ -53,6 +53,25 @@ type structGuards struct {
 	rw      map[string]bool       // which of those are RWMutexes
 	fields  map[string]fieldGuard // annotated fields by name
 	vars    map[*types.Var]string // field object -> field name
+	// unann lists the fields that need an annotation and lack one, in
+	// declaration order. guardedBy reports them after walking the
+	// methods, so each finding can carry a ready-to-paste suggestion
+	// synthesized from how the field is actually accessed.
+	unann []unannField
+	// tally accumulates method accesses of unannotated fields.
+	tally map[string]*accessTally
+}
+
+// unannField is one missing-annotation site.
+type unannField struct {
+	name string
+	pos  token.Pos
+}
+
+// accessTally summarizes how methods touch one unannotated field.
+type accessTally struct {
+	writes int
+	held   map[string]int // mutex name -> accesses made while holding it
 }
 
 // moguardText extracts the directive body from a comment, or "" when
@@ -93,6 +112,10 @@ func parseFieldGuard(body string) (g fieldGuard, msg string) {
 		return fieldGuard{kind: guardUnguarded}, ""
 	case "bounded":
 		return g, "moguard: bounded applies to go statements, not struct fields"
+	case "retained":
+		return g, "moguard: retained applies to store statements, not struct fields"
+	case "lockorder":
+		return g, "moguard: lockorder applies at file scope, not struct fields"
 	case "":
 		return g, "moguard: directive is missing a verb"
 	default:
@@ -200,6 +223,7 @@ func collectOneStruct(pass *Pass, name string, st *ast.StructType, report bool) 
 		rw:      map[string]bool{},
 		fields:  map[string]fieldGuard{},
 		vars:    map[*types.Var]string{},
+		tally:   map[string]*accessTally{},
 	}
 	// The typechecked struct supplies field objects for embedded fields,
 	// which have no name ident to look up in Defs.
@@ -291,11 +315,13 @@ func collectOneStruct(pass *Pass, name string, st *ast.StructType, report bool) 
 			continue
 		}
 		// No annotation: fine unless the struct bears a mutex and the
-		// field is not itself a sync primitive.
+		// field is not itself a sync primitive. The finding is deferred
+		// to guardedBy.Run (after the method walk) so it can carry an
+		// annotation suggestion derived from the access pattern.
 		if report && len(g.mutexes) > 0 && !isSyncType(p.typ) {
 			for _, n := range p.names {
 				if !g.mutexes[n] {
-					pass.Report(p.field.Pos(), "field %s of mutex-bearing struct %s needs a moguard annotation (guarded by <mu> / immutable / atomic / unguarded <reason>)", n, g.name)
+					g.unann = append(g.unann, unannField{name: n, pos: p.field.Pos()})
 				}
 			}
 		}

@@ -1,0 +1,315 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// publishImmutable mechanizes the COW contract DESIGN §11 states in
+// prose: a value whose address reaches an atomic.Pointer[T].Store (or
+// Swap/CompareAndSwap, or an atomic.Value publish) is frozen — readers
+// hold it without any lock, so every store after the publish site is a
+// data race no matter which locks the writer holds. The check walks
+// each function in statement order: once a local variable is published
+// it may not be stored through again — not directly (v.f = x, v.x[i] = y)
+// and not by passing it to a callee whose summary says it stores
+// through that parameter. Rebinding the variable to a fresh value
+// (v = build()) lifts the freeze: the published object is unreachable
+// through v afterwards. Publishing through a helper is caught the same
+// way: a callee whose summary publishes its parameter freezes the
+// caller's argument from the call site on.
+type publishImmutable struct{ cfg *Config }
+
+func (publishImmutable) ID() string { return "publish-immutable" }
+
+// Run is a no-op: publish-immutable is a ProgramCheck.
+func (publishImmutable) Run(*Pass) {}
+
+func (c publishImmutable) RunProgram(pass *ProgramPass) {
+	prog := pass.Prog
+	for _, k := range prog.keys {
+		fn := prog.funcs[k]
+		for _, d := range fn.decls {
+			w := &publishWalk{pass: pass, prog: prog, pkg: d.pkg, published: map[*types.Var]token.Position{}}
+			w.block(d.decl.Body.List)
+		}
+	}
+}
+
+// publishWalk tracks published locals through one function body. The
+// published set is shared across branches on purpose: a publish on any
+// path freezes the value for everything sequenced after it in source
+// order, which over-approximates "reachable on some call path" exactly
+// the way a reviewer reasons about the code.
+type publishWalk struct {
+	pass      *ProgramPass
+	prog      *Program
+	pkg       *Package
+	published map[*types.Var]token.Position
+}
+
+func (w *publishWalk) block(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		w.stmt(s)
+	}
+}
+
+func (w *publishWalk) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.expr(rhs)
+		}
+		for i, lhs := range s.Lhs {
+			w.checkStore(lhs)
+			// Whole-variable rebinding replaces the published object.
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if v := identVar(w.pkg, id); v != nil {
+					if len(s.Rhs) != len(s.Lhs) || !w.aliasesPublished(s.Rhs[i]) {
+						delete(w.published, v)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.checkStore(s.X)
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.DeferStmt:
+		w.expr(s.Call)
+	case *ast.GoStmt:
+		w.expr(s.Call)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(r)
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan)
+		w.expr(s.Value)
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond)
+		w.block(s.Body.List)
+		if s.Else != nil {
+			w.stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		if s.Cond != nil {
+			w.expr(s.Cond)
+		}
+		w.stmt(s.Post)
+		w.block(s.Body.List)
+	case *ast.RangeStmt:
+		w.expr(s.X)
+		w.block(s.Body.List)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		if s.Tag != nil {
+			w.expr(s.Tag)
+		}
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				for _, e := range clause.List {
+					w.expr(e)
+				}
+				w.block(clause.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		w.stmt(s.Assign)
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				w.block(clause.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CommClause); ok {
+				w.stmt(clause.Comm)
+				w.block(clause.Body)
+			}
+		}
+	case *ast.BlockStmt:
+		w.block(s.List)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v)
+					}
+				}
+			}
+		}
+	default:
+	}
+}
+
+// expr visits calls nested anywhere in an expression: publish calls
+// freeze their argument, and calls that store through a published
+// argument are findings.
+func (w *publishWalk) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		w.call(call)
+		return true
+	})
+}
+
+func (w *publishWalk) call(call *ast.CallExpr) {
+	// Direct publish: x.Store(v) on an atomic Pointer/Value.
+	if arg, ok := publishArg(w.pkg, call); ok {
+		if v := unwrapPublishTarget(w.pkg, arg); v != nil && trackablePublish(v) {
+			if _, already := w.published[v]; !already {
+				w.published[v] = w.pkg.Fset.Position(call.Pos())
+			}
+		}
+		return
+	}
+	key := calleeKey(w.pkg, call)
+	if key == "" {
+		return
+	}
+	callee := w.prog.funcs[key]
+	if callee == nil {
+		return
+	}
+	for _, b := range callBindings(w.pkg, call) {
+		v := publishedArg(w.pkg, b.expr, w.published)
+		if v == nil {
+			continue
+		}
+		if callee.Stores[b.param] {
+			at := w.published[v]
+			w.pass.ReportAt(w.pkg.Fset.Position(call.Pos()),
+				"%s may be written by %s after being atomically published at %s:%d (published values are frozen; build a new value instead)",
+				v.Name(), displayKey(w.prog, key), relBase(at.Filename), at.Line)
+		}
+	}
+	// Publish-via-helper: the callee's summary publishes this parameter.
+	for _, b := range callBindings(w.pkg, call) {
+		if !callee.Publishes[b.param] {
+			continue
+		}
+		if v := unwrapPublishTarget(w.pkg, b.expr); v != nil && trackablePublish(v) {
+			if _, already := w.published[v]; !already {
+				w.published[v] = w.pkg.Fset.Position(call.Pos())
+			}
+		}
+	}
+}
+
+// checkStore reports a store through a published variable.
+func (w *publishWalk) checkStore(lhs ast.Expr) {
+	base, through := storeBase(lhs)
+	if !through {
+		return
+	}
+	id, ok := ast.Unparen(base).(*ast.Ident)
+	if !ok {
+		return
+	}
+	v := identVar(w.pkg, id)
+	if v == nil {
+		return
+	}
+	if at, ok := w.published[v]; ok {
+		w.pass.ReportAt(w.pkg.Fset.Position(lhs.Pos()),
+			"%s is written after being atomically published at %s:%d (published values are frozen; build a new value instead)",
+			v.Name(), relBase(at.Filename), at.Line)
+	}
+}
+
+// aliasesPublished reports whether the expression is a published
+// variable itself (v2 = v keeps the object frozen through v, and the
+// walker only tracks direct rebinding anyway).
+func (w *publishWalk) aliasesPublished(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v := identVar(w.pkg, id)
+	if v == nil {
+		return false
+	}
+	_, ok = w.published[v]
+	return ok
+}
+
+// publishedArg resolves an argument to a published variable: the
+// variable itself or its address.
+func publishedArg(pkg *Package, e ast.Expr, published map[*types.Var]token.Position) *types.Var {
+	v := unwrapPublishTarget(pkg, e)
+	if v == nil {
+		return nil
+	}
+	if _, ok := published[v]; ok {
+		return v
+	}
+	return nil
+}
+
+// trackablePublish limits tracking to local pointer-typed variables —
+// the COW idiom ("build next, publish next, never touch next again").
+// Publishing a field or a global is a different pattern with its own
+// synchronization story, and publishing a self-synchronized object
+// (one carrying its own mutex or atomics, like a fault injector) is an
+// installation, not a freeze.
+func trackablePublish(v *types.Var) bool {
+	if v.IsField() || isPackageLevel(v) {
+		return false
+	}
+	if _, isPtr := v.Type().Underlying().(*types.Pointer); !isPtr {
+		return false
+	}
+	return !selfSynchronized(v.Type())
+}
+
+func identVar(pkg *Package, id *ast.Ident) *types.Var {
+	if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := pkg.Info.Defs[id].(*types.Var)
+	return v
+}
+
+// displayKey renders a function key module-relatively.
+func displayKey(prog *Program, key string) string {
+	if prog.Module == "" {
+		return key
+	}
+	return strings.TrimPrefix(key, prog.Module+"/")
+}
+
+// relBase shortens a witness filename to its final two path elements so
+// messages stay readable without being checkout-absolute.
+func relBase(filename string) string {
+	slash := -1
+	seen := 0
+	for i := len(filename) - 1; i >= 0; i-- {
+		if filename[i] == '/' || filename[i] == '\\' {
+			seen++
+			if seen == 2 {
+				slash = i
+				break
+			}
+		}
+	}
+	if slash < 0 {
+		return filename
+	}
+	return filename[slash+1:]
+}

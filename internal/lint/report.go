@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Report is the machine-readable form of a Result, with file paths
@@ -24,6 +26,9 @@ type ReportFinding struct {
 	Column  int    `json:"column"`
 	Check   string `json:"check"`
 	Message string `json:"message"`
+	// Suggestion is the ready-to-paste fix from -suggest mode, when the
+	// check synthesized one.
+	Suggestion string `json:"suggestion,omitempty"`
 }
 
 // ReportSummary mirrors the text summary line plus the per-check table.
@@ -32,6 +37,10 @@ type ReportSummary struct {
 	Suppressed int                   `json:"suppressed"`
 	Packages   int                   `json:"packages"`
 	Checks     map[string]CheckTally `json:"checks"`
+	// Timings is per-check wall time in milliseconds. Populated only
+	// under -timings: wall time varies run to run, and the JSON document
+	// is otherwise byte-identical across runs (a contract CI relies on).
+	Timings map[string]float64 `json:"timings_ms,omitempty"`
 }
 
 // NewReport converts a Result. root is the module root for
@@ -49,12 +58,27 @@ func NewReport(root string, res Result, packages int) Report {
 	}
 	for _, f := range res.Findings {
 		r.Findings = append(r.Findings, ReportFinding{
-			File:    relPath(root, f.Pos.Filename),
-			Line:    f.Pos.Line,
-			Column:  f.Pos.Column,
-			Check:   f.Check,
-			Message: f.Message,
+			File:       relPath(root, f.Pos.Filename),
+			Line:       f.Pos.Line,
+			Column:     f.Pos.Column,
+			Check:      f.Check,
+			Message:    f.Message,
+			Suggestion: f.Suggestion,
 		})
+	}
+	return r
+}
+
+// WithTimings attaches per-check wall times (as milliseconds) to the
+// summary. Kept out of NewReport so the default JSON document stays
+// byte-identical across runs.
+func (r Report) WithTimings(timings map[string]time.Duration) Report {
+	if len(timings) == 0 {
+		return r
+	}
+	r.Summary.Timings = map[string]float64{}
+	for id, d := range timings {
+		r.Summary.Timings[id] = float64(d.Microseconds()) / 1000
 	}
 	return r
 }
@@ -89,25 +113,154 @@ func (r Report) WriteGitHub(w io.Writer) error {
 }
 
 // WriteSummaryTable renders the per-check finding/suppression tallies
-// as an aligned text table, checks sorted by ID.
+// as an aligned text table, checks sorted by ID. When timings were
+// attached (the -timings flag) a wall-time column is appended; the
+// "callgraph" row covers the shared interprocedural build that the
+// program-wide checks amortize.
 func (r Report) WriteSummaryTable(w io.Writer) error {
 	ids := make([]string, 0, len(r.Summary.Checks))
 	width := len("check")
-	for id := range r.Summary.Checks {
+	note := func(id string) {
 		ids = append(ids, id)
 		if len(id) > width {
 			width = len(id)
 		}
 	}
+	for id := range r.Summary.Checks {
+		note(id)
+	}
+	for id := range r.Summary.Timings {
+		if _, dup := r.Summary.Checks[id]; !dup {
+			note(id) // e.g. the shared "callgraph" build phase
+		}
+	}
 	sort.Strings(ids)
-	if _, err := fmt.Fprintf(w, "%-*s  %8s  %10s\n", width, "check", "findings", "suppressed"); err != nil {
+	withMS := len(r.Summary.Timings) > 0
+	header := fmt.Sprintf("%-*s  %8s  %10s", width, "check", "findings", "suppressed")
+	if withMS {
+		header += fmt.Sprintf("  %9s", "ms")
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
 		return err
 	}
 	for _, id := range ids {
 		t := r.Summary.Checks[id]
-		if _, err := fmt.Fprintf(w, "%-*s  %8d  %10d\n", width, id, t.Findings, t.Suppressed); err != nil {
+		row := fmt.Sprintf("%-*s  %8d  %10d", width, id, t.Findings, t.Suppressed)
+		if withMS {
+			row += fmt.Sprintf("  %9.1f", r.Summary.Timings[id])
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// sarif mirrors the slice of SARIF 2.1.0 that GitHub code scanning
+// consumes: one run, the check catalog as rules, findings as results
+// anchored by root-relative artifact locations.
+type sarif struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF emits the report as a SARIF 2.1.0 document suitable for
+// github/codeql-action/upload-sarif. The rule catalog is derived from
+// the summary's check tallies so every enabled check appears even when
+// clean, and both rules and results are emitted in sorted order for
+// byte-stable output.
+func (r Report) WriteSARIF(w io.Writer) error {
+	ids := make([]string, 0, len(r.Summary.Checks))
+	for id := range r.Summary.Checks {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	doc := sarif{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:  "molint",
+				Rules: []sarifRule{},
+			}},
+			Results: []sarifResult{},
+		}},
+	}
+	for _, id := range ids {
+		doc.Runs[0].Tool.Driver.Rules = append(doc.Runs[0].Tool.Driver.Rules, sarifRule{
+			ID:               id,
+			ShortDescription: sarifMessage{Text: "molint check " + id},
+		})
+	}
+	for _, f := range r.Findings {
+		msg := f.Message
+		if f.Suggestion != "" {
+			msg += " (suggested: " + f.Suggestion + ")"
+		}
+		doc.Runs[0].Results = append(doc.Runs[0].Results, sarifResult{
+			RuleID:  f.Check,
+			Level:   "error",
+			Message: sarifMessage{Text: msg},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{
+					URI:       filepath.ToSlash(f.File),
+					URIBaseID: "%SRCROOT%",
+				},
+				Region: sarifRegion{StartLine: f.Line, StartColumn: f.Column},
+			}}},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }

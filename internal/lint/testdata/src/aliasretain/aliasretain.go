@@ -1,0 +1,83 @@
+// Fixture for the alias-retain check: slices and pointers received by
+// exported functions are caller-owned; storing one into struct or
+// package state — directly, via re-slicing, via a composite literal,
+// or one call frame down — needs a "moguard: retained" annotation at
+// the store. Spread appends copy and are fine; receivers retaining
+// their own state are the point of having state.
+package aliasretain
+
+import "sync"
+
+type Index struct {
+	mu  sync.Mutex
+	out []int // moguard: guarded by mu
+	buf []int // moguard: guarded by mu
+}
+
+var scratch []int
+var last *Index
+
+// Search reuses the caller's out slice across calls — the reused
+// out-slice bug class, caught at the store.
+func (ix *Index) Search(q int, out []int) []int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.out = out // want `stores caller-owned parameter out into field out`
+	return append(out, q)
+}
+
+// Record leaks a caller-owned slice into package state.
+func Record(vals []int) {
+	scratch = vals // want `package variable scratch`
+}
+
+// Mixed re-slices the parameter (still the caller's backing array) but
+// copies via spread append (fine).
+func (ix *Index) Mixed(vals []int) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.buf = append(ix.buf, vals...)
+	ix.out = vals[1:] // want `stores caller-owned parameter vals into field out`
+}
+
+// Keep hides the retention one frame down; the callee's summary
+// surfaces it at this call site.
+func Keep(dst *Index, vals []int) {
+	dst.stash(vals) // want `passes caller-owned parameter vals to .*stash, which retains it`
+}
+
+func (ix *Index) stash(vals []int) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.buf = vals
+}
+
+// Adopt declares the ownership transfer: annotated stores are clean
+// and do not propagate through the summaries.
+func (ix *Index) Adopt(vals []int) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	// moguard: retained Adopt's contract is that callers hand the slice over
+	ix.buf = vals
+}
+
+// AdoptBad annotates without saying why.
+func (ix *Index) AdoptBad(vals []int) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	// moguard: retained // want `missing a reason`
+	ix.buf = vals
+}
+
+// Copy is the sanctioned fix: a spread append owns fresh storage.
+func (ix *Index) Copy(vals []int) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.buf = append([]int(nil), vals...)
+}
+
+// Seal retains the receiver, which the contract exempts: an object
+// storing itself is registration, not buffer capture.
+func (ix *Index) Seal() {
+	last = ix
+}

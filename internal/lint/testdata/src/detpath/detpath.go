@@ -18,6 +18,16 @@ func Wait(d time.Duration) {
 	time.Sleep(d) // want `wall-clock call time.Sleep`
 }
 
+// Capture hands the clock to a callee behind a function value: the
+// read happens later, but the variation enters here.
+func Capture() func() time.Time {
+	return time.Now // want `wall-clock function time.Now captured as a value`
+}
+
+// Shuffle stores a global rand function for later use — same laundering
+// shape for randomness.
+var Shuffle = rand.Intn // want `global rand.Intn captured as a value`
+
 func Good(seed int64) int {
 	rng := rand.New(rand.NewSource(seed))
 	return rng.Intn(10) // method on a seeded generator: fine

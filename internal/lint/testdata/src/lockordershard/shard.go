@@ -1,0 +1,41 @@
+// Fixture modeling the planned N-shard ingest layout: one mutex class
+// for all shard lanes plus a manifest mutex, with the order declared
+// up front. This file is the gate the sharding PR runs under — it must
+// stay finding-free: taking the manifest lock while holding a shard
+// lock matches the declared order, and the declared edge means any
+// future code that witnesses the reverse fails lock-order immediately,
+// before a second witness completes a cycle.
+package lockordershard
+
+import "sync"
+
+// moguard: lockorder Shard.mu before Manifest.mu
+
+// Shard is one lock-independent ingest lane.
+type Shard struct {
+	mu   sync.Mutex
+	objs map[int]int // moguard: guarded by mu
+}
+
+// Manifest tracks which shard owns which object range.
+type Manifest struct {
+	mu    sync.Mutex
+	dirty []int // moguard: guarded by mu
+}
+
+// Apply mutates one lane and then notes the change in the manifest,
+// acquiring in the declared order.
+func (s *Shard) Apply(m *Manifest, id, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objs[id] = v
+	m.note(id)
+}
+
+// note is entered with a shard lock held; its manifest acquisition is
+// the Shard.mu -> Manifest.mu edge the declaration permits.
+func (m *Manifest) note(id int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirty = append(m.dirty, id)
+}

@@ -1,0 +1,51 @@
+// Fixture for the publish-immutable check: a value whose address
+// reaches an atomic publish is frozen — stores after the publish site
+// are findings whether they happen directly, through a helper that the
+// summaries say writes its parameter, or after the publish itself went
+// through a helper. Rebinding the variable to a fresh value lifts the
+// freeze.
+package publishimmutable
+
+import "sync/atomic"
+
+type epoch struct {
+	seq int64
+	ids []int
+}
+
+type store struct {
+	cur atomic.Pointer[epoch]
+}
+
+// publishDirect freezes next at the Store and then writes it.
+func (s *store) publishDirect(next *epoch) {
+	next.seq++ // building before the publish is the point of COW
+	s.cur.Store(next)
+	next.seq = 9 // want `written after being atomically published`
+}
+
+// publishViaHelper publishes through install (the summary carries the
+// publish to this call site) and then hands the frozen value to a
+// helper whose summary stores through its parameter.
+func (s *store) publishViaHelper(next *epoch) {
+	s.install(next)
+	bump(next) // want `may be written by`
+}
+
+func (s *store) install(e *epoch) {
+	s.cur.Store(e)
+}
+
+func bump(e *epoch) {
+	e.seq++
+}
+
+// rebuildOK shows the sanctioned pattern: after publishing, the
+// variable is rebound to a freshly built value, so later stores touch
+// the new object, never the published one.
+func (s *store) rebuildOK(next *epoch) {
+	s.cur.Store(next)
+	next = &epoch{seq: next.seq + 1}
+	next.seq = 2
+	s.cur.Store(next)
+}

@@ -1,6 +1,8 @@
 // Fixture for the suppression machinery: a respected directive, a
 // directive missing its reason (which suppresses nothing and is itself
-// a finding), and a directive naming an unknown check.
+// a finding), a directive naming an unknown check, and a well-formed
+// directive that suppresses nothing (reported only under
+// -stale-suppressions).
 package suppress
 
 import "errors"
@@ -20,4 +22,9 @@ func missingReason() {
 func unknownCheck() error {
 	//molint:ignore no-such-check reasons do not rescue unknown check IDs
 	return fail()
+}
+
+func stale() int {
+	//molint:ignore ctx-loop nothing here selects on a context anymore
+	return 0
 }

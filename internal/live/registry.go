@@ -258,6 +258,7 @@ func (r *Registry) Notify(ep *ingest.Epoch, dirty []ingest.DirtyObject) {
 		r.queue = r.queue[1:]
 		coalesced = true
 	}
+	// moguard: retained publish hand-off — the store builds a fresh dirty slice per publish and the epoch is frozen COW state
 	r.queue = append(r.queue, notice{ep: ep, dirty: dirty, pubNS: pubNS})
 	r.mu.Unlock()
 	r.cfg.Metrics.RecordLiveNotify(coalesced)

@@ -11,8 +11,18 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> molint (static analysis, default + faultinject variants)"
-go run ./cmd/molint -summary ./...
+echo "==> molint (static analysis: default, faultinject, debugcheck variants)"
+# The suite must stay fast enough to run on every commit: budget 60s
+# wall time for the full interprocedural run including stale-suppression
+# detection and the per-check timing table.
+molint_start=$(date +%s)
+go run ./cmd/molint -summary -timings -stale-suppressions ./...
+molint_elapsed=$(( $(date +%s) - molint_start ))
+echo "molint wall time: ${molint_elapsed}s (budget 60s)"
+if [ "$molint_elapsed" -gt 60 ]; then
+    echo "verify: FAIL molint exceeded its 60s budget (${molint_elapsed}s)" >&2
+    exit 1
+fi
 
 echo "==> go test -race ./..."
 go test -race ./...
