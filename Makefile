@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench docs fuzz faultinject lint debugcheck soak chaos
+.PHONY: all build vet test race verify bench docs fuzz faultinject lint debugcheck soak chaos allocgate
 
 all: verify
 
@@ -20,6 +20,13 @@ race:
 # the default and faultinject build variants.
 lint:
 	$(GO) run ./cmd/molint -summary -stale-suppressions ./...
+
+# Enforce the hot-path allocation budgets (alloc_budgets.json): every
+# budgeted benchmark runs under -benchmem and must stay at or below its
+# allocs/op and B/op ceilings. The static half of the contract is
+# molint's alloc-hot check.
+allocgate:
+	$(GO) run ./cmd/mobench -exp allocgate
 
 # Run the paper-kernel tests with the runtime invariant assertions
 # compiled in (sliced-representation and halfsegment-order checks).

@@ -1,0 +1,193 @@
+package main
+
+// The allocation regression gate (-exp allocgate): the flip side of
+// molint's alloc-hot check. alloc-hot proves the hot paths carry no
+// unjustified allocation sites statically; the gate proves the
+// justified ones stay within budget at runtime. alloc_budgets.json
+// pins each hot-path benchmark to a maximum allocs/op (exact — the
+// workloads are seeded and deterministic) and B/op (with headroom for
+// map/heap growth jitter); the gate runs them under -benchmem through
+// the real `go test` harness and fails the build on any excess.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type allocBudget struct {
+	Pkg       string `json:"pkg"`
+	MaxAllocs int64  `json:"max_allocs_per_op"`
+	MaxBytes  int64  `json:"max_bytes_per_op"`
+}
+
+type allocBudgetFile struct {
+	Description string                 `json:"description"`
+	Benchmarks  map[string]allocBudget `json:"benchmarks"`
+}
+
+// benchStat is one parsed -benchmem result line.
+type benchStat struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// allocRow is one gate verdict, written to -outalloc as JSON.
+type allocRow struct {
+	benchStat
+	Pkg       string `json:"pkg"`
+	MaxAllocs int64  `json:"max_allocs_per_op"`
+	MaxBytes  int64  `json:"max_bytes_per_op"`
+	Pass      bool   `json:"pass"`
+}
+
+// parseBenchOutput extracts the benchmark result lines from `go test
+// -bench -benchmem` output. Names are normalised by stripping the
+// trailing -<procs> suffix the harness appends, so they match the
+// budget keys.
+func parseBenchOutput(output string) []benchStat {
+	var out []benchStat
+	for _, line := range strings.Split(output, "\n") {
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		st := benchStat{Name: trimProcs(fields[0]), NsPerOp: -1, BytesPerOp: -1, AllocsPerOp: -1}
+		for i := 2; i < len(fields); i++ {
+			v := fields[i-1]
+			switch fields[i] {
+			case "ns/op":
+				if f, err := strconv.ParseFloat(v, 64); err == nil {
+					st.NsPerOp = f
+				}
+			case "B/op":
+				if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+					st.BytesPerOp = n
+				}
+			case "allocs/op":
+				if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+					st.AllocsPerOp = n
+				}
+			}
+		}
+		if st.AllocsPerOp >= 0 && st.BytesPerOp >= 0 {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// trimProcs strips the -<GOMAXPROCS> suffix from a benchmark name.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// allocGate runs every budgeted benchmark and fails on any excess.
+func allocGate() {
+	raw, err := os.ReadFile(budgets)
+	if err != nil {
+		fmt.Printf("allocgate: %v\n", err)
+		os.Exit(2)
+	}
+	var file allocBudgetFile
+	if err := json.Unmarshal(raw, &file); err != nil {
+		fmt.Printf("allocgate: parse %s: %v\n", budgets, err)
+		os.Exit(2)
+	}
+	if len(file.Benchmarks) == 0 {
+		fmt.Printf("allocgate: %s names no benchmarks\n", budgets)
+		os.Exit(2)
+	}
+
+	// Group budget entries by package so each package's benchmarks run
+	// in one `go test` invocation (one build, shared cache).
+	byPkg := map[string][]string{}
+	for name, b := range file.Benchmarks {
+		byPkg[b.Pkg] = append(byPkg[b.Pkg], name)
+	}
+	pkgs := make([]string, 0, len(byPkg))
+	for p := range byPkg {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+
+	stats := map[string]benchStat{}
+	for _, pkg := range pkgs {
+		names := byPkg[pkg]
+		sort.Strings(names)
+		re := "^(" + strings.Join(names, "|") + ")$"
+		cmd := exec.Command("go", "test", "-run=^$", "-bench="+re, "-benchmem", "-count=1", pkg)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			fmt.Printf("allocgate: go test %s: %v\n%s", pkg, err, out)
+			os.Exit(2)
+		}
+		for _, st := range parseBenchOutput(string(out)) {
+			stats[st.Name] = st
+		}
+	}
+
+	names := make([]string, 0, len(file.Benchmarks))
+	for n := range file.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	fmt.Println("allocgate: hot-path allocation budgets (alloc_budgets.json)")
+	fmt.Printf("%-28s %12s %14s %14s %8s\n", "benchmark", "ns/op", "B/op (max)", "allocs (max)", "verdict")
+	var rows []allocRow
+	failed := 0
+	for _, name := range names {
+		b := file.Benchmarks[name]
+		st, ok := stats[name]
+		if !ok {
+			fmt.Printf("%-28s %12s %14s %14s %8s\n", name, "-", "-", "-", "MISSING")
+			failed++
+			continue
+		}
+		pass := st.AllocsPerOp <= b.MaxAllocs && st.BytesPerOp <= b.MaxBytes
+		if !pass {
+			failed++
+		}
+		verdict := "ok"
+		if !pass {
+			verdict = "FAIL"
+		}
+		fmt.Printf("%-28s %12.0f %7d (%5d) %7d (%4d) %8s\n",
+			name, st.NsPerOp, st.BytesPerOp, b.MaxBytes, st.AllocsPerOp, b.MaxAllocs, verdict)
+		rows = append(rows, allocRow{benchStat: st, Pkg: b.Pkg,
+			MaxAllocs: b.MaxAllocs, MaxBytes: b.MaxBytes, Pass: pass})
+	}
+	if outAlloc != "" {
+		data, err := json.MarshalIndent(map[string]any{"allocgate": rows}, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(outAlloc, append(data, '\n'), 0o644); err != nil {
+			fmt.Printf("write %s: %v\n", outAlloc, err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %s\n", outAlloc)
+	}
+	if failed > 0 {
+		fmt.Printf("allocgate: FAIL — %d benchmark(s) over budget or missing\n", failed)
+		os.Exit(1)
+	}
+	fmt.Println("allocgate: OK")
+}

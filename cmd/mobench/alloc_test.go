@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+// TestParseBenchOutput pins the -benchmem transcript parse on a fixed
+// `go test -bench -benchmem` capture: result lines with and without
+// the memory columns, the -<procs> suffix strip, and the noise lines
+// (goos/pkg/PASS) the parser must skip.
+func TestParseBenchOutput(t *testing.T) {
+	transcript := `goos: linux
+goarch: amd64
+pkg: movingdb/internal/ingest
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkEpochWindow    	   20120	     61736 ns/op	    1864 B/op	       9 allocs/op
+BenchmarkEpochAtInstant-8 	  130597	      8984 ns/op	    3456 B/op	       1 allocs/op
+BenchmarkNoMemColumns-8 	  130597	      8984 ns/op
+BenchmarkOdd-Name-4     	     100	    123.5 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	movingdb/internal/ingest	6.512s
+`
+	got := parseBenchOutput(transcript)
+	want := []benchStat{
+		{Name: "BenchmarkEpochWindow", NsPerOp: 61736, BytesPerOp: 1864, AllocsPerOp: 9},
+		{Name: "BenchmarkEpochAtInstant", NsPerOp: 8984, BytesPerOp: 3456, AllocsPerOp: 1},
+		{Name: "BenchmarkOdd-Name", NsPerOp: 123.5, BytesPerOp: 0, AllocsPerOp: 0},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d stats, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("stat %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkX-8":        "BenchmarkX",
+		"BenchmarkX":          "BenchmarkX",
+		"BenchmarkOdd-Name":   "BenchmarkOdd-Name",
+		"BenchmarkOdd-Name-4": "BenchmarkOdd-Name",
+	} {
+		if got := trimProcs(in); got != want {
+			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -31,11 +31,13 @@ import (
 )
 
 var (
-	quick   bool
-	out     string
-	out6    string
-	out7    string
-	soakFor time.Duration
+	quick    bool
+	out      string
+	out6     string
+	out7     string
+	budgets  string
+	outAlloc string
+	soakFor  time.Duration
 )
 
 func main() {
@@ -43,14 +45,17 @@ func main() {
 	flag.StringVar(&out, "out", "BENCH_PR2.json", "file for E8's machine-readable results (empty disables)")
 	flag.StringVar(&out6, "out6", "BENCH_PR6.json", "file for E9's machine-readable results (empty disables)")
 	flag.StringVar(&out7, "out7", "BENCH_PR7.json", "file for E10's machine-readable results (empty disables)")
+	flag.StringVar(&budgets, "budgets", "alloc_budgets.json", "allocation budget file for -exp allocgate")
+	flag.StringVar(&outAlloc, "outalloc", "", "file for allocgate's machine-readable results (empty disables)")
 	flag.DurationVar(&soakFor, "soak-dur", 10*time.Second, "duration for -exp soak")
-	exp := flag.String("exp", "all", "experiment id: E1..E10, soak, or all")
+	exp := flag.String("exp", "all", "experiment id: E1..E10, soak, allocgate, or all")
 	flag.Parse()
 
 	run := map[string]func(){
 		"E1": e1AtInstant, "E2": e2Inside, "E3": e3Equality,
 		"E4": e4Storage, "E5": e5EndToEnd, "E6": e6Refinement, "E7": e7Window,
 		"E8": e8Ingest, "E9": e9Cache, "E10": e10Live, "soak": soakRun,
+		"allocgate": allocGate,
 	}
 	if *exp != "all" {
 		f, ok := run[*exp]

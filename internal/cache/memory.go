@@ -80,7 +80,10 @@ func NewMemory(budget int64, shards int, metrics *obs.Metrics) *Memory {
 }
 
 // Get returns the cached bytes for k, marking the entry most recently
-// used.
+// used. A warm hit must not allocate (alloc_budgets.json pins it at
+// zero allocs/op).
+//
+// moguard: hotpath
 func (m *Memory) Get(k Key) ([]byte, bool) {
 	s := m.shards[shardOf(k, len(m.shards))]
 	s.mu.Lock()

@@ -62,6 +62,7 @@ func (h knnHeap) less(i, j int) bool {
 }
 
 func (h *knnHeap) push(it knnItem) {
+	// moguard: allocok growth is amortized by the pre-sized arena Nearest allocates; push itself must stay an append to keep the heap a plain slice
 	*h = append(*h, it)
 	i := len(*h) - 1
 	for i > 0 {
@@ -122,11 +123,15 @@ func cubeCoversT(c geom.Cube, t float64) bool {
 // key) order; scanned counts visited tree nodes plus delta entries, for
 // the scan-vs-index ablation. Deterministic: pure function of the
 // snapshot and the arguments (ties broken by key).
+//
+// moguard: hotpath
 func (s Snapshot) Nearest(x, y, t float64, k int, maxDist float64, refine func(id int64) (key int64, dist float64, ok bool)) ([]Neighbor, int) {
 	if maxDist < 0 {
 		maxDist = math.Inf(1)
 	}
-	var h knnHeap
+	// One pre-sized arena absorbs the frontier's churn; 64 slots cover a
+	// typical best-first frontier so push almost never grows the array.
+	h := make(knnHeap, 0, 64)
 	if s.base != nil && s.base.root >= 0 {
 		if nd := s.base.nodes[s.base.root]; cubeCoversT(nd.cube, t) {
 			if d := minDistRect(x, y, nd.cube.Rect); d <= maxDist {
@@ -143,8 +148,13 @@ func (s Snapshot) Nearest(x, y, t float64, k int, maxDist float64, refine func(i
 			h.push(knnItem{dist: d, kind: knnEntry, id: e.ID})
 		}
 	}
+	// moguard: allocok refinement keys are sparse int64s from an unbounded domain; a map is the right dedup structure and it allocates once per query
 	seen := make(map[int64]bool)
-	var out []Neighbor
+	outCap := k
+	if outCap <= 0 {
+		outCap = 16 // radius query: no count bound, start small
+	}
+	out := make([]Neighbor, 0, outCap)
 	for len(h) > 0 {
 		it := h.pop()
 		if it.dist > maxDist {

@@ -47,6 +47,7 @@ type node struct {
 // tile into vertical slabs, sort each slab by y, tile again, sort runs
 // by t. The input slice is copied.
 func Build(entries []Entry) *RTree {
+	// moguard: allocok the built tree is the returned product; one allocation per index build, amortized over the flush batch
 	t := &RTree{entries: append([]Entry(nil), entries...)}
 	if len(t.entries) == 0 {
 		t.root = -1
@@ -54,7 +55,7 @@ func Build(entries []Entry) *RTree {
 	}
 	t.strSort()
 	// Leaves over runs of fanout entries.
-	var level []int
+	level := make([]int, 0, (len(t.entries)+fanout-1)/fanout)
 	for lo := 0; lo < len(t.entries); lo += fanout {
 		hi := min(lo+fanout, len(t.entries))
 		cube := geom.EmptyCube()
@@ -68,7 +69,7 @@ func Build(entries []Entry) *RTree {
 	// Inner levels: children of one parent are contiguous by
 	// construction.
 	for len(level) > 1 {
-		var next []int
+		next := make([]int, 0, (len(level)+fanout-1)/fanout)
 		for lo := 0; lo < len(level); lo += fanout {
 			hi := min(lo+fanout, len(level))
 			cube := geom.EmptyCube()

@@ -68,6 +68,59 @@ func benchDeltaPipeline(b *testing.B, total int, deltaFrac float64) *Pipeline {
 	return p
 }
 
+// benchEpoch pins one mostly-merged epoch for the read-path benchmarks.
+func benchEpoch(b *testing.B) *Epoch {
+	b.Helper()
+	p := benchDeltaPipeline(b, 20000, 0.10)
+	b.Cleanup(p.Close)
+	return p.Epoch()
+}
+
+// BenchmarkEpochWindow measures the lock-free window query against a
+// pinned epoch — the /v1/window read path under the allocation budget
+// (alloc_budgets.json).
+func BenchmarkEpochWindow(b *testing.B) {
+	ep := benchEpoch(b)
+	rects := make([]geom.Rect, 32)
+	for i := range rects {
+		x := float64((i * 131) % 900)
+		y := float64((i * 57) % 900)
+		rects[i] = geom.Rect{MinX: x, MinY: y, MaxX: x + 100, MaxY: y + 100}
+	}
+	iv := temporal.Closed(0, 50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ep.Window(rects[i%len(rects)], iv)
+	}
+}
+
+// BenchmarkEpochAtInstant measures the projection of every object onto
+// one instant — the /v1/objects?t= read path under the allocation
+// budget.
+func BenchmarkEpochAtInstant(b *testing.B) {
+	ep := benchEpoch(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ep.AtInstant(temporal.Instant(float64(i%50) + 0.5))
+	}
+}
+
+// BenchmarkEpochNearest measures the k-NN read path (/v1/nearby)
+// end-to-end over the epoch: best-first index traversal plus sealed-view
+// refinement, under the allocation budget.
+func BenchmarkEpochNearest(b *testing.B) {
+	ep := benchEpoch(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := float64((i * 137) % 1000)
+		y := float64((i * 89) % 1000)
+		_ = ep.Nearest(x, y, 25, 10, -1)
+	}
+}
+
 // BenchmarkWindowDeltaFraction measures window-query latency as the
 // delta buffer grows relative to the base tree: 0% (fully merged), 10%
 // and 50% of entries unmerged. The spread is the price of deferring

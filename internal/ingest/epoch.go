@@ -1,8 +1,6 @@
 package ingest
 
 import (
-	"slices"
-
 	"movingdb/internal/geom"
 	"movingdb/internal/index"
 	"movingdb/internal/mapping"
@@ -104,15 +102,19 @@ func (e *Epoch) IndexEntries() int { return e.idx.Len() }
 // in ascending registration order — the same answer Store.Window gives
 // for the epoch's state, computed without taking any lock: candidates
 // come from the pinned index snapshot and refinement runs against the
-// sealed unit views.
+// sealed unit views. Dedup and ordering use a dense bitset over object
+// slots (slot index IS registration order), so the hot read path does
+// one bounded allocation and no sort.
+//
+// moguard: hotpath
 func (e *Epoch) Window(rect geom.Rect, iv temporal.Interval) []string {
 	q := geom.Cube{Rect: rect, MinT: float64(iv.Start), MaxT: float64(iv.End)}
 	ids, _ := e.idx.Search(q, nil)
-	seen := make(map[int]bool)
-	var hits []int
+	seen := make([]bool, len(e.objs))
+	hits := 0
 	for _, id := range ids {
 		oi, ui := int(id>>32), int(id&0xffffffff)
-		if seen[oi] || oi >= len(e.objs) {
+		if oi >= len(e.objs) || seen[oi] {
 			continue
 		}
 		v := e.objs[oi]
@@ -127,21 +129,24 @@ func (e *Epoch) Window(rect geom.Rect, iv temporal.Interval) []string {
 		// every extent its earlier index entries covered.
 		if index.UPointInWindow(v.unit(ui), rect, iv) {
 			seen[oi] = true
-			hits = append(hits, oi)
+			hits++
 		}
 	}
-	slices.Sort(hits)
-	out := make([]string, 0, len(hits))
-	for _, oi := range hits {
-		out = append(out, e.objs[oi].id)
+	out := make([]string, 0, hits)
+	for oi, hit := range seen {
+		if hit {
+			out = append(out, e.objs[oi].id)
+		}
 	}
 	return out
 }
 
 // AtInstant returns the position of every object defined at t, in
 // registration order, lock-free against the sealed views.
+//
+// moguard: hotpath
 func (e *Epoch) AtInstant(t temporal.Instant) []Position {
-	out := []Position{}
+	out := make([]Position, 0, len(e.objs))
 	for _, v := range e.objs {
 		if u, ok := v.unitAt(t); ok {
 			p := u.Eval(t)
@@ -153,6 +158,8 @@ func (e *Epoch) AtInstant(t temporal.Instant) []Position {
 
 // Summaries lists the tracked objects in registration order, exactly as
 // Store.Summaries does for the epoch's state.
+//
+// moguard: hotpath
 func (e *Epoch) Summaries() []ObjectSummary {
 	out := make([]ObjectSummary, 0, len(e.objs))
 	for _, v := range e.objs {

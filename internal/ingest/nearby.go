@@ -26,8 +26,9 @@ type NearbyResult struct {
 // range queries are the two degenerate corners of the same traversal.
 // Ties in distance break by registration order, so the result is a pure
 // function of (query, epoch) — exactly what the result cache needs.
+//
+// moguard: hotpath
 func (e *Epoch) Nearest(x, y float64, t temporal.Instant, k int, radius float64) []NearbyResult {
-	pos := make(map[int64]geom.Point)
 	refine := func(id int64) (int64, float64, bool) {
 		oi := int(id >> 32)
 		key := int64(oi)
@@ -40,13 +41,16 @@ func (e *Epoch) Nearest(x, y float64, t temporal.Instant, k int, radius float64)
 			return key, 0, false
 		}
 		p := u.Eval(t)
-		pos[key] = p
 		return key, math.Hypot(p.X-x, p.Y-y), true
 	}
 	nbs, _ := e.idx.Nearest(x, y, float64(t), k, radius, refine)
-	out := []NearbyResult{}
+	out := make([]NearbyResult, 0, len(nbs))
 	for _, nb := range nbs {
-		p := pos[nb.Key]
+		// Re-deriving the position costs one binary search per hit and
+		// keeps the traversal allocation-free (the per-query position map
+		// this replaces allocated per candidate, not per hit).
+		u, _ := e.objs[int(nb.Key)].unitAt(t)
+		p := u.Eval(t)
 		out = append(out, NearbyResult{ID: e.objs[int(nb.Key)].id, X: p.X, Y: p.Y, Dist: nb.Dist})
 	}
 	return out

@@ -154,6 +154,7 @@ func Checks(cfg *Config) []Check {
 		lockOrder{cfg},
 		publishImmutable{cfg},
 		aliasRetain{cfg},
+		allocHot{cfg},
 	}
 }
 

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The -escapes cross-check joins alloc-hot's static allocation sites
+// with the compiler's own escape analysis: molint shells out to
+// `go build -gcflags=-m=2`, parses the heap diagnostics, and the
+// alloc-hot reporter tiers each finding as confirmed-by-compiler or
+// static-only. The join is purely positional (file and line), which is
+// exactly how the gc toolchain reports escapes.
+
+// EscapeData is the parsed escape-diagnostic set of one build.
+type EscapeData struct {
+	sites map[escKey]string // first diagnostic per file:line
+}
+
+type escKey struct {
+	file string
+	line int
+}
+
+// At returns the compiler's escape diagnostic covering file:line, if
+// any. file must be the same absolute path the loader produced.
+func (e *EscapeData) At(file string, line int) (string, bool) {
+	if e == nil {
+		return "", false
+	}
+	d, ok := e.sites[escKey{file, line}]
+	return d, ok
+}
+
+// Len reports the number of distinct source lines carrying an escape
+// diagnostic.
+func (e *EscapeData) Len() int {
+	if e == nil {
+		return 0
+	}
+	return len(e.sites)
+}
+
+// Sites renders the parsed set as sorted "file:line: message" strings —
+// deterministic, for tests and diagnostics.
+func (e *EscapeData) Sites() []string {
+	if e == nil {
+		return nil
+	}
+	out := make([]string, 0, len(e.sites))
+	for k, msg := range e.sites {
+		out = append(out, k.file+":"+strconv.Itoa(k.line)+": "+msg)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseEscapes extracts heap-allocation diagnostics from the output of
+// `go build -gcflags=-m=2` run at the module root: lines of the form
+//
+//	<path>:<line>:<col>: <expr> escapes to heap[: ...]
+//	<path>:<line>:<col>: moved to heap: <name>
+//
+// Relative paths resolve against root so positions match the loader's
+// absolute filenames. -m=2 explanation traces (indented lines), package
+// banners, and inlining chatter are ignored. When several diagnostics
+// land on one line the lexicographically smallest message wins, so the
+// parse is a pure function of the (unordered) diagnostic set.
+func ParseEscapes(root, output string) *EscapeData {
+	data := &EscapeData{sites: map[escKey]string{}}
+	for _, line := range strings.Split(output, "\n") {
+		if line == "" || line[0] == '#' || line[0] == ' ' || line[0] == '\t' {
+			continue
+		}
+		file, lineNo, msg, ok := splitDiag(line)
+		if !ok {
+			continue
+		}
+		if !strings.Contains(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap") {
+			continue
+		}
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(root, file)
+		}
+		key := escKey{file, lineNo}
+		if old, seen := data.sites[key]; !seen || msg < old {
+			data.sites[key] = msg
+		}
+	}
+	return data
+}
+
+// splitDiag splits one "path:line:col: message" gc diagnostic. The
+// scan walks colons left to right until a ":<line>:<col>:" pair parses,
+// so paths containing colons cannot confuse the split.
+func splitDiag(s string) (file string, line int, msg string, ok bool) {
+	for i := strings.IndexByte(s, ':'); i >= 0; {
+		rest := s[i+1:]
+		if l, m, good := parseLineCol(rest); good {
+			return s[:i], l, m, true
+		}
+		j := strings.IndexByte(rest, ':')
+		if j < 0 {
+			break
+		}
+		i += j + 1
+	}
+	return "", 0, "", false
+}
+
+// parseLineCol parses "<line>:<col>: <message>".
+func parseLineCol(s string) (line int, msg string, ok bool) {
+	i := strings.IndexByte(s, ':')
+	if i <= 0 {
+		return 0, "", false
+	}
+	line, err := strconv.Atoi(s[:i])
+	if err != nil || line <= 0 {
+		return 0, "", false
+	}
+	rest := s[i+1:]
+	j := strings.IndexByte(rest, ':')
+	if j <= 0 {
+		return 0, "", false
+	}
+	if col, cerr := strconv.Atoi(rest[:j]); cerr != nil || col <= 0 {
+		return 0, "", false
+	}
+	return line, strings.TrimSpace(rest[j+1:]), true
+}
+
+// escapeSuffix renders the two-tier severity marker appended to
+// alloc-hot findings when escape data is present.
+func escapeSuffix(esc *EscapeData, file string, line int) string {
+	if esc == nil {
+		return ""
+	}
+	if diag, ok := esc.At(file, line); ok {
+		return " [confirmed by compiler: " + shortDiag(diag) + "]"
+	}
+	return " [static-only: compiler reports no escape on this line]"
+}
+
+// shortDiag trims an -m=2 diagnostic to its first clause.
+func shortDiag(d string) string {
+	if i := strings.IndexByte(d, ':'); i > 0 {
+		return d[:i]
+	}
+	return d
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestParseEscapes pins the -gcflags=-m=2 transcript parse on a fixed
+// capture: heap diagnostics are kept (smallest message winning a
+// shared line), inlining chatter, package banners, and indented
+// explanation traces are dropped, and relative paths join the root.
+func TestParseEscapes(t *testing.T) {
+	transcript := strings.Join([]string{
+		"# movingdb/internal/ingest",
+		"internal/ingest/epoch.go:55:7: &objView{...} escapes to heap:",
+		"internal/ingest/epoch.go:55:7:   flow: v = &{storage for &objView{...}}:",
+		"internal/ingest/epoch.go:55:7:     from &objView{...} (spill) at internal/ingest/epoch.go:55:7",
+		"\tinternal/ingest/epoch.go:55:7: indented trace line, ignored",
+		"internal/ingest/epoch.go:120:14: make([]bool, len(e.objs)) does not escape",
+		"internal/ingest/store.go:130:22: moved to heap: smp",
+		"/abs/path/other.go:7:3: x escapes to heap",
+		"internal/ingest/epoch.go:55:7: a second diagnostic escapes to heap",
+		"internal/ingest/epoch.go:55: missing column, ignored",
+		"not a diagnostic at all",
+		"",
+	}, "\n")
+	esc := ParseEscapes("/root/mod", transcript)
+	if esc.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3\nsites: %v", esc.Len(), esc.Sites())
+	}
+	epochFile := filepath.Join("/root/mod", "internal/ingest/epoch.go")
+	msg, ok := esc.At(epochFile, 55)
+	if !ok {
+		t.Fatalf("no diagnostic at %s:55", epochFile)
+	}
+	// Two heap diagnostics share line 55; the lexicographically smaller
+	// message wins, keeping the parse order-independent.
+	if want := "&objView{...} escapes to heap:"; msg != want {
+		t.Errorf("At(epoch.go, 55) = %q, want %q", msg, want)
+	}
+	if _, ok := esc.At(epochFile, 120); ok {
+		t.Error("'does not escape' line was kept")
+	}
+	if _, ok := esc.At(filepath.Join("/root/mod", "internal/ingest/store.go"), 130); !ok {
+		t.Error("'moved to heap' diagnostic was dropped")
+	}
+	if _, ok := esc.At("/abs/path/other.go", 7); !ok {
+		t.Error("absolute-path diagnostic was dropped or re-joined")
+	}
+}
+
+// TestEscapeSuffix pins the two-tier severity markers alloc-hot
+// appends, and the nil behavior (no -escapes run: no marker at all).
+func TestEscapeSuffix(t *testing.T) {
+	esc := ParseEscapes("/m", "a.go:3:1: x escapes to heap: because reasons\n")
+	conf := escapeSuffix(esc, filepath.Join("/m", "a.go"), 3)
+	if want := " [confirmed by compiler: x escapes to heap]"; conf != want {
+		t.Errorf("confirmed suffix = %q, want %q", conf, want)
+	}
+	static := escapeSuffix(esc, filepath.Join("/m", "a.go"), 4)
+	if want := " [static-only: compiler reports no escape on this line]"; static != want {
+		t.Errorf("static-only suffix = %q, want %q", static, want)
+	}
+	if s := escapeSuffix(nil, "a.go", 3); s != "" {
+		t.Errorf("nil escape data produced suffix %q", s)
+	}
+}

@@ -102,6 +102,13 @@ type Pass struct {
 // ProgramPass is the whole-program counterpart handed to ProgramChecks.
 type ProgramPass struct {
 	Prog *Program
+	// Stale mirrors Options.StaleSuppressions for checks that manage
+	// their own directive namespace (alloc-hot's allocok verb): the
+	// runner's stale audit only covers molint:ignore.
+	Stale bool
+	// Escapes is the compiler escape-diagnostic join from -escapes, nil
+	// when the cross-check was not requested.
+	Escapes *EscapeData
 	reporter
 }
 
@@ -211,6 +218,11 @@ type Options struct {
 	// Clock samples wall time around each check for Result.Timings. Nil
 	// disables timing (and keeps Run fully deterministic).
 	Clock func() time.Time
+	// Escapes carries parsed `go build -gcflags=-m=2` diagnostics
+	// (ParseEscapes) into the program passes; alloc-hot tiers its
+	// findings against it. Nil runs alloc-hot static-only with no tier
+	// markers.
+	Escapes *EscapeData
 }
 
 // Run executes every check over every package and returns deduplicated,
@@ -298,8 +310,9 @@ func RunOpts(pkgs []*Package, checks []Check, opts Options) Result {
 			return a.check < b.check
 		})
 		for _, pc := range progChecks {
-			pass := &ProgramPass{Prog: prog, reporter: reporter{check: pc.ID(), findings: &res.Findings,
-				suppressed: suppressed, used: used, directives: globalDs}}
+			pass := &ProgramPass{Prog: prog, Stale: opts.StaleSuppressions, Escapes: opts.Escapes,
+				reporter: reporter{check: pc.ID(), findings: &res.Findings,
+					suppressed: suppressed, used: used, directives: globalDs}}
 			timed(pc.ID(), func() { pc.RunProgram(pass) })
 		}
 	}

@@ -122,6 +122,7 @@ func TestFixtures(t *testing.T) {
 		{"lockorder", "lock-order"},
 		{"publishimmutable", "publish-immutable"},
 		{"aliasretain", "alias-retain"},
+		{"allochot", "alloc-hot"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {

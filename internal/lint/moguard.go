@@ -116,6 +116,10 @@ func parseFieldGuard(body string) (g fieldGuard, msg string) {
 		return g, "moguard: retained applies to store statements, not struct fields"
 	case "lockorder":
 		return g, "moguard: lockorder applies at file scope, not struct fields"
+	case "hotpath":
+		return g, "moguard: hotpath applies to function declarations, not struct fields"
+	case "allocok":
+		return g, "moguard: allocok applies to allocation sites, not struct fields"
 	case "":
 		return g, "moguard: directive is missing a verb"
 	default:

@@ -1,0 +1,91 @@
+// Package allochot is the golden fixture for the alloc-hot check: a
+// hotpath-annotated root, functions reached through the call graph
+// (flagged), an unreachable function (ignored), capacity-hinted
+// appends (clean), and an allocok-suppressed site.
+package allochot
+
+import "fmt"
+
+type item struct {
+	name string
+	vals []int
+}
+
+type holder struct {
+	fn func() int
+}
+
+// hot is the annotated root; everything it reaches is hot.
+//
+// moguard: hotpath
+func hot(items []item) []string {
+	out := []string{}
+	for _, it := range items {
+		out = append(out, it.name) // want `append in a loop to out, declared without a capacity hint`
+	}
+	lookup := make(map[string]int) // want `allocates a map on every call`
+	_ = lookup
+	p := &item{name: "x"} // want `address-taken composite literal is heap-bound`
+	_ = p
+	fmt.Println("serving") // want `fmt.Println allocates its variadic slice`
+	warm(len(items))
+	cold(items)
+	return out
+}
+
+// warm is hot by reachability; its append carries a capacity hint, so
+// only the push-helper call pattern below is flagged.
+func warm(n int) []int {
+	pre := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		pre = append(pre, i)
+	}
+	push(&pre, n)
+	return pre
+}
+
+// push is the pointer-deref append helper: growth reallocates no
+// matter how the caller loops.
+func push(dst *[]int, v int) {
+	*dst = append(*dst, v) // want `append through a pointer dereference`
+}
+
+// cold is hot by reachability despite the name.
+func cold(items []item) {
+	var s string
+	for range items {
+		s = s + "x" // want `string concatenation in a loop`
+	}
+	_ = s
+	box(42) // want `boxes into`
+	h := holder{}
+	h.fn = maker(len(items)) // closure flagged inside maker, not here
+	_ = h
+	// moguard: allocok fixture: the scratch map models a justified per-call allocation
+	scratch := make(map[int]bool)
+	_ = scratch
+	for range items {
+		defer fmt.Sprint(0) // want `defer inside a loop` // want `fmt.Sprint allocates`
+	}
+}
+
+// box's parameter is an interface: concrete arguments heap-allocate
+// their box at the call site.
+func box(v any) any { return v }
+
+// maker returns a closure, so the capture set outlives the frame.
+func maker(n int) func() int {
+	return func() int { return n } // want `returned closure outlives the frame`
+}
+
+// idle is unreachable from any hotpath root: identical allocation
+// sites here must produce no findings.
+func idle() map[string]int {
+	m := make(map[string]int)
+	var xs []string
+	for i := 0; i < 3; i++ {
+		xs = append(xs, fmt.Sprint(i))
+	}
+	m["n"] = len(xs)
+	return m
+}

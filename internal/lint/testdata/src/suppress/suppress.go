@@ -28,3 +28,13 @@ func stale() int {
 	//molint:ignore ctx-loop nothing here selects on a context anymore
 	return 0
 }
+
+// staleAllocok carries a well-formed allocok directive covering no
+// flagged allocation site (the function is not hot): alloc-hot's own
+// stale audit reports it under -stale-suppressions. New fixture
+// content goes BELOW this line — earlier line numbers are asserted
+// exactly by TestSuppressions.
+func staleAllocok() int {
+	// moguard: allocok nothing on the next line allocates on a hot path
+	return 0
+}

@@ -239,6 +239,8 @@ func (r *Registry) rebuildRegionsLocked() {
 // merge (keeping the older timestamp and the newer epoch), which
 // preserves every edge because edges are state flips against the
 // subscription's last evaluated state.
+//
+// moguard: hotpath
 func (r *Registry) Notify(ep *ingest.Epoch, dirty []ingest.DirtyObject) {
 	pubNS := r.cfg.Now().UnixNano()
 	r.mu.Lock()

@@ -1,11 +1,13 @@
 package server
 
 import (
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"testing"
 
 	"movingdb/internal/db"
+	"movingdb/internal/live"
 	"movingdb/internal/moving"
 	"movingdb/internal/workload"
 )
@@ -69,6 +71,26 @@ func BenchmarkQueryInstrumented(b *testing.B) {
 		if rec.Code != http.StatusOK {
 			b.Fatalf("code = %d", rec.Code)
 		}
+	}
+}
+
+// BenchmarkSSEEventFrames measures rendering one Take batch of
+// subscription events as SSE frames — the per-event cost every
+// connected stream pays on every epoch publish, pinned by an
+// allocation budget (alloc_budgets.json).
+func BenchmarkSSEEventFrames(b *testing.B) {
+	events := make([]live.Event, 8)
+	for i := range events {
+		events[i] = live.Event{
+			Seq: uint64(i + 1), Epoch: 42, Edge: "enter",
+			Object: "veh-01234", T: 17.5, X: 123.25, Y: 456.75, PubUnixNS: 1700000000000000000,
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		buf = writeEventFrames(io.Discard, buf, events, true)
 	}
 }
 

@@ -3,6 +3,8 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -210,6 +212,127 @@ func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"unsubscribed": id})
 }
 
+// writeEventFrames renders one batch of subscription events as SSE
+// frames: an explicit "lagged" frame when the bounded buffer dropped
+// anything since the last Take, then one frame per event with the
+// per-subscription sequence as the SSE id and the edge as the event
+// name. The whole batch renders into scratch (returned grown for
+// reuse) and goes out in a single Write — every connected stream pays
+// this cost on every epoch publish, so the frame bytes are appended by
+// hand instead of through fmt and reflection-driven json.Marshal.
+//
+// moguard: hotpath
+func writeEventFrames(w io.Writer, scratch []byte, events []live.Event, lagged bool) []byte {
+	buf := scratch[:0]
+	if lagged {
+		buf = append(buf, "event: lagged\ndata: {\"lagged\":true}\n\n"...)
+	}
+	for _, e := range events {
+		mark := len(buf)
+		buf = append(buf, "id: "...)
+		buf = strconv.AppendUint(buf, e.Seq, 10)
+		buf = append(buf, "\nevent: "...)
+		buf = append(buf, e.Edge...)
+		buf = append(buf, "\ndata: "...)
+		var ok bool
+		if buf, ok = appendEventJSON(buf, e); !ok {
+			// Unrenderable event (non-finite coordinate): dropped, exactly
+			// as the json.Marshal error path used to do.
+			buf = buf[:mark]
+			continue
+		}
+		buf = append(buf, "\n\n"...)
+	}
+	if len(buf) > 0 {
+		// Write failures surface as the closed connection on the next
+		// frame, same as the fmt.Fprintf path before.
+		w.Write(buf)
+	}
+	return buf
+}
+
+// appendEventJSON renders one live.Event byte-identically to
+// json.Marshal (same field order, float forms, and HTML-safe string
+// escaping) without reflection or intermediate allocation. ok is false
+// when a coordinate is non-finite, where json.Marshal would error.
+func appendEventJSON(b []byte, e live.Event) ([]byte, bool) {
+	if isNonFinite(e.T) || isNonFinite(e.X) || isNonFinite(e.Y) {
+		return b, false
+	}
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendUint(b, e.Seq, 10)
+	b = append(b, `,"epoch":`...)
+	b = strconv.AppendUint(b, e.Epoch, 10)
+	b = append(b, `,"edge":`...)
+	b = appendJSONString(b, e.Edge)
+	b = append(b, `,"object":`...)
+	b = appendJSONString(b, e.Object)
+	b = append(b, `,"t":`...)
+	b = appendJSONFloat(b, e.T)
+	b = append(b, `,"x":`...)
+	b = appendJSONFloat(b, e.X)
+	b = append(b, `,"y":`...)
+	b = appendJSONFloat(b, e.Y)
+	b = append(b, `,"pub_unix_ns":`...)
+	b = strconv.AppendInt(b, e.PubUnixNS, 10)
+	return append(b, '}'), true
+}
+
+func isNonFinite(f float64) bool {
+	return math.IsNaN(f) || math.IsInf(f, 0)
+}
+
+// jsonSafeString reports whether s renders as itself inside JSON
+// quotes under encoding/json's rules: printable ASCII, nothing needing
+// an escape, and none of the HTML-sensitive bytes it always escapes.
+func jsonSafeString(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x7f || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			return false
+		}
+	}
+	return true
+}
+
+// appendJSONString appends s as a JSON string. Event edges and object
+// ids are plain ASCII in practice, so the fast path is a quoted copy;
+// anything needing escapes takes the stdlib slow path to stay
+// byte-identical with json.Marshal.
+func appendJSONString(b []byte, s string) []byte {
+	if jsonSafeString(s) {
+		b = append(b, '"')
+		b = append(b, s...)
+		return append(b, '"')
+	}
+	// moguard: allocok escaping fallback is off the common path (non-ASCII or HTML-sensitive object ids); matching json.Marshal byte-for-byte beats the allocation
+	q, err := json.Marshal(s)
+	if err != nil {
+		// Marshalling a string cannot fail; keep the frame valid anyway.
+		return append(b, `""`...)
+	}
+	return append(b, q...)
+}
+
+// appendJSONFloat appends f exactly as encoding/json renders a
+// float64: shortest form, 'f' notation for ordinary magnitudes, and
+// the exponent cleaned of its leading zero otherwise.
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
 // handleEvents streams a subscription's events as Server-Sent Events:
 // one "enter"/"leave" event per predicate flip (data is the Event
 // JSON, id the per-subscription sequence), an explicit "lagged" event
@@ -241,6 +364,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	fl.Flush()
 	hb := time.NewTicker(s.cfg.SSEHeartbeat)
 	defer hb.Stop()
+	var frameBuf []byte // reused across batches; grows to the largest frame batch
 	for {
 		events, lagged := sub.Take()
 		if lagged || len(events) > 0 {
@@ -253,16 +377,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		if lagged {
-			fmt.Fprint(w, "event: lagged\ndata: {\"lagged\":true}\n\n")
-		}
-		for _, e := range events {
-			b, err := json.Marshal(e)
-			if err != nil {
-				continue
-			}
-			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Edge, b)
-		}
+		frameBuf = writeEventFrames(w, frameBuf, events, lagged)
 		if lagged || len(events) > 0 {
 			fl.Flush()
 		}

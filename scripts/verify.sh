@@ -27,6 +27,9 @@ fi
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> allocgate (hot-path allocation budgets, alloc_budgets.json)"
+go run ./cmd/mobench -exp allocgate
+
 echo "==> go test -tags=debugcheck (runtime invariant assertions)"
 go test -tags=debugcheck ./internal/mapping ./internal/spatial ./internal/moving
 
